@@ -1,0 +1,61 @@
+//===- bench/bench_ablation_splits.cpp - VC split ablation ------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation E5 (DESIGN.md): the paper runs Boogie with "maximum number of
+/// VC splits set to 8" (Section 5.3). This harness sweeps the split factor
+/// on representative methods to show how query granularity affects solver
+/// time in our reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Verifier.h"
+#include "structures/Registry.h"
+
+#include <cstdio>
+
+using namespace ids;
+
+int main() {
+  const unsigned Splits[] = {1, 2, 4, 8, 16, 64};
+  struct Target {
+    const char *Bench;
+    const char *Proc;
+  } Targets[] = {
+      {"singly-linked-list", "insert_front"},
+      {"singly-linked-list", "find"},
+      {"bst", "find"},
+      {"treap", "find_max_prio_on_path"},
+  };
+  printf("VC split-factor ablation (Section 5.3 uses max 8 splits)\n");
+  printf("%-22s %-24s", "Structure", "Method");
+  for (unsigned S : Splits)
+    printf(" %8u", S);
+  printf("\n--------------------------------------------------------------"
+         "--------------------\n");
+  for (const Target &T : Targets) {
+    const char *Src = structures::findBenchmark(T.Bench);
+    if (!Src)
+      continue;
+    printf("%-22s %-24s", T.Bench, T.Proc);
+    for (unsigned S : Splits) {
+      DiagEngine Diags;
+      driver::VerifyOptions Opts;
+      Opts.CheckImpacts = false;
+      Opts.OnlyProc = T.Proc;
+      Opts.VcSplits = S;
+      Opts.QueryTimeoutSeconds = 45;
+      driver::ModuleResult R = driver::verifySource(Src, Opts, Diags);
+      double Secs = R.Procs.empty() ? -1 : R.Procs[0].Seconds;
+      bool Ok = !R.Procs.empty() &&
+                R.Procs[0].St == driver::Status::Verified;
+      printf(" %7.2f%s", Secs, Ok ? "" : "!");
+    }
+    printf("\n");
+  }
+  printf("\n('!' marks a non-verified outcome; times in seconds)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===- bench/bench_table2.cpp - Regenerates Table 2 ------------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Table 2 of the paper (E1/E4 in DESIGN.md): for every data
+/// structure and method in the embedded suite, the LC size (number of
+/// conjuncts), lines of executable code + specification + ghost
+/// annotation, and the verification time in the default quantifier-free
+/// mode. Impact-set verification time per structure is reported alongside
+/// (the paper states it is < 3s per structure).
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Verifier.h"
+#include "structures/Registry.h"
+
+#include <cstdio>
+
+using namespace ids;
+
+int main() {
+  printf("Table 2: implementation and verification of the benchmark "
+         "suite (quantifier-free FWYB encoding)\n");
+  printf("%-22s %4s  %-26s %-12s %10s  %s\n", "Data Structure", "LC",
+         "Method", "LOC+Spec+Ann", "Verif.(s)", "Status");
+  printf("---------------------------------------------------------------"
+         "---------------------\n");
+  bool AllOk = true;
+  for (const structures::Benchmark &B : structures::allBenchmarks()) {
+    DiagEngine Diags;
+    driver::VerifyOptions Opts;
+    Opts.VcSplits = 8; // the paper's Boogie configuration (Section 5.3)
+    // Bounded resources: our from-scratch solver is orders of magnitude
+    // behind Z3 on the largest recursive-method VCs; exhaustion is
+    // reported as 'unknown (budget)' instead of an open-ended run.
+    Opts.QueryTimeoutSeconds = 90;
+    driver::ModuleResult R =
+        driver::verifySource(B.Source, Opts, Diags);
+    if (!R.FrontEndOk) {
+      printf("%-22s  FRONT-END ERROR\n%s", B.Table2Name,
+             Diags.toString().c_str());
+      AllOk = false;
+      continue;
+    }
+    bool ImpactsOk = true;
+    for (const driver::ImpactResult &I : R.Impacts)
+      ImpactsOk = ImpactsOk && I.Ok;
+    bool First = true;
+    for (const driver::ProcResult &P : R.Procs) {
+      char Counts[32];
+      snprintf(Counts, sizeof(Counts), "%u+%u+%u", P.Metrics.CodeLines,
+               P.Metrics.SpecLines, P.Metrics.AnnotLines);
+      const char *St = P.St == driver::Status::Verified ? "verified"
+                       : P.St == driver::Status::Unknown
+                           ? "unknown (budget)"
+                           : "FAILED";
+      printf("%-22s %4u  %-26s %-12s %10.2f  %s\n",
+             First ? B.Table2Name : "", First ? R.LcSize : 0,
+             P.Name.c_str(), Counts, P.Seconds, St);
+      AllOk = AllOk && P.St != driver::Status::Failed;
+      First = false;
+    }
+    printf("%-22s       impact sets: %zu checked, %s (%.2fs)\n", "",
+           R.Impacts.size(), ImpactsOk ? "all correct" : "FAILURES",
+           R.ImpactSeconds);
+    AllOk = AllOk && ImpactsOk;
+  }
+  printf("\nPaper reference (Table 2): all 42 methods verify, all but "
+         "four in under 10 seconds,\nimpact sets < 3s per structure. See "
+         "EXPERIMENTS.md for the per-method comparison.\n");
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,131 @@
+//===- driver/Main.cpp - ids-verify command line tool ----------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command line front end:
+///
+///   ids-verify FILE.ids            verify a module from a file
+///   ids-verify --benchmark NAME    verify an embedded Table 2 benchmark
+///   ids-verify --list              list embedded benchmarks
+///
+/// Options: --quant (Dafny-style quantified encoding, RQ3), --splits N,
+/// --proc NAME, --no-frames, --no-impacts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Verifier.h"
+#include "structures/Registry.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace ids;
+
+static void printResult(const driver::ModuleResult &R) {
+  printf("structure %s  (LC size: %u conjuncts)\n", R.StructureName.c_str(),
+         R.LcSize);
+  if (!R.Impacts.empty()) {
+    unsigned Bad = 0;
+    for (const driver::ImpactResult &I : R.Impacts)
+      if (!I.Ok)
+        ++Bad;
+    printf("impact sets: %zu checked, %u failed (%.2fs)\n",
+           R.Impacts.size(), Bad, R.ImpactSeconds);
+    for (const driver::ImpactResult &I : R.Impacts)
+      if (!I.Ok)
+        printf("  FAILED impact %s [%s]\n", I.Field.c_str(),
+               I.Group.c_str());
+  }
+  for (const driver::ProcResult &P : R.Procs) {
+    const char *St = P.St == driver::Status::Verified ? "verified"
+                     : P.St == driver::Status::Failed ? "FAILED"
+                                                      : "unknown";
+    printf("  %-24s %3u+%u+%-3u  %3u obligations  %7.2fs  %s\n",
+           P.Name.c_str(), P.Metrics.CodeLines, P.Metrics.SpecLines,
+           P.Metrics.AnnotLines, P.NumObligations, P.Seconds, St);
+    if (P.St != driver::Status::Verified) {
+      printf("    obligation: %s\n", P.FailedObligation.c_str());
+      if (!P.Counterexample.empty()) {
+        printf("    counterexample:\n");
+        std::istringstream In(P.Counterexample);
+        std::string Line;
+        while (std::getline(In, Line))
+          printf("      %s\n", Line.c_str());
+      }
+    }
+  }
+}
+
+int main(int Argc, char **Argv) {
+  driver::VerifyOptions Opts;
+  std::string File, BenchName;
+  bool List = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--quant") {
+      Opts.QuantifiedMode = true;
+    } else if (A == "--no-frames") {
+      Opts.CheckFrames = false;
+    } else if (A == "--no-impacts") {
+      Opts.CheckImpacts = false;
+    } else if (A == "--splits" && I + 1 < Argc) {
+      Opts.VcSplits = static_cast<unsigned>(atoi(Argv[++I]));
+    } else if (A == "--proc" && I + 1 < Argc) {
+      Opts.OnlyProc = Argv[++I];
+    } else if (A == "--budget" && I + 1 < Argc) {
+      Opts.MaxTheoryChecks = static_cast<uint64_t>(atoll(Argv[++I]));
+    } else if (A == "--benchmark" && I + 1 < Argc) {
+      BenchName = Argv[++I];
+    } else if (A == "--list") {
+      List = true;
+    } else if (A[0] != '-') {
+      File = A;
+    } else {
+      fprintf(stderr, "unknown option: %s\n", A.c_str());
+      return 2;
+    }
+  }
+  if (List) {
+    for (const structures::Benchmark &B : structures::allBenchmarks())
+      printf("%s  (%s)\n", B.Name, B.Table2Name);
+    return 0;
+  }
+  std::string Source;
+  if (!BenchName.empty()) {
+    const char *Src = structures::findBenchmark(BenchName);
+    if (!Src) {
+      fprintf(stderr, "unknown benchmark '%s' (try --list)\n",
+              BenchName.c_str());
+      return 2;
+    }
+    Source = Src;
+  } else if (!File.empty()) {
+    std::ifstream In(File);
+    if (!In) {
+      fprintf(stderr, "cannot open '%s'\n", File.c_str());
+      return 2;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  } else {
+    fprintf(stderr,
+            "usage: ids-verify [options] (FILE | --benchmark NAME | "
+            "--list)\n");
+    return 2;
+  }
+
+  DiagEngine Diags;
+  driver::ModuleResult R = driver::verifySource(Source, Opts, Diags);
+  if (!R.FrontEndOk) {
+    fprintf(stderr, "%s", Diags.toString().c_str());
+    return 2;
+  }
+  printResult(R);
+  return R.allVerified() ? 0 : 1;
+}

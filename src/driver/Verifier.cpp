@@ -1,0 +1,146 @@
+//===- driver/Verifier.cpp - End-to-end verification facade ----------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Verifier.h"
+
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+#include "smt/Solver.h"
+#include "vcgen/VcGen.h"
+
+#include <chrono>
+
+using namespace ids;
+using namespace ids::driver;
+
+std::unique_ptr<lang::Module> driver::frontEnd(const std::string &Source,
+                                               DiagEngine &Diags) {
+  std::unique_ptr<lang::Module> M = lang::parseModule(Source, Diags);
+  if (!M)
+    return nullptr;
+  if (!lang::typeCheck(*M, Diags))
+    return nullptr;
+  if (!lang::checkGhostDiscipline(*M, Diags))
+    return nullptr;
+  if (!lang::checkWellBehaved(*M, Diags))
+    return nullptr;
+  return M;
+}
+
+namespace {
+double seconds(std::chrono::steady_clock::time_point Start) {
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// Refutes the negation of each obligation group; returns per-module
+/// status. On failure, identifies the first failing obligation and its
+/// countermodel.
+Status solveObligations(smt::TermManager &TM,
+                        const std::vector<vcgen::Obligation> &Obls,
+                        const VerifyOptions &Opts, std::string &FailedDesc,
+                        std::string &Counterexample) {
+  if (Obls.empty())
+    return Status::Verified;
+  unsigned NumGroups = std::max(1u, std::min<unsigned>(
+                                        Opts.VcSplits,
+                                        static_cast<unsigned>(Obls.size())));
+  // Round-robin partition into NumGroups queries.
+  for (unsigned G = 0; G < NumGroups; ++G) {
+    std::vector<smt::TermRef> Negated;
+    for (size_t I = G; I < Obls.size(); I += NumGroups)
+      Negated.push_back(
+          TM.mkAnd(Obls[I].Guard, TM.mkNot(Obls[I].Claim)));
+    smt::TermRef Query = TM.mkOr(std::move(Negated));
+    if (Opts.CrossCheckQf && !Opts.QuantifiedMode &&
+        TM.containsQuantifier(Query)) {
+      FailedDesc = "internal: quantifier leaked into a QF-mode VC";
+      return Status::Unknown;
+    }
+    smt::Solver::Options SOpts;
+    SOpts.AllowQuantifiers = Opts.QuantifiedMode;
+    SOpts.MaxTheoryChecks = Opts.MaxTheoryChecks;
+    SOpts.TimeoutSeconds = Opts.QueryTimeoutSeconds;
+    smt::Solver S(TM, SOpts);
+    smt::Solver::Result R = S.checkSat(Query);
+    if (R == smt::Solver::Result::Unsat)
+      continue;
+    if (R == smt::Solver::Result::Unknown) {
+      FailedDesc = Opts.QuantifiedMode
+                       ? "quantified encoding: instantiation was incomplete"
+                       : "solver resource budget exhausted";
+      return Status::Unknown;
+    }
+    // Some obligation in this group fails: find which one.
+    for (size_t I = G; I < Obls.size(); I += NumGroups) {
+      smt::Solver SI(TM, SOpts);
+      smt::TermRef Q =
+          TM.mkAnd(Obls[I].Guard, TM.mkNot(Obls[I].Claim));
+      if (SI.checkSat(Q) == smt::Solver::Result::Sat) {
+        FailedDesc = Obls[I].Description + " (at " +
+                     Obls[I].Loc.toString() + ")";
+        Counterexample = SI.model().toString();
+        return Status::Failed;
+      }
+    }
+    FailedDesc = "obligation group failed but no single witness found";
+    return Status::Failed;
+  }
+  return Status::Verified;
+}
+} // namespace
+
+ModuleResult driver::verifySource(const std::string &Source,
+                                  const VerifyOptions &Opts,
+                                  DiagEngine &Diags) {
+  ModuleResult Result;
+  std::unique_ptr<lang::Module> M = frontEnd(Source, Diags);
+  if (!M)
+    return Result;
+  Result.FrontEndOk = true;
+  Result.StructureName = M->Structure.Name;
+  Result.LcSize = lang::localConditionSize(M->Structure);
+
+  // Impact-set correctness (Appendix C; Section 5.3 reports this <3s per
+  // structure).
+  if (Opts.CheckImpacts) {
+    auto Start = std::chrono::steady_clock::now();
+    for (const lang::ImpactDecl &I : M->Structure.Impacts) {
+      ImpactResult IR;
+      IR.Field = I.Field;
+      IR.Group = I.Group;
+      auto IStart = std::chrono::steady_clock::now();
+      smt::TermManager TM;
+      vcgen::ProcVc Vc = vcgen::generateImpactVc(TM, *M, I);
+      std::string Desc, Cex;
+      IR.Ok = solveObligations(TM, Vc.Obligations, Opts, Desc, Cex) ==
+              Status::Verified;
+      IR.Seconds = seconds(IStart);
+      Result.Impacts.push_back(std::move(IR));
+    }
+    Result.ImpactSeconds = seconds(Start);
+  }
+
+  for (const lang::ProcDecl &P : M->Procs) {
+    if (!Opts.OnlyProc.empty() && P.Name != Opts.OnlyProc)
+      continue;
+    ProcResult PR;
+    PR.Name = P.Name;
+    PR.Metrics = lang::computeMetrics(M->Structure, P);
+    auto Start = std::chrono::steady_clock::now();
+    smt::TermManager TM;
+    vcgen::VcOptions VOpts;
+    VOpts.QuantifiedMode = Opts.QuantifiedMode;
+    VOpts.CheckFrames = Opts.CheckFrames;
+    vcgen::ProcVc Vc = vcgen::generateVc(TM, *M, P, VOpts);
+    PR.NumObligations = static_cast<unsigned>(Vc.Obligations.size());
+    PR.St = solveObligations(TM, Vc.Obligations, Opts, PR.FailedObligation,
+                             PR.Counterexample);
+    PR.Seconds = seconds(Start);
+    Result.Procs.push_back(std::move(PR));
+  }
+  return Result;
+}

@@ -1,0 +1,102 @@
+//===- driver/Verifier.h - End-to-end verification facade ------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the library: parse an IDS module, run the
+/// static disciplines (types, ghost flow, well-behavedness), prove the
+/// declared impact sets correct (Appendix C), and verify every procedure
+/// by discharging its quantifier-free VC with the SMT solver. Reports
+/// per-procedure timing, Table 2 metrics and counterexamples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_DRIVER_VERIFIER_H
+#define IDS_DRIVER_VERIFIER_H
+
+#include "lang/Ast.h"
+#include "lang/Checks.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ids {
+namespace driver {
+
+enum class Status { Verified, Failed, Unknown };
+
+struct ProcResult {
+  std::string Name;
+  Status St = Status::Verified;
+  double Seconds = 0.0;
+  unsigned NumObligations = 0;
+  std::string FailedObligation; ///< description + location when Failed
+  std::string Counterexample;   ///< model text when Failed
+  lang::ProcMetrics Metrics;
+};
+
+struct ImpactResult {
+  std::string Field;
+  std::string Group;
+  bool Ok = true;
+  double Seconds = 0.0;
+};
+
+struct ModuleResult {
+  bool FrontEndOk = false;
+  std::string StructureName;
+  unsigned LcSize = 0;
+  std::vector<ImpactResult> Impacts;
+  std::vector<ProcResult> Procs;
+  double ImpactSeconds = 0.0;
+
+  bool allVerified() const {
+    if (!FrontEndOk)
+      return false;
+    for (const ImpactResult &I : Impacts)
+      if (!I.Ok)
+        return false;
+    for (const ProcResult &P : Procs)
+      if (P.St != Status::Verified)
+        return false;
+    return true;
+  }
+};
+
+struct VerifyOptions {
+  /// Dafny-style quantified encoding (RQ3 baseline) instead of the
+  /// default quantifier-free encoding.
+  bool QuantifiedMode = false;
+  /// Check mutation/callee footprints against modifies clauses.
+  bool CheckFrames = true;
+  /// Prove the declared impact sets correct before verifying procedures.
+  bool CheckImpacts = true;
+  /// Split the VC into this many solver queries (paper uses max 8).
+  unsigned VcSplits = 1;
+  /// Restrict verification to this procedure (empty = all).
+  std::string OnlyProc;
+  /// Cross-check that generated VCs are quantifier-free (Section 5.1);
+  /// always true in QF mode.
+  bool CrossCheckQf = true;
+  /// Per-query theory-check budget forwarded to the solver (0 =
+  /// unlimited). Exhaustion is reported as Status::Unknown.
+  uint64_t MaxTheoryChecks = 0;
+  /// Per-query wall-clock budget in seconds (0 = unlimited).
+  double QueryTimeoutSeconds = 0;
+};
+
+/// Parses and verifies a whole module from source text.
+ModuleResult verifySource(const std::string &Source,
+                          const VerifyOptions &Opts, DiagEngine &Diags);
+
+/// Runs the front-end only (parse + checks); exposed for tooling/tests.
+std::unique_ptr<lang::Module> frontEnd(const std::string &Source,
+                                       DiagEngine &Diags);
+
+} // namespace driver
+} // namespace ids
+
+#endif // IDS_DRIVER_VERIFIER_H

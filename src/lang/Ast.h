@@ -1,0 +1,309 @@
+//===- lang/Ast.h - Surface language AST -----------------------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST of the IDS surface language: `structure` declarations (the paper's
+/// intrinsic definitions — ghost monadic maps, local conditions,
+/// correlation formula, impact sets of Section 4.1) and procedures in the
+/// while-language of Figure 1 extended with the ghost grammar of Figure 6
+/// and the four well-behavedness macros of Section 4.1 (Mut, NewObj,
+/// AssertLCAndRemove, InferLCOutsideBr).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_LANG_AST_H
+#define IDS_LANG_AST_H
+
+#include "support/BigInt.h"
+#include "support/Diag.h"
+#include "support/Rational.h"
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ids {
+namespace lang {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// Scalar/base type discriminator.
+enum class TypeKind : uint8_t { Int, Rat, Bool, Loc, Set };
+
+/// A surface-language type. Set types carry their element kind (which is
+/// never itself a set in this language).
+struct Type {
+  TypeKind Kind = TypeKind::Int;
+  TypeKind Elem = TypeKind::Int; // Set only
+
+  static Type intTy() { return {TypeKind::Int, TypeKind::Int}; }
+  static Type ratTy() { return {TypeKind::Rat, TypeKind::Int}; }
+  static Type boolTy() { return {TypeKind::Bool, TypeKind::Int}; }
+  static Type locTy() { return {TypeKind::Loc, TypeKind::Int}; }
+  static Type setTy(TypeKind Elem) { return {TypeKind::Set, Elem}; }
+
+  bool operator==(const Type &RHS) const {
+    return Kind == RHS.Kind && (Kind != TypeKind::Set || Elem == RHS.Elem);
+  }
+  bool operator!=(const Type &RHS) const { return !(*this == RHS); }
+  bool isSet() const { return Kind == TypeKind::Set; }
+  bool isNumeric() const {
+    return Kind == TypeKind::Int || Kind == TypeKind::Rat;
+  }
+  std::string toString() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  BoolLit,
+  NilLit,
+  EmptySetLit, ///< `{}`; element type resolved by the checker
+  VarRef,
+  FieldRead, ///< e.f  (user or ghost field)
+  Old,       ///< old(e): pre-state value (contracts / impact sets)
+  BrSet,     ///< br(group): the broken set of a local-condition group
+  AllocSet,  ///< alloc: the set of allocated objects
+  Unary,     ///< ! or unary -
+  Binary,
+  IteExpr, ///< ite(c, a, b)
+  SetLit,  ///< { e1, ..., en }
+  Fresh,   ///< fresh(S): S was freshly allocated (ensures only)
+  LcApp,   ///< lc(group, e): the local condition instantiated at e
+};
+
+enum class UnOp : uint8_t { Not, Neg };
+
+enum class BinOp : uint8_t {
+  Add,
+  Sub,
+  Mul, ///< linear: one side must be a literal
+  Div, ///< by non-zero literal; rat only
+  Union,
+  Isect,
+  SetMinus,
+  DuPlus, ///< disjoint union (paper's ⊎); only as RHS of ==
+  In,
+  Subset,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+  Implies,
+  Iff,
+};
+
+struct Expr {
+  ExprKind Kind = ExprKind::IntLit;
+  SourceLoc Loc;
+  Type Ty; // filled in by the type checker
+
+  BigInt IntVal;            // IntLit
+  bool BoolVal = false;     // BoolLit
+  std::string Name;         // VarRef, FieldRead (field), BrSet/LcApp (group)
+  UnOp UOp = UnOp::Not;     // Unary
+  BinOp BOp = BinOp::Add;   // Binary
+  std::vector<Expr *> Args; // children
+
+  Expr *arg(unsigned I) const { return Args[I]; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  VarDecl,      ///< var x: T (:= e)?   (ghost variants marked IsGhost)
+  Assign,       ///< x := e   (also field lookup y := x.f via FieldRead expr)
+  Mut,          ///< Mut(x.f, e): mutation + impact-set update (Section 4.1)
+  NewObj,       ///< NewObj(x): allocation + add to every broken set
+  AssertLcRemove, ///< AssertLCAndRemove(group, e)
+  InferLc,      ///< InferLCOutsideBr(group, e)
+  Assert,
+  Assume,
+  If,
+  While,
+  Call, ///< call r1, r2 := proc(args)
+  Return,
+  Block,
+  GhostBlock, ///< ghost { ... }
+};
+
+struct Stmt;
+
+struct Stmt {
+  StmtKind Kind = StmtKind::Block;
+  SourceLoc Loc;
+  bool IsGhost = false; ///< VarDecl/Assign inside ghost context or declared
+
+  // VarDecl
+  std::string VarName;
+  Type VarType;
+  Expr *Init = nullptr; // optional
+
+  // Assign: LHS var name (VarName) and RHS (Init). Field reads appear as
+  // FieldRead on the RHS; there is no field write outside Mut.
+  // Mut: Target (FieldRead expr: base.field), Init = value
+  Expr *Target = nullptr;
+
+  // AssertLcRemove / InferLc / BrSet group
+  std::string Group;
+
+  // Assert/Assume/If/While condition
+  Expr *Cond = nullptr;
+
+  // If/While/Block/GhostBlock bodies
+  std::vector<Stmt *> Body;
+  std::vector<Stmt *> ElseBody;
+
+  // While annotations
+  std::vector<Expr *> Invariants;
+  Expr *Decreases = nullptr;
+
+  // Call
+  std::string Callee;
+  std::vector<std::string> CallLhs;
+  std::vector<Expr *> CallArgs;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct FieldDecl {
+  std::string Name;
+  Type Ty;
+  bool IsGhost = false;
+  SourceLoc Loc;
+};
+
+/// One named group of local conditions (Definition 2.4's LC; several
+/// groups model the finer-grained broken sets of Sections 3.5/4.4).
+struct LocalCondDecl {
+  std::string Name;
+  std::string Param; ///< the universally quantified location variable
+  Expr *Body = nullptr;
+  SourceLoc Loc;
+};
+
+/// Impact set for mutations of one field w.r.t. one group (Table 1/3/4).
+struct ImpactDecl {
+  std::string Field;
+  std::string Group;
+  Expr *Precondition = nullptr;  ///< optional mutation precondition (Table 4)
+  std::vector<Expr *> Terms;     ///< location terms over the variable `x`
+  std::string Param = "x";
+  SourceLoc Loc;
+};
+
+/// An intrinsic definition (Definition 2.4): ghost maps G as ghost fields,
+/// local condition(s) LC, correlation formula phi.
+struct StructureDecl {
+  std::string Name;
+  std::vector<FieldDecl> Fields;
+  std::vector<LocalCondDecl> Locals;
+  std::string CorrelationParam;
+  Expr *CorrelationBody = nullptr; // optional
+  std::vector<ImpactDecl> Impacts;
+  SourceLoc Loc;
+
+  const FieldDecl *findField(const std::string &N) const {
+    for (const FieldDecl &F : Fields)
+      if (F.Name == N)
+        return &F;
+    return nullptr;
+  }
+  const LocalCondDecl *findLocal(const std::string &N) const {
+    for (const LocalCondDecl &L : Locals)
+      if (L.Name == N)
+        return &L;
+    return nullptr;
+  }
+};
+
+struct ParamDecl {
+  std::string Name;
+  Type Ty;
+  bool IsGhost = false;
+};
+
+struct ProcDecl {
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  std::vector<ParamDecl> Returns;
+  std::vector<Expr *> Requires;
+  std::vector<Expr *> Ensures;
+  std::vector<Expr *> Modifies; ///< set<Loc>-typed frame terms
+  Stmt *Body = nullptr;         ///< Block
+  SourceLoc Loc;
+
+  const ParamDecl *findParam(const std::string &N) const {
+    for (const ParamDecl &P : Params)
+      if (P.Name == N)
+        return &P;
+    for (const ParamDecl &P : Returns)
+      if (P.Name == N)
+        return &P;
+    return nullptr;
+  }
+};
+
+/// A compilation unit: one structure plus its procedures. Owns all AST
+/// nodes.
+class Module {
+public:
+  StructureDecl Structure;
+  std::vector<ProcDecl> Procs;
+
+  ProcDecl *findProc(const std::string &N) {
+    for (ProcDecl &P : Procs)
+      if (P.Name == N)
+        return &P;
+    return nullptr;
+  }
+  const ProcDecl *findProc(const std::string &N) const {
+    for (const ProcDecl &P : Procs)
+      if (P.Name == N)
+        return &P;
+    return nullptr;
+  }
+
+  // --- Node factories (arena-owned) ---
+  Expr *newExpr(ExprKind K, SourceLoc Loc) {
+    ExprArena.emplace_back(new Expr());
+    Expr *E = ExprArena.back().get();
+    E->Kind = K;
+    E->Loc = Loc;
+    return E;
+  }
+  Stmt *newStmt(StmtKind K, SourceLoc Loc) {
+    StmtArena.emplace_back(new Stmt());
+    Stmt *S = StmtArena.back().get();
+    S->Kind = K;
+    S->Loc = Loc;
+    return S;
+  }
+
+private:
+  std::deque<std::unique_ptr<Expr>> ExprArena;
+  std::deque<std::unique_ptr<Stmt>> StmtArena;
+};
+
+} // namespace lang
+} // namespace ids
+
+#endif // IDS_LANG_AST_H

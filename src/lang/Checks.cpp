@@ -1,0 +1,355 @@
+//===- lang/Checks.cpp - Ghost-flow and well-behavedness checks ------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Checks.h"
+
+#include <functional>
+
+using namespace ids;
+using namespace ids::lang;
+
+bool lang::isGhostExpr(const StructureDecl &S, const Expr *E,
+                       const std::set<std::string> &GhostVars) {
+  switch (E->Kind) {
+  case ExprKind::BrSet:
+  case ExprKind::AllocSet:
+  case ExprKind::LcApp:
+  case ExprKind::Fresh:
+    return true;
+  case ExprKind::VarRef:
+    return GhostVars.count(E->Name) != 0;
+  case ExprKind::FieldRead: {
+    const FieldDecl *F = S.findField(E->Name);
+    if (F && F->IsGhost)
+      return true;
+    break;
+  }
+  default:
+    break;
+  }
+  for (const Expr *A : E->Args)
+    if (isGhostExpr(S, A, GhostVars))
+      return true;
+  return false;
+}
+
+std::set<std::string> lang::fieldsReadByLocal(const StructureDecl &S,
+                                              const std::string &Group) {
+  std::set<std::string> Out;
+  const LocalCondDecl *L = S.findLocal(Group);
+  if (!L)
+    return Out;
+  std::function<void(const Expr *)> Walk = [&](const Expr *E) {
+    if (E->Kind == ExprKind::FieldRead)
+      Out.insert(E->Name);
+    for (const Expr *A : E->Args)
+      Walk(A);
+  };
+  Walk(L->Body);
+  return Out;
+}
+
+namespace {
+class GhostChecker {
+public:
+  GhostChecker(Module &M, DiagEngine &Diags) : M(M), Diags(Diags) {}
+
+  bool run() {
+    for (ProcDecl &P : M.Procs)
+      checkProc(P);
+    return Ok;
+  }
+
+private:
+  void error(SourceLoc Loc, const std::string &Msg) {
+    Diags.error(Loc, Msg);
+    Ok = false;
+  }
+
+  void checkProc(ProcDecl &P) {
+    GhostVars.clear();
+    for (const ParamDecl &Param : P.Params)
+      if (Param.IsGhost)
+        GhostVars.insert(Param.Name);
+    for (const ParamDecl &Ret : P.Returns)
+      if (Ret.IsGhost)
+        GhostVars.insert(Ret.Name);
+    checkStmts(P.Body->Body, /*InGhost=*/false);
+  }
+
+  bool ghost(const Expr *E) const {
+    return isGhostExpr(M.Structure, E, GhostVars);
+  }
+
+  void checkStmts(const std::vector<Stmt *> &Body, bool InGhost) {
+    for (Stmt *St : Body)
+      checkStmt(St, InGhost);
+  }
+
+  void checkStmt(Stmt *St, bool InGhost) {
+    switch (St->Kind) {
+    case StmtKind::VarDecl:
+      if (St->IsGhost || InGhost) {
+        GhostVars.insert(St->VarName);
+      } else if (St->Init && ghost(St->Init)) {
+        error(St->Loc, "user variable '" + St->VarName +
+                           "' initialised from ghost state");
+      }
+      return;
+    case StmtKind::Assign: {
+      bool LhsGhost = GhostVars.count(St->VarName) != 0;
+      if (InGhost && !LhsGhost) {
+        error(St->Loc, "ghost code assigns to user variable '" +
+                           St->VarName + "'");
+        return;
+      }
+      if (!LhsGhost && ghost(St->Init))
+        error(St->Loc, "user variable '" + St->VarName +
+                           "' assigned from ghost state");
+      return;
+    }
+    case StmtKind::Mut: {
+      const FieldDecl *F = M.Structure.findField(St->Target->Name);
+      bool FieldGhost = F && F->IsGhost;
+      if (InGhost && !FieldGhost) {
+        error(St->Loc, "ghost code mutates user field '" + St->Target->Name +
+                           "'");
+        return;
+      }
+      if (!FieldGhost) {
+        if (ghost(St->Init) || ghost(St->Target))
+          error(St->Loc, "user field '" + St->Target->Name +
+                             "' written from ghost state");
+      }
+      return;
+    }
+    case StmtKind::NewObj:
+      if (InGhost)
+        error(St->Loc, "allocation inside ghost code");
+      return;
+    case StmtKind::AssertLcRemove:
+    case StmtKind::InferLc:
+    case StmtKind::Assert:
+    case StmtKind::Assume:
+      return; // specification-level; may mention anything
+    case StmtKind::If:
+      if (!InGhost && ghost(St->Cond))
+        error(St->Loc,
+              "user-level branch condition depends on ghost state");
+      checkStmts(St->Body, InGhost);
+      checkStmts(St->ElseBody, InGhost);
+      return;
+    case StmtKind::While:
+      if (!InGhost && ghost(St->Cond))
+        error(St->Loc, "user-level loop condition depends on ghost state");
+      if (InGhost && !St->Decreases)
+        error(St->Loc,
+              "ghost loop requires a decreases clause (termination is "
+              "needed for soundness; Section 3.2)");
+      checkStmts(St->Body, InGhost);
+      return;
+    case StmtKind::Call: {
+      if (InGhost) {
+        error(St->Loc, "procedure calls are not allowed in ghost blocks");
+        return;
+      }
+      const ProcDecl *Callee = M.findProc(St->Callee);
+      if (!Callee)
+        return;
+      for (size_t I = 0; I < St->CallArgs.size(); ++I) {
+        if (!Callee->Params[I].IsGhost && ghost(St->CallArgs[I]))
+          error(St->CallArgs[I]->Loc,
+                "ghost state passed to user parameter '" +
+                    Callee->Params[I].Name + "'");
+      }
+      for (size_t I = 0; I < St->CallLhs.size(); ++I) {
+        bool LhsGhost = GhostVars.count(St->CallLhs[I]) != 0;
+        if (Callee->Returns[I].IsGhost && !LhsGhost)
+          error(St->Loc, "ghost result stored into user variable '" +
+                             St->CallLhs[I] + "'");
+      }
+      return;
+    }
+    case StmtKind::Return:
+      return;
+    case StmtKind::Block:
+      checkStmts(St->Body, InGhost);
+      return;
+    case StmtKind::GhostBlock:
+      checkStmts(St->Body, /*InGhost=*/true);
+      return;
+    }
+  }
+
+  Module &M;
+  DiagEngine &Diags;
+  std::set<std::string> GhostVars;
+  bool Ok = true;
+};
+
+/// Walks expressions looking for br(...) occurrences.
+bool mentionsBr(const Expr *E) {
+  if (E->Kind == ExprKind::BrSet)
+    return true;
+  for (const Expr *A : E->Args)
+    if (mentionsBr(A))
+      return true;
+  return false;
+}
+} // namespace
+
+bool lang::checkGhostDiscipline(Module &M, DiagEngine &Diags) {
+  GhostChecker C(M, Diags);
+  return C.run();
+}
+
+bool lang::checkWellBehaved(Module &M, DiagEngine &Diags) {
+  bool Ok = true;
+  auto Error = [&](SourceLoc Loc, const std::string &Msg) {
+    Diags.error(Loc, Msg);
+    Ok = false;
+  };
+
+  // Per-group field read sets for impact coverage.
+  std::vector<std::pair<std::string, std::set<std::string>>> GroupReads;
+  for (const LocalCondDecl &L : M.Structure.Locals)
+    GroupReads.emplace_back(L.Name, fieldsReadByLocal(M.Structure, L.Name));
+
+  std::function<void(const Stmt *)> Walk = [&](const Stmt *St) {
+    switch (St->Kind) {
+    case StmtKind::Mut: {
+      const std::string &Field = St->Target->Name;
+      for (const auto &[Group, Reads] : GroupReads) {
+        if (!Reads.count(Field))
+          continue;
+        bool Declared = false;
+        for (const ImpactDecl &I : M.Structure.Impacts)
+          if (I.Field == Field && I.Group == Group)
+            Declared = true;
+        if (!Declared)
+          Error(St->Loc,
+                "mutation of field '" + Field +
+                    "' requires a declared impact set for group '" + Group +
+                    "' (the Mutation rule of Figure 2)");
+      }
+      return;
+    }
+    case StmtKind::If:
+      if (mentionsBr(St->Cond))
+        Error(St->Loc, "branch condition must not mention broken sets "
+                       "(side condition of Figure 2)");
+      for (const Stmt *Sub : St->Body)
+        Walk(Sub);
+      for (const Stmt *Sub : St->ElseBody)
+        Walk(Sub);
+      return;
+    case StmtKind::While:
+      if (mentionsBr(St->Cond))
+        Error(St->Loc, "loop condition must not mention broken sets "
+                       "(side condition of Figure 2)");
+      for (const Stmt *Sub : St->Body)
+        Walk(Sub);
+      return;
+    case StmtKind::Block:
+    case StmtKind::GhostBlock:
+      for (const Stmt *Sub : St->Body)
+        Walk(Sub);
+      return;
+    default:
+      return;
+    }
+  };
+  for (const ProcDecl &P : M.Procs)
+    Walk(P.Body);
+  return Ok;
+}
+
+ProcMetrics lang::computeMetrics(const StructureDecl &S, const ProcDecl &P) {
+  ProcMetrics PM;
+  PM.SpecLines = static_cast<unsigned>(P.Requires.size() + P.Ensures.size() +
+                                       P.Modifies.size());
+  std::function<void(const Stmt *, bool)> Walk = [&](const Stmt *St,
+                                                     bool InGhost) {
+    auto Count = [&](bool IsAnnot) {
+      if (IsAnnot || InGhost)
+        ++PM.AnnotLines;
+      else
+        ++PM.CodeLines;
+    };
+    switch (St->Kind) {
+    case StmtKind::VarDecl:
+      Count(St->IsGhost);
+      return;
+    case StmtKind::Assign:
+      Count(false);
+      return;
+    case StmtKind::Mut: {
+      const FieldDecl *F = S.findField(St->Target->Name);
+      Count(F && F->IsGhost);
+      return;
+    }
+    case StmtKind::NewObj:
+      Count(false);
+      return;
+    case StmtKind::AssertLcRemove:
+    case StmtKind::InferLc:
+    case StmtKind::Assert:
+    case StmtKind::Assume:
+      ++PM.AnnotLines;
+      return;
+    case StmtKind::If:
+      Count(false);
+      for (const Stmt *Sub : St->Body)
+        Walk(Sub, InGhost);
+      for (const Stmt *Sub : St->ElseBody)
+        Walk(Sub, InGhost);
+      return;
+    case StmtKind::While:
+      Count(false);
+      PM.AnnotLines += static_cast<unsigned>(St->Invariants.size());
+      if (St->Decreases)
+        ++PM.AnnotLines;
+      for (const Stmt *Sub : St->Body)
+        Walk(Sub, InGhost);
+      return;
+    case StmtKind::Call:
+    case StmtKind::Return:
+      Count(false);
+      return;
+    case StmtKind::Block:
+      for (const Stmt *Sub : St->Body)
+        Walk(Sub, InGhost);
+      return;
+    case StmtKind::GhostBlock:
+      for (const Stmt *Sub : St->Body)
+        Walk(Sub, /*InGhost=*/true);
+      return;
+    }
+  };
+  Walk(P.Body, false);
+  return PM;
+}
+
+unsigned lang::localConditionSize(const StructureDecl &S) {
+  unsigned Count = 0;
+  std::function<void(const Expr *)> CountConjuncts = [&](const Expr *E) {
+    if (E->Kind == ExprKind::Binary && E->BOp == BinOp::And) {
+      CountConjuncts(E->arg(0));
+      CountConjuncts(E->arg(1));
+      return;
+    }
+    // An implication whose consequent is a conjunction contributes each
+    // conjunct (matches how the paper counts, e.g. 8 for plain lists).
+    if (E->Kind == ExprKind::Binary && E->BOp == BinOp::Implies) {
+      CountConjuncts(E->arg(1));
+      return;
+    }
+    ++Count;
+  };
+  for (const LocalCondDecl &L : S.Locals)
+    CountConjuncts(L.Body);
+  return Count;
+}

@@ -1,0 +1,66 @@
+//===- lang/Checks.h - Ghost-flow and well-behavedness checks --*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static disciplines from the paper:
+///
+///  - Ghost-code discipline (Figure 6 / Appendix A.2): ghost data may read
+///    user data but never the other way around; ghost control flow cannot
+///    steer user code; ghost loops must carry a `decreases` measure.
+///
+///  - Well-behavedness (Figure 2 / Section 4.1): mutations and allocations
+///    happen only through the macros (guaranteed syntactically here),
+///    branch/loop conditions never mention broken sets, and every mutated
+///    field has a declared impact set for every local-condition group
+///    whose LC reads that field.
+///
+/// Also provides the per-procedure annotation metrics used to regenerate
+/// Table 2 (lines of code / spec / ghost annotation) and the LC size
+/// (number of conjuncts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_LANG_CHECKS_H
+#define IDS_LANG_CHECKS_H
+
+#include "lang/Ast.h"
+
+#include <set>
+
+namespace ids {
+namespace lang {
+
+/// Checks the ghost-code discipline. Requires a type-checked module.
+bool checkGhostDiscipline(Module &M, DiagEngine &Diags);
+
+/// Checks well-behavedness. Requires a type-checked module.
+bool checkWellBehaved(Module &M, DiagEngine &Diags);
+
+/// Fields read by the local condition of group \p G (transitively through
+/// the LC body), used for impact-set coverage and macro expansion.
+std::set<std::string> fieldsReadByLocal(const StructureDecl &S,
+                                        const std::string &Group);
+
+/// True when \p E reads ghost state (ghost fields, ghost vars from
+/// \p GhostVars, broken sets, the alloc set, lc(...) applications).
+bool isGhostExpr(const StructureDecl &S, const Expr *E,
+                 const std::set<std::string> &GhostVars);
+
+/// Table 2 metrics for one procedure.
+struct ProcMetrics {
+  unsigned CodeLines = 0; ///< executable (user) statements
+  unsigned SpecLines = 0; ///< requires / ensures / modifies clauses
+  unsigned AnnotLines = 0; ///< ghost statements, macros, invariants
+};
+ProcMetrics computeMetrics(const StructureDecl &S, const ProcDecl &P);
+
+/// Number of conjuncts across all local-condition groups (Table 2 col 2).
+unsigned localConditionSize(const StructureDecl &S);
+
+} // namespace lang
+} // namespace ids
+
+#endif // IDS_LANG_CHECKS_H

@@ -1,0 +1,190 @@
+//===- lang/Lexer.cpp - Surface language lexer -----------------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+
+using namespace ids;
+using namespace ids::lang;
+
+std::vector<Token> lang::tokenize(const std::string &Src, DiagEngine &Diags) {
+  std::vector<Token> Toks;
+  unsigned Line = 1, Col = 1;
+  size_t I = 0;
+  auto Here = [&]() { return SourceLoc{Line, Col}; };
+  auto Advance = [&](size_t N = 1) {
+    for (size_t K = 0; K < N && I < Src.size(); ++K) {
+      if (Src[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+      ++I;
+    }
+  };
+  auto Push = [&](TokKind K, std::string Text, SourceLoc L) {
+    Toks.push_back({K, std::move(Text), L});
+  };
+
+  while (I < Src.size()) {
+    char C = Src[I];
+    if (isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    // Comments: // to end of line, /* ... */.
+    if (C == '/' && I + 1 < Src.size() && Src[I + 1] == '/') {
+      while (I < Src.size() && Src[I] != '\n')
+        Advance();
+      continue;
+    }
+    if (C == '/' && I + 1 < Src.size() && Src[I + 1] == '*') {
+      SourceLoc Start = Here();
+      Advance(2);
+      while (I + 1 < Src.size() && !(Src[I] == '*' && Src[I + 1] == '/'))
+        Advance();
+      if (I + 1 >= Src.size()) {
+        Diags.error(Start, "unterminated block comment");
+        break;
+      }
+      Advance(2);
+      continue;
+    }
+    SourceLoc L = Here();
+    if (isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (I < Src.size() &&
+             (isalnum(static_cast<unsigned char>(Src[I])) || Src[I] == '_')) {
+        Text += Src[I];
+        Advance();
+      }
+      Push(TokKind::Ident, std::move(Text), L);
+      continue;
+    }
+    if (isdigit(static_cast<unsigned char>(C))) {
+      std::string Text;
+      while (I < Src.size() && isdigit(static_cast<unsigned char>(Src[I]))) {
+        Text += Src[I];
+        Advance();
+      }
+      Push(TokKind::IntLit, std::move(Text), L);
+      continue;
+    }
+    auto Two = [&](char A, char B) {
+      return C == A && I + 1 < Src.size() && Src[I + 1] == B;
+    };
+    // Multi-char operators first.
+    if (C == '<' && I + 3 < Src.size() && Src.compare(I, 4, "<==>") == 0) {
+      Push(TokKind::Iff, "<==>", L);
+      Advance(4);
+      continue;
+    }
+    if (C == '=' && I + 2 < Src.size() && Src.compare(I, 3, "==>") == 0) {
+      Push(TokKind::Implies, "==>", L);
+      Advance(3);
+      continue;
+    }
+    if (Two(':', '=')) {
+      Push(TokKind::Assign, ":=", L);
+      Advance(2);
+      continue;
+    }
+    if (Two('=', '=')) {
+      Push(TokKind::EqEq, "==", L);
+      Advance(2);
+      continue;
+    }
+    if (Two('!', '=')) {
+      Push(TokKind::NotEq, "!=", L);
+      Advance(2);
+      continue;
+    }
+    if (Two('<', '=')) {
+      Push(TokKind::LessEq, "<=", L);
+      Advance(2);
+      continue;
+    }
+    if (Two('>', '=')) {
+      Push(TokKind::GreaterEq, ">=", L);
+      Advance(2);
+      continue;
+    }
+    if (Two('&', '&')) {
+      Push(TokKind::AndAnd, "&&", L);
+      Advance(2);
+      continue;
+    }
+    if (Two('|', '|')) {
+      Push(TokKind::OrOr, "||", L);
+      Advance(2);
+      continue;
+    }
+    TokKind K;
+    switch (C) {
+    case '(':
+      K = TokKind::LParen;
+      break;
+    case ')':
+      K = TokKind::RParen;
+      break;
+    case '{':
+      K = TokKind::LBrace;
+      break;
+    case '}':
+      K = TokKind::RBrace;
+      break;
+    case '[':
+      K = TokKind::LBracket;
+      break;
+    case ']':
+      K = TokKind::RBracket;
+      break;
+    case '<':
+      K = TokKind::LAngle;
+      break;
+    case '>':
+      K = TokKind::RAngle;
+      break;
+    case ',':
+      K = TokKind::Comma;
+      break;
+    case ';':
+      K = TokKind::Semi;
+      break;
+    case ':':
+      K = TokKind::Colon;
+      break;
+    case '.':
+      K = TokKind::Dot;
+      break;
+    case '+':
+      K = TokKind::Plus;
+      break;
+    case '-':
+      K = TokKind::Minus;
+      break;
+    case '*':
+      K = TokKind::Star;
+      break;
+    case '/':
+      K = TokKind::Slash;
+      break;
+    case '!':
+      K = TokKind::Bang;
+      break;
+    default:
+      Diags.error(L, std::string("unexpected character '") + C + "'");
+      Advance();
+      continue;
+    }
+    Push(K, std::string(1, C), L);
+    Advance();
+  }
+  Toks.push_back({TokKind::Eof, "", Here()});
+  return Toks;
+}

@@ -1,0 +1,73 @@
+//===- lang/Lexer.h - Surface language lexer -------------------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the IDS surface language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_LANG_LEXER_H
+#define IDS_LANG_LEXER_H
+
+#include "support/Diag.h"
+
+#include <string>
+#include <vector>
+
+namespace ids {
+namespace lang {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  IntLit,
+  // punctuation
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  LAngle, // <
+  RAngle, // >
+  Comma,
+  Semi,
+  Colon,
+  Dot,
+  Assign,   // :=
+  EqEq,     // ==
+  NotEq,    // !=
+  LessEq,   // <=
+  GreaterEq,// >=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Bang,
+  AndAnd,
+  OrOr,
+  Implies, // ==>
+  Iff,     // <==>
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  SourceLoc Loc;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isIdent(const char *S) const {
+    return Kind == TokKind::Ident && Text == S;
+  }
+};
+
+/// Tokenizes a whole buffer. Reports malformed input through \p Diags.
+std::vector<Token> tokenize(const std::string &Source, DiagEngine &Diags);
+
+} // namespace lang
+} // namespace ids
+
+#endif // IDS_LANG_LEXER_H

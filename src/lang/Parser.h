@@ -1,0 +1,30 @@
+//===- lang/Parser.h - Surface language parser -----------------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing a Module. On error, diagnostics are
+/// reported and nullptr is returned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_LANG_PARSER_H
+#define IDS_LANG_PARSER_H
+
+#include "lang/Ast.h"
+
+#include <memory>
+
+namespace ids {
+namespace lang {
+
+/// Parses a complete module (one structure + procedures).
+std::unique_ptr<Module> parseModule(const std::string &Source,
+                                    DiagEngine &Diags);
+
+} // namespace lang
+} // namespace ids
+
+#endif // IDS_LANG_PARSER_H

@@ -1,0 +1,714 @@
+//===- lang/TypeCheck.cpp - Name resolution and type checking --------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/TypeCheck.h"
+
+#include <map>
+#include <vector>
+
+using namespace ids;
+using namespace ids::lang;
+
+std::string Type::toString() const {
+  switch (Kind) {
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Rat:
+    return "rat";
+  case TypeKind::Bool:
+    return "bool";
+  case TypeKind::Loc:
+    return "Loc";
+  case TypeKind::Set:
+    return "set<" + Type{Elem, TypeKind::Int}.toString() + ">";
+  }
+  return "<bad-type>";
+}
+
+namespace {
+/// Context flags describing where an expression occurs.
+struct ExprCtx {
+  bool AllowOld = false;
+  bool AllowFresh = false;
+};
+
+class Checker {
+public:
+  Checker(Module &M, DiagEngine &Diags) : M(M), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void error(SourceLoc Loc, const std::string &Msg) {
+    Diags.error(Loc, Msg);
+    Ok = false;
+  }
+
+  // Scope handling.
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  bool declare(const std::string &Name, Type Ty, SourceLoc Loc) {
+    if (lookup(Name)) {
+      error(Loc, "redeclaration of '" + Name + "'");
+      return false;
+    }
+    Scopes.back()[Name] = Ty;
+    return true;
+  }
+  const Type *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return &F->second;
+    }
+    return nullptr;
+  }
+
+  /// Checks \p E; returns false on error. \p Expected (when non-null)
+  /// resolves polymorphic literals ({} and integer literals in rat
+  /// positions).
+  bool checkExpr(Expr *E, const ExprCtx &Ctx, const Type *Expected = nullptr);
+  bool checkBinary(Expr *E, const ExprCtx &Ctx, const Type *Expected);
+  /// Coerces a literal to \p Target when legal; returns success.
+  bool coerce(Expr *E, const Type &Target);
+  bool checkStmt(Stmt *S);
+  bool checkProc(ProcDecl &P);
+  bool checkStructure();
+
+  Module &M;
+  DiagEngine &Diags;
+  std::vector<std::map<std::string, Type>> Scopes;
+  ProcDecl *CurrentProc = nullptr;
+  bool Ok = true;
+};
+} // namespace
+
+bool Checker::coerce(Expr *E, const Type &Target) {
+  if (E->Ty == Target)
+    return true;
+  if (E->Kind == ExprKind::EmptySetLit && Target.isSet()) {
+    E->Ty = Target;
+    return true;
+  }
+  if (E->Kind == ExprKind::IntLit && Target.Kind == TypeKind::Rat) {
+    E->Ty = Target;
+    return true;
+  }
+  // Unary minus over a coercible literal.
+  if (E->Kind == ExprKind::Unary && E->UOp == UnOp::Neg &&
+      Target.Kind == TypeKind::Rat && E->arg(0)->Kind == ExprKind::IntLit) {
+    E->arg(0)->Ty = Target;
+    E->Ty = Target;
+    return true;
+  }
+  return false;
+}
+
+bool Checker::checkExpr(Expr *E, const ExprCtx &Ctx, const Type *Expected) {
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    E->Ty = Expected && Expected->Kind == TypeKind::Rat ? Type::ratTy()
+                                                        : Type::intTy();
+    return true;
+  case ExprKind::BoolLit:
+    E->Ty = Type::boolTy();
+    return true;
+  case ExprKind::NilLit:
+    E->Ty = Type::locTy();
+    return true;
+  case ExprKind::EmptySetLit:
+    if (Expected && Expected->isSet()) {
+      E->Ty = *Expected;
+      return true;
+    }
+    error(E->Loc, "cannot infer the element type of '{}' here");
+    return false;
+  case ExprKind::VarRef: {
+    const Type *T = lookup(E->Name);
+    if (!T) {
+      error(E->Loc, "unknown variable '" + E->Name + "'");
+      return false;
+    }
+    E->Ty = *T;
+    return true;
+  }
+  case ExprKind::FieldRead: {
+    if (!checkExpr(E->arg(0), Ctx))
+      return false;
+    if (E->arg(0)->Ty.Kind != TypeKind::Loc) {
+      error(E->Loc, "field access on a non-location value");
+      return false;
+    }
+    const FieldDecl *F = M.Structure.findField(E->Name);
+    if (!F) {
+      error(E->Loc, "unknown field '" + E->Name + "'");
+      return false;
+    }
+    E->Ty = F->Ty;
+    return true;
+  }
+  case ExprKind::Old:
+    if (!Ctx.AllowOld) {
+      error(E->Loc, "old(...) is only allowed in postconditions, loop "
+                    "invariants and impact sets");
+      return false;
+    }
+    if (!checkExpr(E->arg(0), Ctx, Expected))
+      return false;
+    E->Ty = E->arg(0)->Ty;
+    return true;
+  case ExprKind::BrSet: {
+    if (!M.Structure.findLocal(E->Name)) {
+      error(E->Loc, "unknown local-condition group '" + E->Name + "'");
+      return false;
+    }
+    E->Ty = Type::setTy(TypeKind::Loc);
+    return true;
+  }
+  case ExprKind::AllocSet:
+    E->Ty = Type::setTy(TypeKind::Loc);
+    return true;
+  case ExprKind::Unary: {
+    if (!checkExpr(E->arg(0), Ctx, Expected))
+      return false;
+    if (E->UOp == UnOp::Not) {
+      if (E->arg(0)->Ty.Kind != TypeKind::Bool) {
+        error(E->Loc, "'!' expects a boolean operand");
+        return false;
+      }
+      E->Ty = Type::boolTy();
+      return true;
+    }
+    if (!E->arg(0)->Ty.isNumeric()) {
+      error(E->Loc, "unary '-' expects a numeric operand");
+      return false;
+    }
+    E->Ty = E->arg(0)->Ty;
+    return true;
+  }
+  case ExprKind::Binary:
+    return checkBinary(E, Ctx, Expected);
+  case ExprKind::IteExpr: {
+    if (!checkExpr(E->arg(0), Ctx))
+      return false;
+    if (E->arg(0)->Ty.Kind != TypeKind::Bool) {
+      error(E->Loc, "ite condition must be boolean");
+      return false;
+    }
+    if (!checkExpr(E->arg(1), Ctx, Expected))
+      return false;
+    if (!checkExpr(E->arg(2), Ctx, Expected))
+      return false;
+    if (E->arg(1)->Ty != E->arg(2)->Ty &&
+        !coerce(E->arg(2), E->arg(1)->Ty) &&
+        !coerce(E->arg(1), E->arg(2)->Ty)) {
+      error(E->Loc, "ite branches have different types");
+      return false;
+    }
+    E->Ty = E->arg(1)->Ty;
+    return true;
+  }
+  case ExprKind::SetLit: {
+    Type ElemTy;
+    bool First = true;
+    for (Expr *Elem : E->Args) {
+      const Type *ElemExpected = nullptr;
+      Type Scratch;
+      if (Expected && Expected->isSet()) {
+        Scratch = Type{Expected->Elem, TypeKind::Int};
+        ElemExpected = &Scratch;
+      }
+      if (!checkExpr(Elem, Ctx, ElemExpected))
+        return false;
+      if (Elem->Ty.isSet()) {
+        error(Elem->Loc, "sets of sets are not supported");
+        return false;
+      }
+      if (First) {
+        ElemTy = Elem->Ty;
+        First = false;
+      } else if (Elem->Ty != ElemTy && !coerce(Elem, ElemTy)) {
+        error(Elem->Loc, "set literal elements have different types");
+        return false;
+      }
+    }
+    E->Ty = Type::setTy(ElemTy.Kind);
+    return true;
+  }
+  case ExprKind::Fresh:
+    if (!Ctx.AllowFresh) {
+      error(E->Loc, "fresh(...) is only allowed in postconditions");
+      return false;
+    }
+    if (!checkExpr(E->arg(0), Ctx))
+      return false;
+    if (E->arg(0)->Ty != Type::setTy(TypeKind::Loc)) {
+      error(E->Loc, "fresh(...) expects a set<Loc>");
+      return false;
+    }
+    E->Ty = Type::boolTy();
+    return true;
+  case ExprKind::LcApp: {
+    if (!M.Structure.findLocal(E->Name)) {
+      error(E->Loc, "unknown local-condition group '" + E->Name + "'");
+      return false;
+    }
+    if (!checkExpr(E->arg(0), Ctx))
+      return false;
+    if (E->arg(0)->Ty.Kind != TypeKind::Loc) {
+      error(E->Loc, "lc(...) expects a location argument");
+      return false;
+    }
+    E->Ty = Type::boolTy();
+    return true;
+  }
+  }
+  return false;
+}
+
+bool Checker::checkBinary(Expr *E, const ExprCtx &Ctx, const Type *Expected) {
+  Expr *L = E->arg(0), *R = E->arg(1);
+  switch (E->BOp) {
+  case BinOp::And:
+  case BinOp::Or:
+  case BinOp::Implies:
+  case BinOp::Iff: {
+    if (!checkExpr(L, Ctx) || !checkExpr(R, Ctx))
+      return false;
+    if (L->Ty.Kind != TypeKind::Bool || R->Ty.Kind != TypeKind::Bool) {
+      error(E->Loc, "boolean connective over non-boolean operands");
+      return false;
+    }
+    E->Ty = Type::boolTy();
+    return true;
+  }
+  case BinOp::Add:
+  case BinOp::Sub: {
+    if (!checkExpr(L, Ctx, Expected) || !checkExpr(R, Ctx, Expected))
+      return false;
+    if (!L->Ty.isNumeric() || (L->Ty != R->Ty && !coerce(R, L->Ty) &&
+                               !coerce(L, R->Ty))) {
+      error(E->Loc, "'+'/'-' expect matching numeric operands");
+      return false;
+    }
+    E->Ty = L->Ty;
+    return true;
+  }
+  case BinOp::Mul: {
+    if (!checkExpr(L, Ctx, Expected) || !checkExpr(R, Ctx, Expected))
+      return false;
+    bool LConst = L->Kind == ExprKind::IntLit ||
+                  (L->Kind == ExprKind::Unary && L->UOp == UnOp::Neg &&
+                   L->arg(0)->Kind == ExprKind::IntLit);
+    bool RConst = R->Kind == ExprKind::IntLit ||
+                  (R->Kind == ExprKind::Unary && R->UOp == UnOp::Neg &&
+                   R->arg(0)->Kind == ExprKind::IntLit);
+    if (!LConst && !RConst) {
+      error(E->Loc, "multiplication must have a literal operand (the "
+                    "logic is linear; see footnote 1 of the paper)");
+      return false;
+    }
+    if (!L->Ty.isNumeric() || (L->Ty != R->Ty && !coerce(R, L->Ty) &&
+                               !coerce(L, R->Ty))) {
+      error(E->Loc, "'*' expects matching numeric operands");
+      return false;
+    }
+    E->Ty = L->Ty;
+    return true;
+  }
+  case BinOp::Div: {
+    Type Rat = Type::ratTy();
+    if (!checkExpr(L, Ctx, &Rat) || !checkExpr(R, Ctx, &Rat))
+      return false;
+    bool RConst = R->Kind == ExprKind::IntLit && !R->IntVal.isZero();
+    if (!RConst) {
+      error(E->Loc, "division only by a non-zero integer literal");
+      return false;
+    }
+    if (L->Ty.Kind != TypeKind::Rat && !coerce(L, Rat)) {
+      error(E->Loc, "division is only defined on rat operands");
+      return false;
+    }
+    E->Ty = Type::ratTy();
+    return true;
+  }
+  case BinOp::Union:
+  case BinOp::Isect:
+  case BinOp::SetMinus:
+  case BinOp::DuPlus: {
+    if (E->BOp == BinOp::DuPlus) {
+      error(E->Loc,
+            "'duplus' may only appear as the right-hand side of '=='");
+      return false;
+    }
+    if (!checkExpr(L, Ctx, Expected))
+      return false;
+    const Type *RExp = L->Ty.isSet() ? &L->Ty : Expected;
+    if (!checkExpr(R, Ctx, RExp))
+      return false;
+    if (!L->Ty.isSet() && !coerce(L, R->Ty)) {
+      error(E->Loc, "set operator over non-set operands");
+      return false;
+    }
+    if (L->Ty != R->Ty && !coerce(R, L->Ty)) {
+      error(E->Loc, "set operator over mismatched element types");
+      return false;
+    }
+    E->Ty = L->Ty;
+    return true;
+  }
+  case BinOp::In: {
+    if (!checkExpr(L, Ctx))
+      return false;
+    Type SetExp = Type::setTy(L->Ty.Kind);
+    if (!checkExpr(R, Ctx, &SetExp))
+      return false;
+    if (!R->Ty.isSet() || Type{R->Ty.Elem, TypeKind::Int} != L->Ty) {
+      error(E->Loc, "'in' expects an element and a matching set");
+      return false;
+    }
+    E->Ty = Type::boolTy();
+    return true;
+  }
+  case BinOp::Subset: {
+    if (!checkExpr(L, Ctx) || !checkExpr(R, Ctx, &L->Ty))
+      return false;
+    if (!L->Ty.isSet() || L->Ty != R->Ty) {
+      error(E->Loc, "'subsetof' expects two matching sets");
+      return false;
+    }
+    E->Ty = Type::boolTy();
+    return true;
+  }
+  case BinOp::Eq:
+  case BinOp::Ne: {
+    // duplus allowed as direct RHS of ==: `a == b duplus c`.
+    if (R->Kind == ExprKind::Binary && R->BOp == BinOp::DuPlus) {
+      if (E->BOp != BinOp::Eq) {
+        error(E->Loc, "'duplus' may only appear under '=='");
+        return false;
+      }
+      if (!checkExpr(L, Ctx))
+        return false;
+      if (!L->Ty.isSet()) {
+        error(E->Loc, "disjoint union requires set operands");
+        return false;
+      }
+      if (!checkExpr(R->arg(0), Ctx, &L->Ty) ||
+          !checkExpr(R->arg(1), Ctx, &L->Ty))
+        return false;
+      if (R->arg(0)->Ty != L->Ty || R->arg(1)->Ty != L->Ty) {
+        error(E->Loc, "disjoint union over mismatched sets");
+        return false;
+      }
+      R->Ty = L->Ty;
+      E->Ty = Type::boolTy();
+      return true;
+    }
+    if (!checkExpr(L, Ctx))
+      return false;
+    if (!checkExpr(R, Ctx, &L->Ty))
+      return false;
+    if (L->Ty != R->Ty && !coerce(R, L->Ty) && !coerce(L, R->Ty)) {
+      error(E->Loc, "equality between different types (" +
+                        L->Ty.toString() + " vs " + R->Ty.toString() + ")");
+      return false;
+    }
+    E->Ty = Type::boolTy();
+    return true;
+  }
+  case BinOp::Lt:
+  case BinOp::Le:
+  case BinOp::Gt:
+  case BinOp::Ge: {
+    if (!checkExpr(L, Ctx) || !checkExpr(R, Ctx, &L->Ty))
+      return false;
+    if (!L->Ty.isNumeric() || (L->Ty != R->Ty && !coerce(R, L->Ty) &&
+                               !coerce(L, R->Ty))) {
+      error(E->Loc, "comparison over non-matching numeric operands");
+      return false;
+    }
+    E->Ty = Type::boolTy();
+    return true;
+  }
+  }
+  return false;
+}
+
+bool Checker::checkStmt(Stmt *S) {
+  ExprCtx Body; // no old/fresh in executable positions
+  ExprCtx InvCtx;
+  InvCtx.AllowOld = true;
+  switch (S->Kind) {
+  case StmtKind::VarDecl: {
+    if (S->Init && !checkExpr(S->Init, Body, &S->VarType))
+      return false;
+    if (S->Init && S->Init->Ty != S->VarType && !coerce(S->Init, S->VarType)) {
+      error(S->Loc, "initializer type mismatch for '" + S->VarName + "'");
+      return false;
+    }
+    return declare(S->VarName, S->VarType, S->Loc);
+  }
+  case StmtKind::Assign: {
+    const Type *T = lookup(S->VarName);
+    if (!T) {
+      error(S->Loc, "assignment to unknown variable '" + S->VarName + "'");
+      return false;
+    }
+    if (!checkExpr(S->Init, Body, T))
+      return false;
+    if (S->Init->Ty != *T && !coerce(S->Init, *T)) {
+      error(S->Loc, "assignment type mismatch for '" + S->VarName + "'");
+      return false;
+    }
+    return true;
+  }
+  case StmtKind::Mut: {
+    if (!checkExpr(S->Target, Body))
+      return false;
+    const FieldDecl *F = M.Structure.findField(S->Target->Name);
+    assert(F && "checked by checkExpr");
+    if (!checkExpr(S->Init, Body, &F->Ty))
+      return false;
+    if (S->Init->Ty != F->Ty && !coerce(S->Init, F->Ty)) {
+      error(S->Loc, "Mut value type mismatch for field '" + F->Name + "'");
+      return false;
+    }
+    return true;
+  }
+  case StmtKind::NewObj: {
+    const Type *T = lookup(S->VarName);
+    if (!T || T->Kind != TypeKind::Loc) {
+      error(S->Loc, "NewObj expects a declared Loc variable");
+      return false;
+    }
+    return true;
+  }
+  case StmtKind::AssertLcRemove:
+  case StmtKind::InferLc: {
+    if (!M.Structure.findLocal(S->Group)) {
+      error(S->Loc, "unknown local-condition group '" + S->Group + "'");
+      return false;
+    }
+    if (!checkExpr(S->Cond, Body))
+      return false;
+    if (S->Cond->Ty.Kind != TypeKind::Loc) {
+      error(S->Loc, "macro expects a location argument");
+      return false;
+    }
+    return true;
+  }
+  case StmtKind::Assert:
+  case StmtKind::Assume: {
+    if (!checkExpr(S->Cond, InvCtx))
+      return false;
+    if (S->Cond->Ty.Kind != TypeKind::Bool) {
+      error(S->Loc, "assert/assume expects a boolean");
+      return false;
+    }
+    return true;
+  }
+  case StmtKind::If: {
+    if (!checkExpr(S->Cond, Body))
+      return false;
+    if (S->Cond->Ty.Kind != TypeKind::Bool) {
+      error(S->Loc, "if condition must be boolean");
+      return false;
+    }
+    pushScope();
+    for (Stmt *Sub : S->Body)
+      if (!checkStmt(Sub))
+        return false;
+    popScope();
+    pushScope();
+    for (Stmt *Sub : S->ElseBody)
+      if (!checkStmt(Sub))
+        return false;
+    popScope();
+    return true;
+  }
+  case StmtKind::While: {
+    if (!checkExpr(S->Cond, Body))
+      return false;
+    if (S->Cond->Ty.Kind != TypeKind::Bool) {
+      error(S->Loc, "while condition must be boolean");
+      return false;
+    }
+    for (Expr *Inv : S->Invariants) {
+      if (!checkExpr(Inv, InvCtx))
+        return false;
+      if (Inv->Ty.Kind != TypeKind::Bool) {
+        error(Inv->Loc, "invariant must be boolean");
+        return false;
+      }
+    }
+    if (S->Decreases) {
+      if (!checkExpr(S->Decreases, Body))
+        return false;
+      if (S->Decreases->Ty.Kind != TypeKind::Int) {
+        error(S->Decreases->Loc, "decreases must be an int expression");
+        return false;
+      }
+    }
+    pushScope();
+    for (Stmt *Sub : S->Body)
+      if (!checkStmt(Sub))
+        return false;
+    popScope();
+    return true;
+  }
+  case StmtKind::Call: {
+    const ProcDecl *Callee = M.findProc(S->Callee);
+    if (!Callee) {
+      error(S->Loc, "call to unknown procedure '" + S->Callee + "'");
+      return false;
+    }
+    if (S->CallArgs.size() != Callee->Params.size()) {
+      error(S->Loc, "wrong number of arguments to '" + S->Callee + "'");
+      return false;
+    }
+    for (size_t I = 0; I < S->CallArgs.size(); ++I) {
+      if (!checkExpr(S->CallArgs[I], Body, &Callee->Params[I].Ty))
+        return false;
+      if (S->CallArgs[I]->Ty != Callee->Params[I].Ty &&
+          !coerce(S->CallArgs[I], Callee->Params[I].Ty)) {
+        error(S->CallArgs[I]->Loc, "argument type mismatch in call to '" +
+                                       S->Callee + "'");
+        return false;
+      }
+    }
+    if (S->CallLhs.size() != Callee->Returns.size()) {
+      error(S->Loc, "wrong number of call results for '" + S->Callee + "'");
+      return false;
+    }
+    for (size_t I = 0; I < S->CallLhs.size(); ++I) {
+      const Type *T = lookup(S->CallLhs[I]);
+      if (!T) {
+        error(S->Loc, "unknown variable '" + S->CallLhs[I] + "'");
+        return false;
+      }
+      if (*T != Callee->Returns[I].Ty) {
+        error(S->Loc, "call result type mismatch for '" + S->CallLhs[I] +
+                          "'");
+        return false;
+      }
+    }
+    return true;
+  }
+  case StmtKind::Return:
+    return true;
+  case StmtKind::Block:
+  case StmtKind::GhostBlock: {
+    pushScope();
+    for (Stmt *Sub : S->Body)
+      if (!checkStmt(Sub))
+        return false;
+    popScope();
+    return true;
+  }
+  }
+  return false;
+}
+
+bool Checker::checkStructure() {
+  StructureDecl &S = M.Structure;
+  // No duplicate fields/groups.
+  for (size_t I = 0; I < S.Fields.size(); ++I)
+    for (size_t J = I + 1; J < S.Fields.size(); ++J)
+      if (S.Fields[I].Name == S.Fields[J].Name)
+        error(S.Fields[J].Loc, "duplicate field '" + S.Fields[J].Name + "'");
+  for (size_t I = 0; I < S.Locals.size(); ++I)
+    for (size_t J = I + 1; J < S.Locals.size(); ++J)
+      if (S.Locals[I].Name == S.Locals[J].Name)
+        error(S.Locals[J].Loc,
+              "duplicate local-condition group '" + S.Locals[J].Name + "'");
+
+  ExprCtx Plain;
+  for (LocalCondDecl &L : S.Locals) {
+    pushScope();
+    declare(L.Param, Type::locTy(), L.Loc);
+    if (checkExpr(L.Body, Plain) && L.Body->Ty.Kind != TypeKind::Bool)
+      error(L.Loc, "local condition must be boolean");
+    popScope();
+  }
+  if (S.CorrelationBody) {
+    pushScope();
+    declare(S.CorrelationParam, Type::locTy(), S.Loc);
+    if (checkExpr(S.CorrelationBody, Plain) &&
+        S.CorrelationBody->Ty.Kind != TypeKind::Bool)
+      error(S.Loc, "correlation formula must be boolean");
+    popScope();
+  }
+  ExprCtx ImpactCtx;
+  ImpactCtx.AllowOld = true;
+  for (ImpactDecl &I : S.Impacts) {
+    if (!S.findField(I.Field)) {
+      error(I.Loc, "impact set for unknown field '" + I.Field + "'");
+      continue;
+    }
+    if (!S.findLocal(I.Group)) {
+      error(I.Loc, "impact set for unknown group '" + I.Group + "'");
+      continue;
+    }
+    pushScope();
+    declare(I.Param, Type::locTy(), I.Loc);
+    if (I.Precondition && checkExpr(I.Precondition, Plain) &&
+        I.Precondition->Ty.Kind != TypeKind::Bool)
+      error(I.Loc, "impact precondition must be boolean");
+    for (Expr *T : I.Terms) {
+      if (checkExpr(T, ImpactCtx) && T->Ty.Kind != TypeKind::Loc)
+        error(T->Loc, "impact terms must denote locations");
+    }
+    popScope();
+  }
+  return Ok;
+}
+
+bool Checker::checkProc(ProcDecl &P) {
+  CurrentProc = &P;
+  pushScope();
+  for (const ParamDecl &Param : P.Params)
+    declare(Param.Name, Param.Ty, P.Loc);
+  for (const ParamDecl &Ret : P.Returns)
+    declare(Ret.Name, Ret.Ty, P.Loc);
+
+  ExprCtx PreCtx;
+  for (Expr *E : P.Requires) {
+    if (checkExpr(E, PreCtx) && E->Ty.Kind != TypeKind::Bool)
+      error(E->Loc, "requires clause must be boolean");
+  }
+  ExprCtx PostCtx;
+  PostCtx.AllowOld = true;
+  PostCtx.AllowFresh = true;
+  for (Expr *E : P.Ensures) {
+    if (checkExpr(E, PostCtx) && E->Ty.Kind != TypeKind::Bool)
+      error(E->Loc, "ensures clause must be boolean");
+  }
+  Type LocSet = Type::setTy(TypeKind::Loc);
+  for (Expr *E : P.Modifies) {
+    if (checkExpr(E, PreCtx, &LocSet) && E->Ty != LocSet)
+      error(E->Loc, "modifies clause must be a set<Loc> expression");
+  }
+  if (!checkStmt(P.Body))
+    Ok = false;
+  popScope();
+  CurrentProc = nullptr;
+  return Ok;
+}
+
+bool Checker::run() {
+  checkStructure();
+  // Two-pass: signatures are visible before bodies (recursion, forward
+  // calls), which findProc already provides since all procs are parsed.
+  for (ProcDecl &P : M.Procs)
+    checkProc(P);
+  return Ok && !Diags.hasErrors();
+}
+
+bool lang::typeCheck(Module &M, DiagEngine &Diags) {
+  Checker C(M, Diags);
+  return C.run();
+}

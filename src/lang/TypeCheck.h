@@ -1,0 +1,32 @@
+//===- lang/TypeCheck.h - Name resolution and type checking ----*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution and type checking for the IDS surface language. Fills
+/// in Expr::Ty. Also enforces the structural restrictions the paper's
+/// decidability argument needs: multiplication only by literals (linear
+/// arithmetic), division only by non-zero literals into `rat`, and the
+/// disjoint-union operator (`duplus`, the paper's ⊎) only as the direct
+/// right-hand side of an equality.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_LANG_TYPECHECK_H
+#define IDS_LANG_TYPECHECK_H
+
+#include "lang/Ast.h"
+
+namespace ids {
+namespace lang {
+
+/// Type-checks \p M in place; returns false and reports through \p Diags
+/// on error.
+bool typeCheck(Module &M, DiagEngine &Diags);
+
+} // namespace lang
+} // namespace ids
+
+#endif // IDS_LANG_TYPECHECK_H

@@ -1,0 +1,581 @@
+//===- smt/ArithSolver.cpp - Simplex-based linear arithmetic --------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/ArithSolver.h"
+
+#include <cassert>
+
+using namespace ids;
+using namespace ids::smt;
+
+std::string DeltaRat::toString() const {
+  if (D.isZero())
+    return R.toString();
+  return R.toString() + "+" + D.toString() + "d";
+}
+
+void LinTerm::add(int Var, const Rational &C) {
+  auto It = Coeffs.find(Var);
+  if (It == Coeffs.end()) {
+    if (!C.isZero())
+      Coeffs.emplace(Var, C);
+    return;
+  }
+  It->second += C;
+  if (It->second.isZero())
+    Coeffs.erase(It);
+}
+
+int ArithSolver::addVar(bool IsIntVar) {
+  int V = static_cast<int>(IsInt.size());
+  IsInt.push_back(IsIntVar);
+  IsBasic.push_back(false);
+  Rows.emplace_back();
+  Lower.emplace_back();
+  Upper.emplace_back();
+  Beta.emplace_back();
+  return V;
+}
+
+int ArithSolver::slackFor(const LinTerm &Poly, Rational &ScaleOut) {
+  assert(!Poly.Coeffs.empty());
+  // Normalize to a primitive integer coefficient vector with a positive
+  // leading coefficient: multiply by the lcm of denominators, divide by
+  // the gcd of numerators, flip sign if needed.
+  BigInt DenLcm(1);
+  for (const auto &[V, C] : Poly.Coeffs) {
+    BigInt G = BigInt::gcd(DenLcm, C.denominator());
+    DenLcm = DenLcm / G * C.denominator();
+  }
+  BigInt NumGcd(0);
+  for (const auto &[V, C] : Poly.Coeffs) {
+    BigInt Scaled = C.numerator() * (DenLcm / C.denominator());
+    NumGcd = BigInt::gcd(NumGcd, Scaled);
+  }
+  Rational Scale(DenLcm, NumGcd); // positive
+  bool Flip = Poly.Coeffs.begin()->second.isNegative();
+  if (Flip)
+    Scale = -Scale;
+  ScaleOut = Scale;
+
+  std::vector<std::pair<int, Rational>> Key;
+  Key.reserve(Poly.Coeffs.size());
+  bool AllInt = true;
+  for (const auto &[V, C] : Poly.Coeffs) {
+    Key.emplace_back(V, C * Scale);
+    AllInt = AllInt && IsInt[V];
+  }
+  auto It = SlackTable.find(Key);
+  if (It != SlackTable.end())
+    return It->second;
+
+  int Slack = addVar(AllInt);
+  // Build the row over nonbasic variables, substituting rows of any basic
+  // variable appearing in the combination, and compute beta.
+  std::map<int, Rational> Row;
+  DeltaRat Value;
+  for (const auto &[V, C] : Key) {
+    if (IsBasic[V]) {
+      for (const auto &[NB, NC] : Rows[V]) {
+        Row[NB] += C * NC;
+        if (Row[NB].isZero())
+          Row.erase(NB);
+      }
+    } else {
+      Row[V] += C;
+      if (Row[V].isZero())
+        Row.erase(V);
+    }
+    Value = Value + Beta[V] * C;
+  }
+  IsBasic[Slack] = true;
+  Rows[Slack] = std::move(Row);
+  Beta[Slack] = Value;
+  SlackTable.emplace(std::move(Key), Slack);
+  return Slack;
+}
+
+void ArithSolver::updateNonbasic(int Var, const DeltaRat &NewValue) {
+  assert(!IsBasic[Var]);
+  DeltaRat Delta = NewValue - Beta[Var];
+  if (Delta.R.isZero() && Delta.D.isZero())
+    return;
+  for (int B = 0; B < numVars(); ++B) {
+    if (!IsBasic[B])
+      continue;
+    auto It = Rows[B].find(Var);
+    if (It != Rows[B].end())
+      Beta[B] = Beta[B] + Delta * It->second;
+  }
+  Beta[Var] = NewValue;
+}
+
+bool ArithSolver::assertLower(int Var, DeltaRat Value, int Tag,
+                              std::set<int> *ConflictOut) {
+  if (IsInt[Var]) {
+    // Integral tightening: the smallest integer >= Value.
+    Rational Ceil(Value.R.ceil());
+    if (Ceil == Value.R && Value.D > Rational(0))
+      Ceil += Rational(1);
+    Value = DeltaRat(Ceil);
+  }
+  if (Lower[Var].Active && Value <= Lower[Var].Value)
+    return true; // not stronger
+  if (Upper[Var].Active && Upper[Var].Value < Value) {
+    if (ConflictOut) {
+      ConflictOut->insert(Tag);
+      ConflictOut->insert(Upper[Var].Tag);
+    }
+    return false;
+  }
+  Lower[Var] = {Value, Tag, true};
+  if (!IsBasic[Var] && Beta[Var] < Value)
+    updateNonbasic(Var, Value);
+  return true;
+}
+
+bool ArithSolver::assertUpper(int Var, DeltaRat Value, int Tag,
+                              std::set<int> *ConflictOut) {
+  if (IsInt[Var]) {
+    Rational Floor(Value.R.floor());
+    if (Floor == Value.R && Value.D < Rational(0))
+      Floor -= Rational(1);
+    Value = DeltaRat(Floor);
+  }
+  if (Upper[Var].Active && Upper[Var].Value <= Value)
+    return true;
+  if (Lower[Var].Active && Value < Lower[Var].Value) {
+    if (ConflictOut) {
+      ConflictOut->insert(Tag);
+      ConflictOut->insert(Lower[Var].Tag);
+    }
+    return false;
+  }
+  Upper[Var] = {Value, Tag, true};
+  if (!IsBasic[Var] && Value < Beta[Var])
+    updateNonbasic(Var, Value);
+  return true;
+}
+
+bool ArithSolver::assertAtom(const LinTerm &Poly, Op O, int Tag) {
+  if (TriviallyUnsat)
+    return false;
+  if (Poly.Coeffs.empty()) {
+    bool Holds = true;
+    switch (O) {
+    case Op::Le:
+      Holds = Poly.Const <= Rational(0);
+      break;
+    case Op::Lt:
+      Holds = Poly.Const < Rational(0);
+      break;
+    case Op::Eq:
+      Holds = Poly.Const.isZero();
+      break;
+    case Op::Ne:
+      Holds = !Poly.Const.isZero();
+      break;
+    }
+    if (!Holds) {
+      TriviallyUnsat = true;
+      TrivialConflict = {Tag};
+      return false;
+    }
+    return true;
+  }
+
+  Rational Scale;
+  int Var;
+  Rational BoundVal;
+  if (Poly.Coeffs.size() == 1) {
+    // Fast path: bound directly on the variable.
+    Var = Poly.Coeffs.begin()->first;
+    Rational C = Poly.Coeffs.begin()->second;
+    BoundVal = -Poly.Const / C;
+    Scale = C; // sign carries the direction flip
+  } else {
+    Var = slackFor(Poly, Scale);
+    // slack == Scale * varpart, atom: varpart + Const <op> 0
+    // => slack <op'> -Const*Scale  (op direction flips when Scale < 0)
+    BoundVal = -Poly.Const * Scale;
+  }
+  bool Flip = Scale.isNegative();
+
+  std::set<int> Dummy;
+  bool Ok = true;
+  switch (O) {
+  case Op::Le:
+    Ok = Flip ? assertLower(Var, DeltaRat(BoundVal), Tag, &Dummy)
+              : assertUpper(Var, DeltaRat(BoundVal), Tag, &Dummy);
+    break;
+  case Op::Lt:
+    Ok = Flip ? assertLower(Var, DeltaRat(BoundVal, Rational(1)), Tag, &Dummy)
+              : assertUpper(Var, DeltaRat(BoundVal, Rational(-1)), Tag,
+                            &Dummy);
+    break;
+  case Op::Eq:
+    Ok = assertLower(Var, DeltaRat(BoundVal), Tag, &Dummy) &&
+         assertUpper(Var, DeltaRat(BoundVal), Tag, &Dummy);
+    break;
+  case Op::Ne:
+    if (IsInt[Var] && !BoundVal.isInteger())
+      return true; // trivially satisfied
+    Diseqs.emplace_back(Var, BoundVal, Tag);
+    return true;
+  }
+  if (!Ok) {
+    TriviallyUnsat = true;
+    TrivialConflict = Dummy;
+    return false;
+  }
+  return true;
+}
+
+void ArithSolver::pivot(int B, int N) {
+  ++Pivots;
+  assert(IsBasic[B] && !IsBasic[N]);
+  std::map<int, Rational> Row = std::move(Rows[B]);
+  Rows[B].clear();
+  Rational A = Row[N];
+  assert(!A.isZero());
+  // Solve for N: N = B/A - sum_{j != N} (a_j / A) * x_j
+  std::map<int, Rational> NewRow;
+  Rational InvA = Rational(1) / A;
+  NewRow[B] = InvA;
+  for (const auto &[J, C] : Row) {
+    if (J == N)
+      continue;
+    NewRow[J] = -C * InvA;
+  }
+  IsBasic[B] = false;
+  IsBasic[N] = true;
+  Rows[N] = NewRow;
+  // Substitute N's definition into every other basic row containing N.
+  for (int K = 0; K < numVars(); ++K) {
+    if (!IsBasic[K] || K == N)
+      continue;
+    auto It = Rows[K].find(N);
+    if (It == Rows[K].end())
+      continue;
+    Rational Factor = It->second;
+    Rows[K].erase(It);
+    for (const auto &[J, C] : NewRow) {
+      Rows[K][J] += Factor * C;
+      if (Rows[K][J].isZero())
+        Rows[K].erase(J);
+    }
+  }
+}
+
+ArithSolver::Result ArithSolver::simplexCheck(std::set<int> &ConflictOut) {
+  for (;;) {
+    // Select the smallest violating basic variable (Bland's rule).
+    int B = -1;
+    bool BelowLower = false;
+    for (int V = 0; V < numVars(); ++V) {
+      if (!IsBasic[V])
+        continue;
+      if (Lower[V].Active && Beta[V] < Lower[V].Value) {
+        B = V;
+        BelowLower = true;
+        break;
+      }
+      if (Upper[V].Active && Upper[V].Value < Beta[V]) {
+        B = V;
+        BelowLower = false;
+        break;
+      }
+    }
+    if (B == -1)
+      return Result::Sat;
+
+    const DeltaRat Target =
+        BelowLower ? Lower[B].Value : Upper[B].Value;
+    // Find the smallest suitable nonbasic variable in B's row.
+    int N = -1;
+    for (const auto &[J, C] : Rows[B]) {
+      bool CanHelp;
+      if (BelowLower) {
+        // Need to increase B.
+        CanHelp = (C > Rational(0) &&
+                   (!Upper[J].Active || Beta[J] < Upper[J].Value)) ||
+                  (C < Rational(0) &&
+                   (!Lower[J].Active || Lower[J].Value < Beta[J]));
+      } else {
+        // Need to decrease B.
+        CanHelp = (C > Rational(0) &&
+                   (!Lower[J].Active || Lower[J].Value < Beta[J])) ||
+                  (C < Rational(0) &&
+                   (!Upper[J].Active || Beta[J] < Upper[J].Value));
+      }
+      if (CanHelp && (N == -1 || J < N))
+        N = J;
+    }
+    if (N == -1) {
+      // Farkas conflict: the violated bound plus the blocking bounds.
+      ConflictOut.insert(BelowLower ? Lower[B].Tag : Upper[B].Tag);
+      for (const auto &[J, C] : Rows[B]) {
+        bool UpperBlocks = BelowLower == (C > Rational(0));
+        ConflictOut.insert(UpperBlocks ? Upper[J].Tag : Lower[J].Tag);
+      }
+      ConflictOut.erase(-1);
+      return Result::Unsat;
+    }
+
+    // pivotAndUpdate(B, N, Target)
+    Rational A = Rows[B][N];
+    DeltaRat Theta = (Target - Beta[B]) * (Rational(1) / A);
+    Beta[B] = Target;
+    Beta[N] = Beta[N] + Theta;
+    for (int K = 0; K < numVars(); ++K) {
+      if (!IsBasic[K] || K == B)
+        continue;
+      auto It = Rows[K].find(N);
+      if (It != Rows[K].end())
+        Beta[K] = Beta[K] + Theta * It->second;
+    }
+    pivot(B, N);
+  }
+}
+
+ArithSolver::Snapshot ArithSolver::save() const {
+  return {Lower, Upper, Beta, Diseqs.size()};
+}
+
+void ArithSolver::restore(const Snapshot &S) {
+  // Variables created after the snapshot keep their (unbounded) state.
+  for (size_t I = 0; I < S.Lower.size(); ++I) {
+    Lower[I] = S.Lower[I];
+    Upper[I] = S.Upper[I];
+    Beta[I] = S.Beta[I];
+  }
+  for (size_t I = S.Lower.size(); I < Lower.size(); ++I) {
+    Lower[I] = Bound();
+    Upper[I] = Bound();
+  }
+  Diseqs.resize(S.NumDiseqs);
+  // The basis may have changed since the snapshot, so the restored betas
+  // can break the simplex invariants. Re-establish them: clamp nonbasic
+  // variables into their bounds, then recompute basic variables from their
+  // rows.
+  for (int V = 0; V < numVars(); ++V) {
+    if (IsBasic[V])
+      continue;
+    if (Lower[V].Active && Beta[V] < Lower[V].Value)
+      Beta[V] = Lower[V].Value;
+    else if (Upper[V].Active && Upper[V].Value < Beta[V])
+      Beta[V] = Upper[V].Value;
+  }
+  for (int V = 0; V < numVars(); ++V) {
+    if (!IsBasic[V])
+      continue;
+    DeltaRat Value;
+    for (const auto &[J, C] : Rows[V])
+      Value = Value + Beta[J] * C;
+    Beta[V] = Value;
+  }
+}
+
+namespace {
+constexpr int MaxSearchDepth = 4000;
+constexpr int CutTag = -2;
+} // namespace
+
+ArithSolver::Result ArithSolver::search(std::set<int> &ConflictOut,
+                                        int Depth) {
+  assert(Depth < MaxSearchDepth &&
+         "arithmetic branch-and-bound exceeded its depth budget");
+  Result R = simplexCheck(ConflictOut);
+  if (R == Result::Unsat)
+    return R;
+
+  // Integer branching.
+  for (int V = 0; V < numVars(); ++V) {
+    if (!IsInt[V])
+      continue;
+    assert(Beta[V].D.isZero() && "integer variable has a delta component");
+    if (Beta[V].R.isInteger())
+      continue;
+    ++Branches;
+    Rational FloorV(Beta[V].R.floor());
+    Snapshot S = save();
+    std::set<int> Core1, Core2;
+    bool Feasible1 = assertUpper(V, DeltaRat(FloorV), CutTag, &Core1);
+    Result R1 = Feasible1 ? search(Core1, Depth + 1) : Result::Unsat;
+    if (R1 == Result::Sat)
+      return Result::Sat;
+    restore(S);
+    if (!Core1.count(CutTag)) {
+      ConflictOut = Core1; // branch cut unused: core stands on its own
+      ConflictOut.erase(CutTag);
+      return Result::Unsat;
+    }
+    bool Feasible2 =
+        assertLower(V, DeltaRat(FloorV + Rational(1)), CutTag, &Core2);
+    Result R2 = Feasible2 ? search(Core2, Depth + 1) : Result::Unsat;
+    if (R2 == Result::Sat)
+      return Result::Sat;
+    restore(S);
+    if (!Core2.count(CutTag)) {
+      ConflictOut = Core2;
+      ConflictOut.erase(CutTag);
+      return Result::Unsat;
+    }
+    Core1.insert(Core2.begin(), Core2.end());
+    Core1.erase(CutTag);
+    ConflictOut = Core1;
+    return Result::Unsat;
+  }
+
+  // Disequality splitting.
+  for (size_t I = 0; I < Diseqs.size(); ++I) {
+    auto [V, C, Tag] = Diseqs[I];
+    if (Beta[V] != DeltaRat(C))
+      continue;
+    ++Branches;
+    Snapshot S = save();
+    std::set<int> Core1, Core2;
+    bool Feasible1;
+    if (IsInt[V])
+      Feasible1 = assertUpper(V, DeltaRat(C - Rational(1)), CutTag, &Core1);
+    else
+      Feasible1 = assertUpper(V, DeltaRat(C, Rational(-1)), CutTag, &Core1);
+    Result R1 = Feasible1 ? search(Core1, Depth + 1) : Result::Unsat;
+    if (R1 == Result::Sat)
+      return Result::Sat;
+    restore(S);
+    bool Feasible2;
+    if (IsInt[V])
+      Feasible2 = assertLower(V, DeltaRat(C + Rational(1)), CutTag, &Core2);
+    else
+      Feasible2 = assertLower(V, DeltaRat(C, Rational(1)), CutTag, &Core2);
+    Result R2 = Feasible2 ? search(Core2, Depth + 1) : Result::Unsat;
+    if (R2 == Result::Sat)
+      return Result::Sat;
+    restore(S);
+    Core1.insert(Core2.begin(), Core2.end());
+    Core1.erase(CutTag);
+    Core1.insert(Tag);
+    ConflictOut = Core1;
+    return Result::Unsat;
+  }
+
+  return Result::Sat;
+}
+
+ArithSolver::Result ArithSolver::check(std::set<int> &ConflictOut) {
+  if (TriviallyUnsat) {
+    ConflictOut = TrivialConflict;
+    return Result::Unsat;
+  }
+  return search(ConflictOut, 0);
+}
+
+Rational ArithSolver::modelValue(int Var) const {
+  // Concretize delta: pick a positive value small enough to respect every
+  // active bound and registered disequality.
+  Rational DeltaVal(1);
+  auto Tighten = [&](const DeltaRat &Value, const DeltaRat &BoundV,
+                     bool IsLower) {
+    // Requirement: IsLower ? BoundV <= Value : Value <= BoundV under the
+    // chosen delta. In DeltaRat terms the bound holds; a constraint on
+    // delta arises only when the rational parts tie-break via delta.
+    DeltaRat Diff = IsLower ? Value - BoundV : BoundV - Value;
+    // Need: Diff.R + Diff.D * delta >= 0 with Diff >= 0 lexicographically.
+    if (Diff.R > Rational(0) && Diff.D < Rational(0)) {
+      Rational Limit = Diff.R / -Diff.D;
+      if (Limit < DeltaVal)
+        DeltaVal = Limit;
+    }
+  };
+  for (int V = 0; V < numVars(); ++V) {
+    if (Lower[V].Active)
+      Tighten(Beta[V], Lower[V].Value, true);
+    if (Upper[V].Active)
+      Tighten(Beta[V], Upper[V].Value, false);
+  }
+  for (const auto &[V, C, Tag] : Diseqs) {
+    (void)Tag;
+    Rational DiffR = Beta[V].R - C;
+    if (!DiffR.isZero() && !Beta[V].D.isZero()) {
+      Rational Limit = (DiffR < Rational(0) ? -DiffR : DiffR) /
+                       (Beta[V].D < Rational(0) ? -Beta[V].D : Beta[V].D);
+      Limit = Limit / Rational(2);
+      if (Limit < DeltaVal && !Limit.isZero())
+        DeltaVal = Limit;
+    }
+  }
+  DeltaVal = DeltaVal / Rational(2);
+  return Beta[Var].R + Beta[Var].D * DeltaVal;
+}
+
+bool ArithSolver::assertPolyNegative(LinTerm Poly, int Tag,
+                                     std::set<int> &Core) {
+  // Asserts Poly < 0, using the integral rewrite (Poly + 1 <= 0) when the
+  // polynomial ranges over integers only.
+  bool AllInt = true;
+  for (const auto &[V, C] : Poly.Coeffs) {
+    (void)C;
+    AllInt = AllInt && IsInt[V];
+  }
+  bool Strict = !AllInt;
+  if (AllInt)
+    Poly.Const += Rational(1);
+
+  Rational Scale;
+  int Var;
+  Rational BoundVal;
+  if (Poly.Coeffs.size() == 1) {
+    Var = Poly.Coeffs.begin()->first;
+    Rational C = Poly.Coeffs.begin()->second;
+    BoundVal = -Poly.Const / C;
+    Scale = C;
+  } else {
+    Var = slackFor(Poly, Scale);
+    BoundVal = -Poly.Const * Scale;
+  }
+  bool Flip = Scale.isNegative();
+  DeltaRat B = Strict ? DeltaRat(BoundVal, Flip ? Rational(1) : Rational(-1))
+                      : DeltaRat(BoundVal);
+  return Flip ? assertLower(Var, B, Tag, &Core)
+              : assertUpper(Var, B, Tag, &Core);
+}
+
+bool ArithSolver::probeForcedEqual(int Var1, int Var2,
+                                   std::set<int> &TagsOut) {
+  constexpr int ProbeTag = -3;
+  LinTerm Diff;
+  Diff.add(Var1, Rational(1));
+  Diff.add(Var2, Rational(-1));
+  if (Diff.Coeffs.empty())
+    return true; // syntactically identical
+
+  Snapshot S = save();
+  std::set<int> Core1, Core2;
+  // Probe Var1 < Var2.
+  bool Feasible = assertPolyNegative(Diff, ProbeTag, Core1);
+  Result R1 = Feasible ? search(Core1, 0) : Result::Unsat;
+  restore(S);
+  if (R1 == Result::Sat)
+    return false;
+  // Probe Var1 > Var2.
+  LinTerm NegDiff;
+  NegDiff.add(Var1, Rational(-1));
+  NegDiff.add(Var2, Rational(1));
+  Feasible = assertPolyNegative(NegDiff, ProbeTag, Core2);
+  Result R2 = Feasible ? search(Core2, 0) : Result::Unsat;
+  restore(S);
+  if (R2 == Result::Sat)
+    return false;
+
+  for (int T : Core1)
+    if (T >= 0)
+      TagsOut.insert(T);
+  for (int T : Core2)
+    if (T >= 0)
+      TagsOut.insert(T);
+  return true;
+}

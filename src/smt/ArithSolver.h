@@ -1,0 +1,155 @@
+//===- smt/ArithSolver.h - Simplex-based linear arithmetic -----*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear arithmetic over exact rationals and integers: the general simplex
+/// of Dutertre & de Moura (the algorithm underlying Z3/Yices, which the
+/// paper's Boogie backend relies on), extended with
+///   - delta-rationals for strict bounds,
+///   - branch & bound for integer variables,
+///   - case-splitting for numeric disequalities, and
+///   - probing for implied equalities (x == y forced), which the combined
+///     theory solver uses for Nelson-Oppen style equality exchange with
+///     the congruence closure.
+///
+/// Assertions carry integer tags; Unsat results report a conflict core as
+/// a set of tags derived from Farkas-style bound explanations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SMT_ARITHSOLVER_H
+#define IDS_SMT_ARITHSOLVER_H
+
+#include "support/Rational.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace ids {
+namespace smt {
+
+/// A rational extended with an infinitesimal: R + D*delta, ordered
+/// lexicographically. Represents strict bounds exactly.
+struct DeltaRat {
+  Rational R;
+  Rational D;
+
+  DeltaRat() = default;
+  DeltaRat(Rational R) : R(std::move(R)) {}
+  DeltaRat(Rational R, Rational D) : R(std::move(R)), D(std::move(D)) {}
+
+  DeltaRat operator+(const DeltaRat &RHS) const {
+    return DeltaRat(R + RHS.R, D + RHS.D);
+  }
+  DeltaRat operator-(const DeltaRat &RHS) const {
+    return DeltaRat(R - RHS.R, D - RHS.D);
+  }
+  DeltaRat operator*(const Rational &C) const {
+    return DeltaRat(R * C, D * C);
+  }
+  int compare(const DeltaRat &RHS) const {
+    int C = R.compare(RHS.R);
+    return C != 0 ? C : D.compare(RHS.D);
+  }
+  bool operator<(const DeltaRat &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const DeltaRat &RHS) const { return compare(RHS) <= 0; }
+  bool operator==(const DeltaRat &RHS) const { return compare(RHS) == 0; }
+  bool operator!=(const DeltaRat &RHS) const { return compare(RHS) != 0; }
+
+  bool isIntegral() const { return D.isZero() && R.isInteger(); }
+  std::string toString() const;
+};
+
+/// A linear polynomial over solver variables plus a constant.
+struct LinTerm {
+  std::map<int, Rational> Coeffs;
+  Rational Const;
+
+  void add(int Var, const Rational &C);
+};
+
+/// Simplex-based solver for conjunctions of linear atoms.
+///
+/// Not backtrackable externally; the SMT driver builds one per theory
+/// check. Internal push/pop supports branch & bound and probing.
+class ArithSolver {
+public:
+  enum class Op { Le, Lt, Eq, Ne };
+  enum class Result { Sat, Unsat };
+
+  /// Creates a solver variable. \p IsInt marks integrality.
+  int addVar(bool IsInt);
+  int numVars() const { return static_cast<int>(IsInt.size()); }
+
+  /// Asserts `Poly <op> 0` under \p Tag. Callers must rewrite strict
+  /// integer comparisons into weak ones (x < y becomes x - y + 1 <= 0)
+  /// before asserting. Returns false on an immediate trivial conflict.
+  bool assertAtom(const LinTerm &Poly, Op O, int Tag);
+
+  /// Decides the asserted conjunction. On Unsat, \p ConflictOut holds the
+  /// core (input tags only).
+  Result check(std::set<int> &ConflictOut);
+
+  /// Concrete model value after a Sat check (delta instantiated).
+  Rational modelValue(int Var) const;
+
+  /// After a Sat check: returns true when Var1 == Var2 in every model, and
+  /// fills \p TagsOut with the explanation. Only meaningful when the
+  /// current model already agrees on the two variables.
+  bool probeForcedEqual(int Var1, int Var2, std::set<int> &TagsOut);
+
+  /// Statistics for the bench harness.
+  uint64_t numPivots() const { return Pivots; }
+  uint64_t numBranches() const { return Branches; }
+
+private:
+  struct Bound {
+    DeltaRat Value;
+    int Tag = -1;
+    bool Active = false;
+  };
+  struct Snapshot {
+    std::vector<Bound> Lower, Upper;
+    std::vector<DeltaRat> Beta;
+    size_t NumDiseqs;
+  };
+
+  /// Returns the slack variable representing \p Poly's variable part
+  /// (normalized), plus the scale applied: slack == Scale * (var part).
+  int slackFor(const LinTerm &Poly, Rational &ScaleOut);
+  bool assertPolyNegative(LinTerm Poly, int Tag, std::set<int> &Core);
+  bool assertLower(int Var, DeltaRat Value, int Tag,
+                   std::set<int> *ConflictOut);
+  bool assertUpper(int Var, DeltaRat Value, int Tag,
+                   std::set<int> *ConflictOut);
+  void updateNonbasic(int Var, const DeltaRat &NewValue);
+  void pivot(int BasicVar, int NonbasicVar);
+  Result simplexCheck(std::set<int> &ConflictOut);
+  /// Full search: simplex + integer branching + disequality splits.
+  Result search(std::set<int> &ConflictOut, int Depth);
+  Snapshot save() const;
+  void restore(const Snapshot &S);
+
+  // Tableau: for each basic variable, its row over nonbasic variables.
+  std::vector<bool> IsBasic;
+  std::vector<std::map<int, Rational>> Rows; // indexed by var; valid if basic
+  std::vector<bool> IsInt;
+  std::vector<Bound> Lower, Upper;
+  std::vector<DeltaRat> Beta;
+  std::map<std::vector<std::pair<int, Rational>>, int> SlackTable;
+  std::vector<std::tuple<int, Rational, int>> Diseqs; // (var, value, tag)
+  bool TriviallyUnsat = false;
+  std::set<int> TrivialConflict;
+  uint64_t Pivots = 0;
+  uint64_t Branches = 0;
+};
+
+} // namespace smt
+} // namespace ids
+
+#endif // IDS_SMT_ARITHSOLVER_H

@@ -1,0 +1,339 @@
+//===- smt/ArrayReduction.cpp - Eager array-theory reduction --------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/ArrayReduction.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace ids;
+using namespace ids::smt;
+
+namespace {
+/// Ite-lifting rewriter.
+class IteLifter {
+public:
+  explicit IteLifter(TermManager &TM) : TM(TM) {}
+
+  TermRef run(TermRef F) {
+    TermRef Core = visit(F);
+    if (Defs.empty())
+      return Core;
+    Defs.push_back(Core);
+    return TM.mkAnd(std::move(Defs));
+  }
+
+private:
+  TermRef visit(TermRef T) {
+    auto It = Cache.find(T);
+    if (It != Cache.end())
+      return It->second;
+    TermRef Result = compute(T);
+    Cache.emplace(T, Result);
+    return Result;
+  }
+
+  TermRef compute(TermRef T) {
+    if (T->getArgs().empty())
+      return T;
+    std::vector<TermRef> NewArgs;
+    NewArgs.reserve(T->getNumArgs());
+    for (TermRef A : T->getArgs())
+      NewArgs.push_back(visit(A));
+    TermRef Rebuilt = rebuild(T, NewArgs);
+    if (Rebuilt->getKind() == TermKind::Ite &&
+        !Rebuilt->getSort()->isBool()) {
+      TermRef V = TM.mkFreshVar("ite", Rebuilt->getSort());
+      Defs.push_back(TM.mkImplies(Rebuilt->getArg(0),
+                                  TM.mkEq(V, Rebuilt->getArg(1))));
+      Defs.push_back(TM.mkImplies(TM.mkNot(Rebuilt->getArg(0)),
+                                  TM.mkEq(V, Rebuilt->getArg(2))));
+      return V;
+    }
+    return Rebuilt;
+  }
+
+  TermRef rebuild(TermRef T, std::vector<TermRef> &NewArgs) {
+    switch (T->getKind()) {
+    case TermKind::Not:
+      return TM.mkNot(NewArgs[0]);
+    case TermKind::And:
+      return TM.mkAnd(std::move(NewArgs));
+    case TermKind::Or:
+      return TM.mkOr(std::move(NewArgs));
+    case TermKind::Ite:
+      return TM.mkIte(NewArgs[0], NewArgs[1], NewArgs[2]);
+    case TermKind::Eq:
+      return TM.mkEq(NewArgs[0], NewArgs[1]);
+    case TermKind::Add:
+      return TM.mkAdd(std::move(NewArgs));
+    case TermKind::Mul:
+      return TM.mkMulConst(NewArgs[0]->getKind() == TermKind::IntConst
+                               ? Rational(NewArgs[0]->getIntValue())
+                               : NewArgs[0]->getRatValue(),
+                           NewArgs[1]);
+    case TermKind::Le:
+      return TM.mkLe(NewArgs[0], NewArgs[1]);
+    case TermKind::Lt:
+      return TM.mkLt(NewArgs[0], NewArgs[1]);
+    case TermKind::Select:
+      return TM.mkSelect(NewArgs[0], NewArgs[1]);
+    case TermKind::Store:
+      return TM.mkStore(NewArgs[0], NewArgs[1], NewArgs[2]);
+    case TermKind::ConstArray:
+      return TM.mkConstArray(T->getSort(), NewArgs[0]);
+    case TermKind::MapOr:
+      return TM.mkMapOr(NewArgs[0], NewArgs[1]);
+    case TermKind::MapAnd:
+      return TM.mkMapAnd(NewArgs[0], NewArgs[1]);
+    case TermKind::MapDiff:
+      return TM.mkMapDiff(NewArgs[0], NewArgs[1]);
+    case TermKind::PwIte:
+      return TM.mkPwIte(NewArgs[0], NewArgs[1], NewArgs[2]);
+    case TermKind::Apply:
+      return TM.mkApply(T->getDecl(), std::move(NewArgs));
+    case TermKind::Forall:
+      assert(false && "lift ites after quantifier elimination");
+      return T;
+    default:
+      return T;
+    }
+  }
+
+  TermManager &TM;
+  std::unordered_map<TermRef, TermRef> Cache;
+  std::vector<TermRef> Defs;
+};
+
+/// Collects every subterm of a DAG once.
+void collectSubterms(TermRef T, std::unordered_set<TermRef> &Out) {
+  if (!Out.insert(T).second)
+    return;
+  for (TermRef A : T->getArgs())
+    collectSubterms(A, Out);
+}
+
+/// Marks the polarities under which each Eq-over-arrays atom occurs.
+/// Bit 1 = positive, bit 2 = negative.
+void markPolarities(TermRef T, int Pol,
+                    std::unordered_map<TermRef, int> &Out,
+                    std::set<std::pair<TermRef, int>> &Seen) {
+  if (!Seen.insert({T, Pol}).second)
+    return;
+  switch (T->getKind()) {
+  case TermKind::Not:
+    markPolarities(T->getArg(0), Pol ^ 3, Out, Seen);
+    return;
+  case TermKind::And:
+  case TermKind::Or:
+    for (TermRef A : T->getArgs())
+      markPolarities(A, Pol, Out, Seen);
+    return;
+  case TermKind::Ite:
+    // Boolean ite only (non-boolean are lifted). Condition sees both
+    // polarities, the branches keep the current one.
+    markPolarities(T->getArg(0), 3, Out, Seen);
+    markPolarities(T->getArg(1), Pol, Out, Seen);
+    markPolarities(T->getArg(2), Pol, Out, Seen);
+    return;
+  case TermKind::Eq:
+    if (T->getArg(0)->getSort()->isBool()) {
+      // Iff: sub-atoms occur in both polarities.
+      markPolarities(T->getArg(0), 3, Out, Seen);
+      markPolarities(T->getArg(1), 3, Out, Seen);
+      return;
+    }
+    if (T->getArg(0)->getSort()->isArray())
+      Out[T] |= Pol;
+    return;
+  default:
+    return;
+  }
+}
+
+bool isCompositeArray(TermRef T) {
+  switch (T->getKind()) {
+  case TermKind::Store:
+  case TermKind::ConstArray:
+  case TermKind::MapOr:
+  case TermKind::MapAnd:
+  case TermKind::MapDiff:
+  case TermKind::PwIte:
+    return true;
+  default:
+    return false;
+  }
+}
+} // namespace
+
+TermRef smt::liftItes(TermManager &TM, TermRef Formula) {
+  IteLifter L(TM);
+  return L.run(Formula);
+}
+
+TermRef smt::reduceArrays(TermManager &TM, TermRef Formula,
+                          ArrayReductionStats *Stats) {
+  std::vector<TermRef> Lemmas;
+
+  // Step 1: witnesses for array equalities that occur negatively.
+  {
+    std::unordered_map<TermRef, int> Polarities;
+    std::set<std::pair<TermRef, int>> Seen;
+    markPolarities(Formula, 1, Polarities, Seen);
+    for (const auto &[EqTerm, Pol] : Polarities) {
+      if (!(Pol & 2))
+        continue;
+      TermRef A = EqTerm->getArg(0), B = EqTerm->getArg(1);
+      TermRef W = TM.mkFreshVar("extw", A->getSort()->getKey());
+      // a == b  \/  a[w] != b[w]
+      Lemmas.push_back(TM.mkOr(
+          EqTerm, TM.mkNot(TM.mkEq(TM.mkSelect(A, W), TM.mkSelect(B, W)))));
+      if (Stats)
+        ++Stats->NumWitnesses;
+    }
+  }
+
+  // Step 2: gather array terms and index terms (from the formula and the
+  // witness lemmas).
+  std::unordered_set<TermRef> All;
+  collectSubterms(Formula, All);
+  for (TermRef L : Lemmas)
+    collectSubterms(L, All);
+
+  std::map<const Sort *, std::vector<TermRef>> IndexTerms;
+  std::vector<TermRef> ArrayTerms;
+  {
+    std::set<std::pair<const Sort *, TermRef>> IndexSeen;
+    for (TermRef T : All) {
+      if (T->getSort()->isArray())
+        ArrayTerms.push_back(T);
+      if (T->getKind() == TermKind::Select ||
+          T->getKind() == TermKind::Store) {
+        TermRef Index = T->getArg(1);
+        const Sort *KeySort = T->getArg(0)->getSort()->getKey();
+        if (IndexSeen.insert({KeySort, Index}).second)
+          IndexTerms[KeySort].push_back(Index);
+      }
+    }
+  }
+  if (Stats) {
+    Stats->NumArrayTerms = static_cast<unsigned>(ArrayTerms.size());
+    for (const auto &[S, V] : IndexTerms)
+      Stats->NumIndexTerms += static_cast<unsigned>(V.size());
+  }
+
+  // Step 3: instantiate read-over-composite axioms for every composite
+  // array term and every index term of its key sort.
+  for (TermRef A : ArrayTerms) {
+    if (!isCompositeArray(A))
+      continue;
+    const Sort *KeySort = A->getSort()->getKey();
+    auto It = IndexTerms.find(KeySort);
+    if (It == IndexTerms.end())
+      continue;
+    for (TermRef I : It->second) {
+      TermRef SelAI = TM.mkSelect(A, I);
+      switch (A->getKind()) {
+      case TermKind::Store: {
+        TermRef Base = A->getArg(0), J = A->getArg(1), V = A->getArg(2);
+        TermRef Same = TM.mkEq(I, J);
+        Lemmas.push_back(TM.mkImplies(Same, TM.mkEq(SelAI, V)));
+        Lemmas.push_back(
+            TM.mkImplies(TM.mkNot(Same),
+                         TM.mkEq(SelAI, TM.mkSelect(Base, I))));
+        break;
+      }
+      case TermKind::ConstArray:
+        Lemmas.push_back(TM.mkEq(SelAI, A->getArg(0)));
+        break;
+      case TermKind::MapOr:
+        Lemmas.push_back(TM.mkEq(
+            SelAI, TM.mkOr(TM.mkSelect(A->getArg(0), I),
+                           TM.mkSelect(A->getArg(1), I))));
+        break;
+      case TermKind::MapAnd:
+        Lemmas.push_back(TM.mkEq(
+            SelAI, TM.mkAnd(TM.mkSelect(A->getArg(0), I),
+                            TM.mkSelect(A->getArg(1), I))));
+        break;
+      case TermKind::MapDiff:
+        Lemmas.push_back(TM.mkEq(
+            SelAI,
+            TM.mkAnd(TM.mkSelect(A->getArg(0), I),
+                     TM.mkNot(TM.mkSelect(A->getArg(1), I)))));
+        break;
+      case TermKind::PwIte: {
+        TermRef Guard = TM.mkSelect(A->getArg(0), I);
+        Lemmas.push_back(TM.mkImplies(
+            Guard, TM.mkEq(SelAI, TM.mkSelect(A->getArg(1), I))));
+        Lemmas.push_back(TM.mkImplies(
+            TM.mkNot(Guard), TM.mkEq(SelAI, TM.mkSelect(A->getArg(2), I))));
+        break;
+      }
+      default:
+        break;
+      }
+    }
+  }
+
+  // Step 4: read-over-equality. When an array equality atom is asserted,
+  // congruence alone cannot connect `select(A, i)` with the semantics of a
+  // composite right-hand side whose select folds at construction (constant
+  // arrays, store at the same index). Instantiate
+  //     Eq(A,B) => select(A,i) == select(B,i)
+  // for every array-equality atom and every relevant index. New equalities
+  // between nested (set-valued) selects are processed transitively; the
+  // loop terminates because sort nesting is finite.
+  {
+    std::set<TermRef> EqAtoms;
+    std::vector<TermRef> Work;
+    auto ConsiderEq = [&](TermRef T) {
+      if (T->getKind() == TermKind::Eq &&
+          T->getArg(0)->getSort()->isArray() && EqAtoms.insert(T).second)
+        Work.push_back(T);
+    };
+    for (TermRef T : All)
+      ConsiderEq(T);
+    while (!Work.empty()) {
+      TermRef EqT = Work.back();
+      Work.pop_back();
+      TermRef A = EqT->getArg(0), B = EqT->getArg(1);
+      const Sort *KeySort = A->getSort()->getKey();
+      // Only selects that FOLD at construction need this: const arrays
+      // (every index folds) and stores (their own index folds). Selects
+      // over the other combinators materialise as terms, so the merged
+      // equivalence class already carries their constraints.
+      auto Emit = [&](TermRef I) {
+        TermRef SelEq = TM.mkEq(TM.mkSelect(A, I), TM.mkSelect(B, I));
+        if (SelEq == TM.mkTrue())
+          return;
+        Lemmas.push_back(TM.mkImplies(EqT, SelEq));
+        ConsiderEq(SelEq);
+      };
+      bool ConstInvolved = A->getKind() == TermKind::ConstArray ||
+                           B->getKind() == TermKind::ConstArray;
+      if (ConstInvolved) {
+        auto It = IndexTerms.find(KeySort);
+        if (It != IndexTerms.end())
+          for (TermRef I : It->second)
+            Emit(I);
+        continue;
+      }
+      for (TermRef Side : {A, B})
+        if (Side->getKind() == TermKind::Store)
+          Emit(Side->getArg(1));
+    }
+  }
+
+  if (Stats)
+    Stats->NumLemmas = static_cast<unsigned>(Lemmas.size());
+  if (Lemmas.empty())
+    return Formula;
+  Lemmas.push_back(Formula);
+  return TM.mkAnd(std::move(Lemmas));
+}

@@ -1,0 +1,48 @@
+//===- smt/ArrayReduction.h - Eager array-theory reduction -----*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Eager reduction of the generalized/combinatory array fragment to EUF:
+/// every select over a composite array term (store, const-array, pointwise
+/// combinator) is axiomatised over the finite set of relevant index terms,
+/// and extensionality witnesses are introduced for array equalities that
+/// occur negatively. After reduction the only remaining array reasoning is
+/// congruence of `select`, which the EUF engine provides.
+///
+/// This mirrors how the paper obtains decidability: FWYB verification
+/// conditions live in the quantifier-free generalized array theory of
+/// de Moura & Bjorner (FMCAD'09), which admits exactly this reduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SMT_ARRAYREDUCTION_H
+#define IDS_SMT_ARRAYREDUCTION_H
+
+#include "smt/Term.h"
+
+namespace ids {
+namespace smt {
+
+struct ArrayReductionStats {
+  unsigned NumIndexTerms = 0;
+  unsigned NumArrayTerms = 0;
+  unsigned NumLemmas = 0;
+  unsigned NumWitnesses = 0;
+};
+
+/// Returns \p Formula conjoined with the reduction lemmas. \p Formula must
+/// be ite-lifted (no non-boolean ite nodes) and quantifier-free.
+TermRef reduceArrays(TermManager &TM, TermRef Formula,
+                     ArrayReductionStats *Stats = nullptr);
+
+/// Replaces every non-boolean ite subterm by a fresh constant constrained
+/// by `(cond => v = then) && (!cond => v = else)` hoisted to the top level.
+TermRef liftItes(TermManager &TM, TermRef Formula);
+
+} // namespace smt
+} // namespace ids
+
+#endif // IDS_SMT_ARRAYREDUCTION_H

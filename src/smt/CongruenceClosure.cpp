@@ -1,0 +1,291 @@
+//===- smt/CongruenceClosure.cpp - EUF congruence closure -----------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/CongruenceClosure.h"
+
+#include <algorithm>
+
+using namespace ids;
+using namespace ids::smt;
+
+int CongruenceClosure::getId(TermRef T) {
+  auto It = Ids.find(T);
+  if (It != Ids.end())
+    return It->second;
+  // Register children first so signatures can reference them.
+  for (TermRef Arg : T->getArgs())
+    getId(Arg);
+  int Id = static_cast<int>(NodeTerms.size());
+  Ids.emplace(T, Id);
+  NodeTerms.push_back(T);
+  UnionParent.push_back(Id);
+  ClassSize.push_back(1);
+  ProofParent.push_back(-1);
+  ProofReason.push_back(Reason());
+  UseLists.emplace_back();
+  ValueNode.push_back(T->isValue() ? Id : -1);
+  if (!T->getArgs().empty()) {
+    // Enter into the signature table and record use-lists.
+    for (TermRef Arg : T->getArgs())
+      UseLists[findRoot(Ids[Arg])].push_back(Id);
+    std::vector<int> Sig = signatureOf(Id);
+    auto [SigIt, Inserted] = SigTable.emplace(std::move(Sig), Id);
+    if (!Inserted && findRoot(SigIt->second) != Id) {
+      Reason R;
+      R.CongA = Id;
+      R.CongB = SigIt->second;
+      Pending.emplace_back(Id, SigIt->second, R);
+      processPending();
+    }
+  }
+  return Id;
+}
+
+void CongruenceClosure::registerTerm(TermRef T) { getId(T); }
+
+std::vector<int> CongruenceClosure::signatureOf(int Node) {
+  TermRef T = NodeTerms[Node];
+  std::vector<int> Sig;
+  Sig.reserve(T->getNumArgs() + 3);
+  Sig.push_back(static_cast<int>(T->getKind()));
+  // Distinguish different Apply symbols and different sorts of e.g. Select.
+  Sig.push_back(static_cast<int>(
+      reinterpret_cast<uintptr_t>(T->getKind() == TermKind::Apply
+                                      ? static_cast<const void *>(T->getDecl())
+                                      : static_cast<const void *>(T->getSort()))));
+  for (TermRef Arg : T->getArgs())
+    Sig.push_back(findRoot(Ids[Arg]));
+  return Sig;
+}
+
+int CongruenceClosure::findRoot(int Node) {
+  int Root = Node;
+  while (UnionParent[Root] != Root)
+    Root = UnionParent[Root];
+  while (UnionParent[Node] != Root) {
+    int Next = UnionParent[Node];
+    UnionParent[Node] = Root;
+    Node = Next;
+  }
+  return Root;
+}
+
+bool CongruenceClosure::assertEqual(TermRef T1, TermRef T2, int Tag) {
+  if (Failed)
+    return false;
+  int A = getId(T1), B = getId(T2);
+  if (Failed)
+    return false; // registration may already trigger congruence conflicts
+  Reason R;
+  R.Tag = Tag;
+  Pending.emplace_back(A, B, R);
+  return processPending();
+}
+
+bool CongruenceClosure::assertDisequal(TermRef T1, TermRef T2, int Tag) {
+  if (Failed)
+    return false;
+  int A = getId(T1), B = getId(T2);
+  if (Failed)
+    return false;
+  if (findRoot(A) == findRoot(B)) {
+    Failed = true;
+    std::set<int> Tags;
+    std::set<std::pair<int, int>> Seen;
+    explainPair(A, B, Tags, Seen);
+    Tags.insert(Tag);
+    ConflictTags.assign(Tags.begin(), Tags.end());
+    return false;
+  }
+  Diseqs.emplace_back(A, B, Tag);
+  return true;
+}
+
+int CongruenceClosure::proofAncestorDepth(int Node) {
+  int Depth = 0;
+  while (ProofParent[Node] != -1) {
+    Node = ProofParent[Node];
+    ++Depth;
+  }
+  return Depth;
+}
+
+bool CongruenceClosure::mergeRoots(int A, int B) {
+  // A and B are arbitrary nodes whose classes merge; the proof edge runs
+  // between the original nodes, the union operates on the roots.
+  int Ra = findRoot(A), Rb = findRoot(B);
+  assert(Ra != Rb);
+  if (ClassSize[Ra] > ClassSize[Rb]) {
+    std::swap(Ra, Rb);
+    std::swap(A, B);
+  }
+  // Reverse the proof path from A to its root so A can take B as parent.
+  {
+    int Prev = -1;
+    Reason PrevReason;
+    int Cur = A;
+    while (Cur != -1) {
+      int Next = ProofParent[Cur];
+      Reason NextReason = ProofReason[Cur];
+      ProofParent[Cur] = Prev;
+      ProofReason[Cur] = PrevReason;
+      Prev = Cur;
+      PrevReason = NextReason;
+      Cur = Next;
+    }
+  }
+  ProofParent[A] = B;
+  // Reason for this edge was staged by the caller in PendingReason.
+  ProofReason[A] = StagedReason;
+
+  // Union: Ra (smaller) under Rb.
+  UnionParent[Ra] = Rb;
+  ClassSize[Rb] += ClassSize[Ra];
+
+  // Value clash detection.
+  if (ValueNode[Ra] != -1 && ValueNode[Rb] != -1 &&
+      NodeTerms[ValueNode[Ra]] != NodeTerms[ValueNode[Rb]]) {
+    Failed = true;
+    std::set<int> Tags;
+    std::set<std::pair<int, int>> Seen;
+    explainPair(ValueNode[Ra], ValueNode[Rb], Tags, Seen);
+    ConflictTags.assign(Tags.begin(), Tags.end());
+    return false;
+  }
+  if (ValueNode[Rb] == -1)
+    ValueNode[Rb] = ValueNode[Ra];
+
+  // Recompute signatures of parents of the smaller class.
+  std::vector<int> Moved;
+  Moved.swap(UseLists[Ra]);
+  for (int ParentNode : Moved) {
+    std::vector<int> Sig = signatureOf(ParentNode);
+    auto [It, Inserted] = SigTable.emplace(std::move(Sig), ParentNode);
+    if (!Inserted && findRoot(It->second) != findRoot(ParentNode)) {
+      Reason R;
+      R.CongA = ParentNode;
+      R.CongB = It->second;
+      Pending.emplace_back(ParentNode, It->second, R);
+    }
+    UseLists[Rb].push_back(ParentNode);
+  }
+
+  return checkDiseqsAndValues(Rb);
+}
+
+bool CongruenceClosure::checkDiseqsAndValues(int /*NewRoot*/) {
+  for (auto &[DA, DB, DTag] : Diseqs) {
+    if (findRoot(DA) == findRoot(DB)) {
+      Failed = true;
+      std::set<int> Tags;
+      std::set<std::pair<int, int>> Seen;
+      explainPair(DA, DB, Tags, Seen);
+      Tags.insert(DTag);
+      ConflictTags.assign(Tags.begin(), Tags.end());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CongruenceClosure::processPending() {
+  while (!Pending.empty()) {
+    auto [A, B, R] = Pending.back();
+    Pending.pop_back();
+    if (findRoot(A) == findRoot(B))
+      continue;
+    StagedReason = R;
+    if (!mergeRoots(A, B))
+      return false;
+  }
+  return !Failed;
+}
+
+bool CongruenceClosure::areEqual(TermRef T1, TermRef T2) {
+  if (T1 == T2)
+    return true;
+  auto It1 = Ids.find(T1), It2 = Ids.find(T2);
+  if (It1 == Ids.end() || It2 == Ids.end())
+    return false;
+  return findRoot(It1->second) == findRoot(It2->second);
+}
+
+bool CongruenceClosure::areDisequal(TermRef T1, TermRef T2) {
+  auto It1 = Ids.find(T1), It2 = Ids.find(T2);
+  if (It1 == Ids.end() || It2 == Ids.end())
+    return false;
+  int Ra = findRoot(It1->second), Rb = findRoot(It2->second);
+  if (Ra == Rb)
+    return false;
+  if (ValueNode[Ra] != -1 && ValueNode[Rb] != -1)
+    return true; // distinct interpreted values
+  for (auto &[DA, DB, DTag] : Diseqs) {
+    (void)DTag;
+    int Da = findRoot(DA), Db = findRoot(DB);
+    if ((Da == Ra && Db == Rb) || (Da == Rb && Db == Ra))
+      return true;
+  }
+  return false;
+}
+
+void CongruenceClosure::explainEquality(TermRef T1, TermRef T2,
+                                        std::set<int> &TagsOut) {
+  assert(areEqual(T1, T2) && "explaining an equality that does not hold");
+  std::set<std::pair<int, int>> Seen;
+  explainPair(Ids[T1], Ids[T2], TagsOut, Seen);
+}
+
+void CongruenceClosure::explainPair(int A, int B, std::set<int> &TagsOut,
+                                    std::set<std::pair<int, int>> &SeenPairs) {
+  if (A == B)
+    return;
+  auto Key = std::minmax(A, B);
+  if (!SeenPairs.insert({Key.first, Key.second}).second)
+    return;
+  explainPath(A, B, TagsOut, SeenPairs);
+}
+
+void CongruenceClosure::explainPath(int A, int B, std::set<int> &TagsOut,
+                                    std::set<std::pair<int, int>> &SeenPairs) {
+  // Find the common ancestor in the proof forest by depth alignment.
+  int DepthA = proofAncestorDepth(A);
+  int DepthB = proofAncestorDepth(B);
+  int WalkA = A, WalkB = B;
+  auto Step = [&](int Node) {
+    Reason &R = ProofReason[Node];
+    if (R.Tag >= 0) {
+      TagsOut.insert(R.Tag);
+    } else {
+      // Congruence edge: children of CongA/CongB are pairwise equal.
+      TermRef TA = NodeTerms[R.CongA];
+      TermRef TB = NodeTerms[R.CongB];
+      assert(TA->getNumArgs() == TB->getNumArgs());
+      for (unsigned I = 0; I < TA->getNumArgs(); ++I)
+        explainPair(Ids[TA->getArg(I)], Ids[TB->getArg(I)], TagsOut,
+                    SeenPairs);
+    }
+    return ProofParent[Node];
+  };
+  while (DepthA > DepthB) {
+    WalkA = Step(WalkA);
+    --DepthA;
+  }
+  while (DepthB > DepthA) {
+    WalkB = Step(WalkB);
+    --DepthB;
+  }
+  while (WalkA != WalkB) {
+    WalkA = Step(WalkA);
+    WalkB = Step(WalkB);
+  }
+  assert(WalkA == WalkB && "proof forest paths failed to meet");
+}
+
+TermRef CongruenceClosure::representative(TermRef T) {
+  auto It = Ids.find(T);
+  assert(It != Ids.end() && "term not registered");
+  return NodeTerms[findRoot(It->second)];
+}

@@ -1,0 +1,113 @@
+//===- smt/CongruenceClosure.h - EUF congruence closure --------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Congruence closure over the term DAG with conflict explanations
+/// (Nieuwenhuis-Oliveras proof forest). This is the EUF half of the theory
+/// stack: after the eager array reduction, VC reasoning needs exactly
+/// congruence of `select`/`Apply` applications, equality/disequality
+/// bookkeeping, and clash detection between distinct interpreted values
+/// (numerals, true/false) that arithmetic merges into classes.
+///
+/// Every assertion carries an integer tag; conflicts and equality
+/// explanations are reported as sets of tags, which the SMT driver maps
+/// back to literals (or to composite theory-propagation reasons).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SMT_CONGRUENCECLOSURE_H
+#define IDS_SMT_CONGRUENCECLOSURE_H
+
+#include "smt/Term.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace ids {
+namespace smt {
+
+/// Congruence closure with explanations. Assert-only (no backtracking); the
+/// SMT driver builds a fresh instance per theory check.
+class CongruenceClosure {
+public:
+  explicit CongruenceClosure(TermManager &TM) : TM(TM) {}
+
+  /// Registers \p T and all subterms. Idempotent.
+  void registerTerm(TermRef T);
+
+  /// Asserts T1 == T2 under explanation tag \p Tag. Returns false on
+  /// conflict (query conflictTags() for the explanation).
+  bool assertEqual(TermRef T1, TermRef T2, int Tag);
+
+  /// Asserts T1 != T2 under \p Tag. Returns false on conflict.
+  bool assertDisequal(TermRef T1, TermRef T2, int Tag);
+
+  bool inConflict() const { return Failed; }
+  const std::vector<int> &conflictTags() const { return ConflictTags; }
+
+  /// True when \p T has been registered (directly or as a subterm).
+  bool isRegistered(TermRef T) const { return Ids.count(T) != 0; }
+
+  /// True when both terms are registered and currently in the same class,
+  /// or are the identical term.
+  bool areEqual(TermRef T1, TermRef T2);
+  /// True when the classes of the two terms are known distinct (asserted
+  /// disequal or hold distinct interpreted values).
+  bool areDisequal(TermRef T1, TermRef T2);
+
+  /// Explanation (set of tags) for an equality that currently holds.
+  void explainEquality(TermRef T1, TermRef T2, std::set<int> &TagsOut);
+
+  /// Representative term of T's class (for model construction).
+  TermRef representative(TermRef T);
+
+  /// All registered terms, for model enumeration.
+  const std::vector<TermRef> &terms() const { return NodeTerms; }
+
+private:
+  int getId(TermRef T);
+  int findRoot(int Node);
+  bool mergeRoots(int A, int B);
+  bool processPending();
+  void explainPath(int A, int B, std::set<int> &TagsOut,
+                   std::set<std::pair<int, int>> &SeenPairs);
+  void explainPair(int A, int B, std::set<int> &TagsOut,
+                   std::set<std::pair<int, int>> &SeenPairs);
+  int proofAncestorDepth(int Node);
+  bool checkDiseqsAndValues(int NewRoot);
+  std::vector<int> signatureOf(int Node);
+
+  struct Reason {
+    // Tag >= 0: input assertion; Tag == -1: congruence of (CongA, CongB).
+    int Tag = -1;
+    int CongA = -1;
+    int CongB = -1;
+  };
+
+  TermManager &TM;
+  std::unordered_map<TermRef, int> Ids;
+  std::vector<TermRef> NodeTerms;
+  std::vector<int> UnionParent;   // union-find with path compression
+  std::vector<int> ClassSize;
+  std::vector<int> ProofParent;   // explanation forest (no compression)
+  std::vector<Reason> ProofReason;
+  std::vector<std::vector<int>> UseLists; // parents per root
+  std::vector<int> ValueNode;     // interpreted value in class, or -1
+  std::map<std::vector<int>, int> SigTable;
+  std::vector<std::tuple<int, int, int>> Diseqs; // (a, b, tag)
+  std::vector<std::tuple<int, int, Reason>> Pending;
+  Reason StagedReason; // reason of the merge currently being applied
+
+  bool Failed = false;
+  std::vector<int> ConflictTags;
+};
+
+} // namespace smt
+} // namespace ids
+
+#endif // IDS_SMT_CONGRUENCECLOSURE_H

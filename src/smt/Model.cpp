@@ -1,0 +1,337 @@
+//===- smt/Model.cpp - Models and term evaluation --------------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Model.h"
+
+#include <algorithm>
+
+using namespace ids;
+using namespace ids::smt;
+
+Value Value::ofBool(bool V) {
+  Value R;
+  R.K = Kind::Bool;
+  R.B = V;
+  return R;
+}
+Value Value::ofInt(BigInt V) {
+  Value R;
+  R.K = Kind::Int;
+  R.I = std::move(V);
+  return R;
+}
+Value Value::ofRat(Rational V) {
+  Value R;
+  R.K = Kind::Rat;
+  R.R = std::move(V);
+  return R;
+}
+Value Value::ofLoc(int64_t Id) {
+  Value R;
+  R.K = Kind::Loc;
+  R.Loc = Id;
+  return R;
+}
+Value Value::ofArray(std::shared_ptr<const ArrayValue> A) {
+  Value R;
+  R.K = Kind::Array;
+  R.Arr = std::move(A);
+  return R;
+}
+
+int Value::compare(const Value &RHS) const {
+  if (K != RHS.K)
+    return K < RHS.K ? -1 : 1;
+  switch (K) {
+  case Kind::Bool:
+    return B == RHS.B ? 0 : (B ? 1 : -1);
+  case Kind::Int:
+    return I.compare(RHS.I);
+  case Kind::Rat:
+    return R.compare(RHS.R);
+  case Kind::Loc:
+    return Loc == RHS.Loc ? 0 : (Loc < RHS.Loc ? -1 : 1);
+  case Kind::Array:
+    return Arr->compare(*RHS.Arr);
+  }
+  return 0;
+}
+
+std::string Value::toString() const {
+  switch (K) {
+  case Kind::Bool:
+    return B ? "true" : "false";
+  case Kind::Int:
+    return I.toString();
+  case Kind::Rat:
+    return R.toString();
+  case Kind::Loc:
+    return Loc == 0 ? "nil" : "loc!" + std::to_string(Loc);
+  case Kind::Array:
+    return Arr->toString();
+  }
+  return "<bad-value>";
+}
+
+int ArrayValue::compare(const ArrayValue &RHS) const {
+  int C = Default.compare(RHS.Default);
+  if (C != 0)
+    return C;
+  // Normalised entries: direct lexicographic map comparison.
+  auto It1 = Entries.begin(), It2 = RHS.Entries.begin();
+  while (It1 != Entries.end() && It2 != RHS.Entries.end()) {
+    C = It1->first.compare(It2->first);
+    if (C != 0)
+      return C;
+    C = It1->second.compare(It2->second);
+    if (C != 0)
+      return C;
+    ++It1;
+    ++It2;
+  }
+  if (It1 != Entries.end())
+    return 1;
+  if (It2 != RHS.Entries.end())
+    return -1;
+  return 0;
+}
+
+std::string ArrayValue::toString() const {
+  std::string S = "{";
+  bool First = true;
+  for (const auto &[K, V] : Entries) {
+    if (!First)
+      S += ", ";
+    First = false;
+    S += K.toString() + "->" + V.toString();
+  }
+  S += "; default " + Default.toString() + "}";
+  return S;
+}
+
+Value Model::defaultFor(const Sort *S) {
+  switch (S->getKind()) {
+  case SortKind::Bool:
+    return Value::ofBool(false);
+  case SortKind::Int:
+    return Value::ofInt(BigInt(0));
+  case SortKind::Rat:
+    return Value::ofRat(Rational(0));
+  case SortKind::Uninterpreted:
+    return Value::ofLoc(0);
+  case SortKind::Array: {
+    auto A = std::make_shared<ArrayValue>();
+    A->Default = defaultFor(S->getValue());
+    return Value::ofArray(std::move(A));
+  }
+  }
+  return Value::ofBool(false);
+}
+
+Value Model::eval(TermRef T) const {
+  std::unordered_map<TermRef, Value> Cache;
+  return evalImpl(T, Cache);
+}
+
+/// Inserts an entry, keeping the no-default-entries normalisation.
+static void setEntry(ArrayValue &A, Value Key, Value Val) {
+  if (Val == A.Default)
+    A.Entries.erase(Key);
+  else
+    A.Entries[std::move(Key)] = std::move(Val);
+}
+
+Value Model::evalImpl(TermRef T,
+                      std::unordered_map<TermRef, Value> &Cache) const {
+  auto CIt = Cache.find(T);
+  if (CIt != Cache.end())
+    return CIt->second;
+
+  auto Rec = [&](TermRef S) { return evalImpl(S, Cache); };
+  Value Result;
+  switch (T->getKind()) {
+  case TermKind::True:
+    Result = Value::ofBool(true);
+    break;
+  case TermKind::False:
+    Result = Value::ofBool(false);
+    break;
+  case TermKind::IntConst:
+    Result = Value::ofInt(T->getIntValue());
+    break;
+  case TermKind::RatConst:
+    Result = Value::ofRat(T->getRatValue());
+    break;
+  case TermKind::Var:
+  case TermKind::Apply: {
+    auto It = Base.find(T);
+    Result = It != Base.end() ? It->second : defaultFor(T->getSort());
+    break;
+  }
+  case TermKind::Not:
+    Result = Value::ofBool(!Rec(T->getArg(0)).B);
+    break;
+  case TermKind::And: {
+    bool B = true;
+    for (TermRef A : T->getArgs())
+      B = B && Rec(A).B;
+    Result = Value::ofBool(B);
+    break;
+  }
+  case TermKind::Or: {
+    bool B = false;
+    for (TermRef A : T->getArgs())
+      B = B || Rec(A).B;
+    Result = Value::ofBool(B);
+    break;
+  }
+  case TermKind::Implies: {
+    Result = Value::ofBool(!Rec(T->getArg(0)).B || Rec(T->getArg(1)).B);
+    break;
+  }
+  case TermKind::Ite:
+    Result = Rec(T->getArg(0)).B ? Rec(T->getArg(1)) : Rec(T->getArg(2));
+    break;
+  case TermKind::Eq:
+    Result = Value::ofBool(Rec(T->getArg(0)) == Rec(T->getArg(1)));
+    break;
+  case TermKind::Add: {
+    const Sort *S = T->getSort();
+    if (S->isInt()) {
+      BigInt Sum(0);
+      for (TermRef A : T->getArgs())
+        Sum += Rec(A).I;
+      Result = Value::ofInt(std::move(Sum));
+    } else {
+      Rational Sum;
+      for (TermRef A : T->getArgs())
+        Sum += Rec(A).R;
+      Result = Value::ofRat(std::move(Sum));
+    }
+    break;
+  }
+  case TermKind::Mul: {
+    Value C = Rec(T->getArg(0));
+    Value V = Rec(T->getArg(1));
+    if (T->getSort()->isInt())
+      Result = Value::ofInt(C.I * V.I);
+    else
+      Result = Value::ofRat(C.R * V.R);
+    break;
+  }
+  case TermKind::Le: {
+    Value A = Rec(T->getArg(0)), B = Rec(T->getArg(1));
+    if (A.K == Value::Kind::Int)
+      Result = Value::ofBool(A.I <= B.I);
+    else
+      Result = Value::ofBool(A.R <= B.R);
+    break;
+  }
+  case TermKind::Lt: {
+    Value A = Rec(T->getArg(0)), B = Rec(T->getArg(1));
+    if (A.K == Value::Kind::Int)
+      Result = Value::ofBool(A.I < B.I);
+    else
+      Result = Value::ofBool(A.R < B.R);
+    break;
+  }
+  case TermKind::Select: {
+    Value A = Rec(T->getArg(0));
+    Value I = Rec(T->getArg(1));
+    auto It = A.Arr->Entries.find(I);
+    Result = It != A.Arr->Entries.end() ? It->second : A.Arr->Default;
+    break;
+  }
+  case TermKind::Store: {
+    Value A = Rec(T->getArg(0));
+    auto New = std::make_shared<ArrayValue>(*A.Arr);
+    setEntry(*New, Rec(T->getArg(1)), Rec(T->getArg(2)));
+    Result = Value::ofArray(std::move(New));
+    break;
+  }
+  case TermKind::ConstArray: {
+    auto New = std::make_shared<ArrayValue>();
+    New->Default = Rec(T->getArg(0));
+    Result = Value::ofArray(std::move(New));
+    break;
+  }
+  case TermKind::MapOr:
+  case TermKind::MapAnd:
+  case TermKind::MapDiff: {
+    Value A = Rec(T->getArg(0)), B = Rec(T->getArg(1));
+    auto Combine = [&](bool X, bool Y) {
+      switch (T->getKind()) {
+      case TermKind::MapOr:
+        return X || Y;
+      case TermKind::MapAnd:
+        return X && Y;
+      default:
+        return X && !Y;
+      }
+    };
+    auto New = std::make_shared<ArrayValue>();
+    New->Default = Value::ofBool(Combine(A.Arr->Default.B, B.Arr->Default.B));
+    auto Lookup = [](const ArrayValue &Arr, const Value &Key) {
+      auto It = Arr.Entries.find(Key);
+      return It != Arr.Entries.end() ? It->second.B : Arr.Default.B;
+    };
+    for (const auto &[K, V] : A.Arr->Entries)
+      setEntry(*New, K, Value::ofBool(Combine(V.B, Lookup(*B.Arr, K))));
+    for (const auto &[K, V] : B.Arr->Entries)
+      if (!A.Arr->Entries.count(K))
+        setEntry(*New, K, Value::ofBool(Combine(A.Arr->Default.B, V.B)));
+    Result = Value::ofArray(std::move(New));
+    break;
+  }
+  case TermKind::PwIte: {
+    Value G = Rec(T->getArg(0));
+    Value A = Rec(T->getArg(1));
+    Value B = Rec(T->getArg(2));
+    auto GuardAt = [&](const Value &Key) {
+      auto It = G.Arr->Entries.find(Key);
+      return It != G.Arr->Entries.end() ? It->second.B : G.Arr->Default.B;
+    };
+    auto At = [](const ArrayValue &Arr, const Value &Key) {
+      auto It = Arr.Entries.find(Key);
+      return It != Arr.Entries.end() ? It->second : Arr.Default;
+    };
+    auto New = std::make_shared<ArrayValue>();
+    New->Default = G.Arr->Default.B ? A.Arr->Default : B.Arr->Default;
+    // Keys with explicit entries anywhere.
+    std::map<Value, bool> Keys;
+    for (const auto &[K, V] : G.Arr->Entries)
+      Keys.emplace(K, true);
+    for (const auto &[K, V] : A.Arr->Entries)
+      Keys.emplace(K, true);
+    for (const auto &[K, V] : B.Arr->Entries)
+      Keys.emplace(K, true);
+    for (const auto &[K, Unused] : Keys)
+      setEntry(*New, K, GuardAt(K) ? At(*A.Arr, K) : At(*B.Arr, K));
+    Result = Value::ofArray(std::move(New));
+    break;
+  }
+  case TermKind::Forall:
+    assert(false && "cannot evaluate quantified terms");
+    Result = Value::ofBool(true);
+    break;
+  }
+  Cache.emplace(T, Result);
+  return Result;
+}
+
+std::string Model::toString() const {
+  // Sort by name for stable output.
+  std::vector<std::pair<std::string, std::string>> Lines;
+  for (const auto &[T, V] : Base) {
+    if (T->getKind() == TermKind::Var)
+      Lines.emplace_back(T->getName(), V.toString());
+  }
+  std::sort(Lines.begin(), Lines.end());
+  std::string S;
+  for (const auto &[N, V] : Lines)
+    S += N + " = " + V + "\n";
+  return S;
+}

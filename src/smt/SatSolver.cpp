@@ -1,0 +1,341 @@
+//===- smt/SatSolver.cpp - CDCL SAT core ----------------------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SatSolver.h"
+
+#include <algorithm>
+
+using namespace ids;
+using namespace ids::sat;
+
+TheoryCallback::~TheoryCallback() = default;
+
+Var SatSolver::newVar() {
+  Var V = static_cast<Var>(Assign.size());
+  Assign.push_back(LBool::Undef);
+  Level.push_back(0);
+  ReasonIdx.push_back(-1);
+  Activity.push_back(0.0);
+  SavedPhase.push_back(false);
+  SeenBuffer.push_back(0);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  Heap.push_back({0.0, V});
+  std::push_heap(Heap.begin(), Heap.end());
+  return V;
+}
+
+void SatSolver::attachClause(int Idx) {
+  Clause &C = Clauses[Idx];
+  assert(C.Lits.size() >= 2 && "cannot watch a short clause");
+  Watches[C.Lits[0].Code].push_back({Idx, C.Lits[1]});
+  Watches[C.Lits[1].Code].push_back({Idx, C.Lits[0]});
+}
+
+bool SatSolver::addClause(std::vector<Lit> Lits) {
+  assert(currentLevel() == 0 && "clauses must be added at level zero");
+  if (Unsat)
+    return false;
+  // Simplify: drop duplicate/false literals, detect tautologies.
+  std::sort(Lits.begin(), Lits.end(),
+            [](Lit A, Lit B) { return A.Code < B.Code; });
+  Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
+  std::vector<Lit> Kept;
+  for (size_t I = 0; I < Lits.size(); ++I) {
+    if (I + 1 < Lits.size() && Lits[I + 1] == ~Lits[I])
+      return true; // tautology
+    LBool V = value(Lits[I]);
+    if (V == LBool::True)
+      return true; // already satisfied at level 0
+    if (V == LBool::Undef)
+      Kept.push_back(Lits[I]);
+  }
+  if (Kept.empty()) {
+    Unsat = true;
+    return false;
+  }
+  if (Kept.size() == 1) {
+    enqueue(Kept[0], -1);
+    if (propagate() != -1) {
+      Unsat = true;
+      return false;
+    }
+    return true;
+  }
+  Clauses.push_back({std::move(Kept), false});
+  attachClause(static_cast<int>(Clauses.size()) - 1);
+  return true;
+}
+
+void SatSolver::enqueue(Lit L, int Reason) {
+  assert(value(L) == LBool::Undef && "enqueueing an assigned literal");
+  Var V = L.var();
+  Assign[V] = L.negated() ? LBool::False : LBool::True;
+  Level[V] = currentLevel();
+  ReasonIdx[V] = Reason;
+  Trail.push_back(L);
+}
+
+int SatSolver::propagate() {
+  while (PropagateHead < Trail.size()) {
+    Lit P = Trail[PropagateHead++];
+    ++Propagations;
+    // Clauses watching ~P must find a new watch or propagate/conflict.
+    std::vector<Watcher> &WatchList = Watches[(~P).Code];
+    size_t Keep = 0;
+    for (size_t I = 0; I < WatchList.size(); ++I) {
+      Watcher W = WatchList[I];
+      if (value(W.Blocker) == LBool::True) {
+        WatchList[Keep++] = W;
+        continue;
+      }
+      Clause &C = Clauses[W.ClauseIdx];
+      // Normalize so that the falsified watch is Lits[1].
+      if (C.Lits[0] == ~P)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == ~P);
+      if (value(C.Lits[0]) == LBool::True) {
+        WatchList[Keep++] = {W.ClauseIdx, C.Lits[0]};
+        continue;
+      }
+      bool FoundWatch = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (value(C.Lits[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[C.Lits[1].Code].push_back({W.ClauseIdx, C.Lits[0]});
+          FoundWatch = true;
+          break;
+        }
+      }
+      if (FoundWatch)
+        continue;
+      // Unit or conflicting.
+      WatchList[Keep++] = W;
+      if (value(C.Lits[0]) == LBool::False) {
+        // Conflict: keep remaining watchers and report.
+        for (size_t K = I + 1; K < WatchList.size(); ++K)
+          WatchList[Keep++] = WatchList[K];
+        WatchList.resize(Keep);
+        PropagateHead = Trail.size();
+        return W.ClauseIdx;
+      }
+      enqueue(C.Lits[0], W.ClauseIdx);
+    }
+    WatchList.resize(Keep);
+  }
+  return -1;
+}
+
+void SatSolver::bumpVar(Var V) {
+  Activity[V] += VarInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+  Heap.push_back({Activity[V], V});
+  std::push_heap(Heap.begin(), Heap.end());
+}
+
+void SatSolver::decayActivities() { VarInc *= (1.0 / 0.95); }
+
+void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &LearnedOut,
+                        int &BacktrackLevel) {
+  LearnedOut.clear();
+  LearnedOut.push_back(Lit()); // slot for the asserting (1UIP) literal
+  std::vector<char> &Seen = SeenBuffer;
+  std::fill(Seen.begin(), Seen.end(), 0);
+  int Counter = 0;
+  Lit P;
+  bool HaveP = false;
+  size_t TrailIdx = Trail.size();
+  int Reason = ConflictIdx;
+
+  do {
+    assert(Reason != -1 && "conflict analysis ran past a decision");
+    Clause &C = Clauses[Reason];
+    for (Lit Q : C.Lits) {
+      if (HaveP && Q == P)
+        continue;
+      Var V = Q.var();
+      if (Seen[V] || Level[V] == 0)
+        continue;
+      Seen[V] = 1;
+      bumpVar(V);
+      if (Level[V] == currentLevel())
+        ++Counter;
+      else
+        LearnedOut.push_back(Q);
+    }
+    // Walk back to the most recent seen literal on the trail.
+    while (!Seen[Trail[TrailIdx - 1].var()])
+      --TrailIdx;
+    P = Trail[--TrailIdx];
+    HaveP = true;
+    Seen[P.var()] = 0;
+    Reason = ReasonIdx[P.var()];
+    --Counter;
+  } while (Counter > 0);
+  LearnedOut[0] = ~P;
+
+  // Backtrack level: highest level among the non-asserting literals.
+  BacktrackLevel = 0;
+  size_t MaxIdx = 1;
+  for (size_t I = 1; I < LearnedOut.size(); ++I) {
+    if (Level[LearnedOut[I].var()] > BacktrackLevel) {
+      BacktrackLevel = Level[LearnedOut[I].var()];
+      MaxIdx = I;
+    }
+  }
+  if (LearnedOut.size() > 1)
+    std::swap(LearnedOut[1], LearnedOut[MaxIdx]);
+}
+
+void SatSolver::backtrack(int TargetLevel) {
+  if (currentLevel() <= TargetLevel)
+    return;
+  size_t Bound = TrailLim[TargetLevel];
+  for (size_t I = Trail.size(); I-- > Bound;) {
+    Var V = Trail[I].var();
+    SavedPhase[V] = Assign[V] == LBool::True;
+    Assign[V] = LBool::Undef;
+    ReasonIdx[V] = -1;
+    Heap.push_back({Activity[V], V});
+    std::push_heap(Heap.begin(), Heap.end());
+  }
+  Trail.resize(Bound);
+  TrailLim.resize(TargetLevel);
+  PropagateHead = Trail.size();
+}
+
+Lit SatSolver::pickBranchLit() {
+  while (!Heap.empty()) {
+    std::pop_heap(Heap.begin(), Heap.end());
+    auto [Act, V] = Heap.back();
+    Heap.pop_back();
+    (void)Act;
+    if (Assign[V] == LBool::Undef)
+      return Lit(V, !SavedPhase[V]);
+  }
+  return Lit();
+}
+
+bool SatSolver::learnConflict(std::vector<Lit> Lits) {
+  ++TheoryConflicts;
+  // Literals false at level 0 are permanently false and cannot help.
+  std::vector<Lit> Final;
+  for (Lit L : Lits) {
+    assert(value(L) == LBool::False && "theory conflict literal not false");
+    if (Level[L.var()] > 0)
+      Final.push_back(L);
+  }
+  if (Final.empty()) {
+    Unsat = true;
+    return false;
+  }
+  // Find the two highest levels.
+  std::sort(Final.begin(), Final.end(), [&](Lit A, Lit B) {
+    return Level[A.var()] > Level[B.var()];
+  });
+  int TopLevel = Level[Final[0].var()];
+  bool TopUnique = Final.size() == 1 || Level[Final[1].var()] < TopLevel;
+  if (Final.size() == 1) {
+    backtrack(0);
+    Clauses.push_back({Final, true});
+    enqueue(Final[0], -1);
+    if (propagate() != -1) {
+      Unsat = true;
+      return false;
+    }
+    return true;
+  }
+  int ClauseIdx = static_cast<int>(Clauses.size());
+  Clauses.push_back({Final, true});
+  attachClause(ClauseIdx);
+  if (TopUnique) {
+    // Asserting clause: jump to the second-highest level and propagate.
+    backtrack(Level[Clauses[ClauseIdx].Lits[1].var()]);
+    enqueue(Clauses[ClauseIdx].Lits[0], ClauseIdx);
+  } else {
+    // Not asserting; retreat below the top level so the watches are sound.
+    backtrack(TopLevel - 1);
+  }
+  return true;
+}
+
+uint64_t SatSolver::luby(uint64_t I) {
+  // Classic MiniSat formulation: find the finite subsequence containing
+  // index I and the position within it.
+  uint64_t Size = 1, Seq = 0;
+  while (Size < I + 1) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != I) {
+    Size = (Size - 1) >> 1;
+    --Seq;
+    I = I % Size;
+  }
+  return 1ull << Seq;
+}
+
+SatSolver::Result SatSolver::solve(TheoryCallback *Theory) {
+  if (Unsat)
+    return Result::Unsat;
+  uint64_t RestartCount = 0;
+  uint64_t ConflictBudget = 128 * luby(RestartCount);
+  uint64_t ConflictsThisRestart = 0;
+
+  for (;;) {
+    int ConflictIdx = propagate();
+    if (ConflictIdx != -1) {
+      ++Conflicts;
+      ++ConflictsThisRestart;
+      if (currentLevel() == 0) {
+        Unsat = true;
+        return Result::Unsat;
+      }
+      std::vector<Lit> Learned;
+      int BtLevel = 0;
+      analyze(ConflictIdx, Learned, BtLevel);
+      backtrack(BtLevel);
+      if (Learned.size() == 1) {
+        enqueue(Learned[0], -1);
+      } else {
+        int Idx = static_cast<int>(Clauses.size());
+        Clauses.push_back({std::move(Learned), true});
+        attachClause(Idx);
+        enqueue(Clauses[Idx].Lits[0], Idx);
+      }
+      decayActivities();
+      continue;
+    }
+
+    if (ConflictsThisRestart >= ConflictBudget && currentLevel() > 0) {
+      ++RestartCount;
+      ConflictBudget = 128 * luby(RestartCount);
+      ConflictsThisRestart = 0;
+      backtrack(0);
+      continue;
+    }
+
+    Lit Next = pickBranchLit();
+    if (Next.Code == -1) {
+      // Full assignment; consult the theory.
+      if (!Theory)
+        return Result::Sat;
+      std::vector<Lit> TheoryConflict;
+      if (Theory->onFullModel(TheoryConflict))
+        return Result::Sat;
+      if (!learnConflict(std::move(TheoryConflict)))
+        return Result::Unsat;
+      continue;
+    }
+    ++Decisions;
+    TrailLim.push_back(static_cast<int>(Trail.size()));
+    enqueue(Next, -1);
+  }
+}

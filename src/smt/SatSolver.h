@@ -1,0 +1,155 @@
+//===- smt/SatSolver.h - CDCL SAT core -------------------------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conflict-driven clause-learning SAT solver: two-watched-literal
+/// propagation, 1UIP conflict analysis with backjumping, EVSIDS branching,
+/// phase saving and Luby restarts.
+///
+/// The SMT layer drives it lazily (offline DPLL(T)): whenever the solver
+/// reaches a full assignment it invokes a TheoryCallback, which either
+/// accepts the model or returns a conflict clause (an explanation from the
+/// theory stack) that is learned and search resumes. This is terminating:
+/// each theory clause removes at least one total assignment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SMT_SATSOLVER_H
+#define IDS_SMT_SATSOLVER_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ids {
+namespace sat {
+
+/// Boolean variable index (0-based).
+using Var = int;
+
+/// A literal: variable + sign, encoded as 2*Var+Sign (Sign==1 is negation).
+struct Lit {
+  int Code = -1;
+
+  Lit() = default;
+  Lit(Var V, bool Negated) : Code(2 * V + (Negated ? 1 : 0)) {}
+
+  Var var() const { return Code >> 1; }
+  bool negated() const { return Code & 1; }
+  Lit operator~() const {
+    Lit Result;
+    Result.Code = Code ^ 1;
+    return Result;
+  }
+  bool operator==(const Lit &RHS) const { return Code == RHS.Code; }
+  bool operator!=(const Lit &RHS) const { return Code != RHS.Code; }
+};
+
+/// Three-valued assignment.
+enum class LBool : uint8_t { False, True, Undef };
+
+/// Theory hook invoked on full propositional assignments.
+class TheoryCallback {
+public:
+  virtual ~TheoryCallback();
+
+  /// Returns true to accept the model. Returns false and fills
+  /// \p ConflictOut (a clause that is currently all-false) to reject it.
+  virtual bool onFullModel(std::vector<Lit> &ConflictOut) = 0;
+};
+
+/// CDCL solver. Not reusable across solve() calls with removed clauses,
+/// but supports repeated solve() with monotonically added clauses.
+class SatSolver {
+public:
+  enum class Result { Sat, Unsat };
+
+  /// Creates a new variable and returns its index.
+  Var newVar();
+  int numVars() const { return static_cast<int>(Assign.size()); }
+
+  /// Adds a clause; returns false if the solver is already unsatisfiable
+  /// at level zero. Must be called at decision level zero (fresh solver or
+  /// between solve() calls).
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Runs CDCL search. \p Theory may be null for pure SAT.
+  Result solve(TheoryCallback *Theory = nullptr);
+
+  /// Model access after Sat.
+  bool modelValue(Var V) const {
+    assert(Assign[V] != LBool::Undef);
+    return Assign[V] == LBool::True;
+  }
+  LBool value(Lit L) const {
+    LBool A = Assign[L.var()];
+    if (A == LBool::Undef)
+      return LBool::Undef;
+    bool B = (A == LBool::True) != L.negated();
+    return B ? LBool::True : LBool::False;
+  }
+
+  // Statistics (exposed for the micro-bench harness).
+  uint64_t numConflicts() const { return Conflicts; }
+  uint64_t numDecisions() const { return Decisions; }
+  uint64_t numPropagations() const { return Propagations; }
+  uint64_t numTheoryConflicts() const { return TheoryConflicts; }
+
+private:
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learned = false;
+  };
+  struct Watcher {
+    int ClauseIdx;
+    Lit Blocker;
+  };
+
+  void enqueue(Lit L, int Reason);
+  /// Returns the index of a conflicting clause, or -1.
+  int propagate();
+  void analyze(int ConflictIdx, std::vector<Lit> &LearnedOut,
+               int &BacktrackLevel);
+  void backtrack(int Level);
+  Lit pickBranchLit();
+  void bumpVar(Var V);
+  void decayActivities();
+  void attachClause(int Idx);
+  int currentLevel() const { return static_cast<int>(TrailLim.size()); }
+  /// Learns a clause whose literals are all currently false (theory
+  /// conflict), backjumping appropriately. Returns false on level-0
+  /// refutation.
+  bool learnConflict(std::vector<Lit> Lits);
+  static uint64_t luby(uint64_t I);
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<Watcher>> Watches; // indexed by Lit.Code
+  std::vector<LBool> Assign;
+  std::vector<int> Level;
+  std::vector<int> ReasonIdx; // clause index or -1
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim;
+  size_t PropagateHead = 0;
+
+  std::vector<double> Activity;
+  std::vector<bool> SavedPhase;
+  std::vector<std::pair<double, Var>> Heap; // lazy max-heap with stale entries
+  double VarInc = 1.0;
+
+  bool Unsat = false;
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t TheoryConflicts = 0;
+
+  std::vector<char> SeenBuffer; // scratch for analyze()
+};
+
+} // namespace sat
+} // namespace ids
+
+#endif // IDS_SMT_SATSOLVER_H

@@ -1,0 +1,112 @@
+//===- smt/Solver.h - CDCL(T) SMT solver -----------------------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SMT solver facade: decides quantifier-free formulas over the
+/// combination of EUF, linear Int/Rat arithmetic and the generalized array
+/// fragment — the decidable combination the paper's verification
+/// conditions live in (Section 3.7). Architecture:
+///
+///   formula --(quantifier instantiation; RQ3 mode only)-->
+///           --(ite lifting)--> --(eager array reduction)-->
+///           --(Tseitin CNF)--> CDCL SAT core
+///
+/// and on every full propositional assignment, a theory check runs
+/// congruence closure and simplex to fixpoint with Nelson-Oppen style
+/// equality exchange; conflicts come back as small explanation clauses.
+/// Sat answers are validated by evaluating the original formula under the
+/// constructed model before being reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SMT_SOLVER_H
+#define IDS_SMT_SOLVER_H
+
+#include "smt/ArithSolver.h"
+#include "smt/ArrayReduction.h"
+#include "smt/CongruenceClosure.h"
+#include "smt/Model.h"
+#include "smt/SatSolver.h"
+#include "smt/Term.h"
+
+#include <memory>
+
+namespace ids {
+namespace smt {
+
+/// One-shot SMT solver over a TermManager.
+class Solver {
+public:
+  enum class Result { Sat, Unsat, Unknown };
+
+  struct Options {
+    /// Permit Forall terms and run ground instantiation first (the
+    /// "Dafny-style" encoding of RQ3). Off by default: QF-mode asserts
+    /// quantifier-freeness, mirroring the paper's cross-check.
+    bool AllowQuantifiers = false;
+    unsigned QuantRounds = 2;
+    unsigned MaxInstPerQuant = 2048;
+    /// Iterations of model repair (index-collision separation) before
+    /// falling back to a blocking clause.
+    unsigned MaxModelRepairIters = 8;
+    /// Resource budget: give up (Result::Unknown) after this many theory
+    /// checks. 0 means unlimited. Exhaustion is reported explicitly —
+    /// bounded resources, not unpredictable divergence.
+    uint64_t MaxTheoryChecks = 0;
+    /// Wall-clock budget per checkSat call in seconds (0 = unlimited).
+    double TimeoutSeconds = 0;
+  };
+
+  struct Stats {
+    uint64_t TheoryChecks = 0;
+    uint64_t SatConflicts = 0;
+    uint64_t SatDecisions = 0;
+    uint64_t TheoryConflicts = 0;
+    uint64_t EqualitiesPropagated = 0;
+    uint64_t ModelRepairs = 0;
+    uint64_t BlockingClauses = 0;
+    uint64_t Instantiations = 0;
+    unsigned NumAtoms = 0;
+    ArrayReductionStats ArrayStats;
+  };
+
+  explicit Solver(TermManager &TM, Options O);
+  explicit Solver(TermManager &TM) : Solver(TM, Options()) {}
+  ~Solver();
+
+  /// Decides satisfiability of \p Formula. One shot per Solver instance.
+  Result checkSat(TermRef Formula);
+
+  /// The model after a Sat result.
+  const Model &model() const { return CurrentModel; }
+  const Stats &stats() const { return St; }
+
+private:
+  friend class TheoryCheck;
+
+  TermManager &TM;
+  Options Opts;
+  Stats St;
+  Model CurrentModel;
+
+  // CNF state.
+  sat::SatSolver Sat;
+  std::unordered_map<TermRef, int> LitCache; // term -> Lit.Code (positive)
+  std::vector<TermRef> Atoms;
+  std::unordered_map<TermRef, int> AtomIndex;
+  std::vector<sat::Var> AtomVar;
+  TermRef EvalFormula = nullptr; // pre-reduction formula for the safety net
+
+  sat::Lit litFor(TermRef T);
+  void buildCnf(TermRef F);
+  bool BudgetExhausted = false;
+  double SolveDeadline = 0; // monotonic seconds; 0 = none
+};
+
+} // namespace smt
+} // namespace ids
+
+#endif // IDS_SMT_SOLVER_H

@@ -1,0 +1,96 @@
+//===- smt/Sort.h - SMT sorts and function declarations --------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sorts of the multi-sorted logic L of the paper (Definition 2.4): Bool,
+/// Int, Rat (the paper's Q), uninterpreted location sorts, and Array(K,V)
+/// which models both heap fields (Loc -> V maps) and set-valued monadic
+/// maps (sets are Array(T, Bool)).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SMT_SORT_H
+#define IDS_SMT_SORT_H
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace ids {
+namespace smt {
+
+/// Discriminator for Sort.
+enum class SortKind : uint8_t {
+  Bool,
+  Int,
+  Rat,
+  Uninterpreted, ///< e.g. the location sort Loc
+  Array,
+};
+
+/// An interned sort; pointer identity is semantic identity (the TermManager
+/// interns all sorts).
+class Sort {
+public:
+  SortKind getKind() const { return Kind; }
+  bool isBool() const { return Kind == SortKind::Bool; }
+  bool isInt() const { return Kind == SortKind::Int; }
+  bool isRat() const { return Kind == SortKind::Rat; }
+  bool isNumeric() const { return isInt() || isRat(); }
+  bool isUninterpreted() const { return Kind == SortKind::Uninterpreted; }
+  bool isArray() const { return Kind == SortKind::Array; }
+
+  /// Name of an uninterpreted sort.
+  const std::string &getName() const {
+    assert(isUninterpreted());
+    return Name;
+  }
+  const Sort *getKey() const {
+    assert(isArray());
+    return Key;
+  }
+  const Sort *getValue() const {
+    assert(isArray());
+    return Value;
+  }
+
+  std::string toString() const;
+
+private:
+  friend class TermManager;
+  Sort(SortKind Kind, std::string Name, const Sort *Key, const Sort *Value)
+      : Kind(Kind), Name(std::move(Name)), Key(Key), Value(Value) {}
+
+  SortKind Kind;
+  std::string Name;         // Uninterpreted only
+  const Sort *Key = nullptr;   // Array only
+  const Sort *Value = nullptr; // Array only
+};
+
+/// An interned uninterpreted function declaration (used by Apply terms).
+/// Zero-arity functions are represented as Var terms instead.
+class FuncDecl {
+public:
+  const std::string &getName() const { return Name; }
+  const std::vector<const Sort *> &getArgSorts() const { return ArgSorts; }
+  const Sort *getRetSort() const { return RetSort; }
+
+private:
+  friend class TermManager;
+  FuncDecl(std::string Name, std::vector<const Sort *> ArgSorts,
+           const Sort *RetSort)
+      : Name(std::move(Name)), ArgSorts(std::move(ArgSorts)),
+        RetSort(RetSort) {}
+
+  std::string Name;
+  std::vector<const Sort *> ArgSorts;
+  const Sort *RetSort;
+};
+
+} // namespace smt
+} // namespace ids
+
+#endif // IDS_SMT_SORT_H

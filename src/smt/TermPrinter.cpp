@@ -1,0 +1,133 @@
+//===- smt/TermPrinter.cpp - SMT-LIB style term printing ------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/TermPrinter.h"
+
+#include <set>
+#include <unordered_map>
+
+using namespace ids;
+using namespace ids::smt;
+
+namespace {
+class Printer {
+public:
+  std::string visit(TermRef T) {
+    auto It = Cache.find(T);
+    if (It != Cache.end())
+      return It->second;
+    std::string Result = compute(T);
+    Cache.emplace(T, Result);
+    return Result;
+  }
+
+private:
+  std::string nary(const char *Op, TermRef T) {
+    std::string Result = std::string("(") + Op;
+    for (TermRef Arg : T->getArgs()) {
+      Result += ' ';
+      Result += visit(Arg);
+    }
+    Result += ')';
+    return Result;
+  }
+
+  std::string compute(TermRef T) {
+    switch (T->getKind()) {
+    case TermKind::True:
+      return "true";
+    case TermKind::False:
+      return "false";
+    case TermKind::IntConst:
+      return T->getIntValue().toString();
+    case TermKind::RatConst:
+      return T->getRatValue().toString();
+    case TermKind::Var:
+      return T->getName();
+    case TermKind::Not:
+      return nary("not", T);
+    case TermKind::And:
+      return nary("and", T);
+    case TermKind::Or:
+      return nary("or", T);
+    case TermKind::Implies:
+      return nary("=>", T);
+    case TermKind::Ite:
+      return nary("ite", T);
+    case TermKind::Eq:
+      return nary("=", T);
+    case TermKind::Add:
+      return nary("+", T);
+    case TermKind::Mul:
+      return nary("*", T);
+    case TermKind::Le:
+      return nary("<=", T);
+    case TermKind::Lt:
+      return nary("<", T);
+    case TermKind::Select:
+      return nary("select", T);
+    case TermKind::Store:
+      return nary("store", T);
+    case TermKind::ConstArray:
+      return "((as const " + T->getSort()->toString() + ") " +
+             visit(T->getArg(0)) + ")";
+    case TermKind::MapOr:
+      return nary("map.or", T);
+    case TermKind::MapAnd:
+      return nary("map.and", T);
+    case TermKind::MapDiff:
+      return nary("map.diff", T);
+    case TermKind::PwIte:
+      return nary("map.ite", T);
+    case TermKind::Apply:
+      return nary(T->getDecl()->getName().c_str(), T);
+    case TermKind::Forall: {
+      std::string Result = "(forall (";
+      bool First = true;
+      for (TermRef BV : T->getBoundVars()) {
+        if (!First)
+          Result += ' ';
+        First = false;
+        Result += "(" + BV->getName() + " " + BV->getSort()->toString() + ")";
+      }
+      Result += ") " + visit(T->getArg(0)) + ")";
+      return Result;
+    }
+    }
+    return "<bad-term>";
+  }
+
+  std::unordered_map<TermRef, std::string> Cache;
+};
+} // namespace
+
+std::string smt::printTerm(TermRef T) {
+  Printer P;
+  return P.visit(T);
+}
+
+std::string smt::printQuery(TermRef T) {
+  // Collect free constants for declarations.
+  std::set<std::pair<std::string, std::string>> Decls;
+  std::unordered_map<TermRef, bool> Seen;
+  std::vector<TermRef> Work = {T};
+  while (!Work.empty()) {
+    TermRef Cur = Work.back();
+    Work.pop_back();
+    if (Seen.count(Cur))
+      continue;
+    Seen.emplace(Cur, true);
+    if (Cur->getKind() == TermKind::Var)
+      Decls.emplace(Cur->getName(), Cur->getSort()->toString());
+    for (TermRef Arg : Cur->getArgs())
+      Work.push_back(Arg);
+  }
+  std::string Result;
+  for (const auto &[Name, SortText] : Decls)
+    Result += "(declare-const " + Name + " " + SortText + ")\n";
+  Result += "(assert " + printTerm(T) + ")\n(check-sat)\n";
+  return Result;
+}

@@ -1,0 +1,34 @@
+//===- smt/TermPrinter.h - SMT-LIB style term printing ---------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders terms as SMT-LIB-flavoured s-expressions. Used for debugging,
+/// golden tests and the generated-VC artifact dump (the paper cross-checks
+/// the SMT files it emits; `ids-verify --dump-vc` offers the same).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SMT_TERMPRINTER_H
+#define IDS_SMT_TERMPRINTER_H
+
+#include "smt/Term.h"
+
+#include <string>
+
+namespace ids {
+namespace smt {
+
+/// Renders \p T as an s-expression.
+std::string printTerm(TermRef T);
+
+/// Renders a whole satisfiability query: sort/const declarations followed
+/// by an `(assert ...)` of \p T.
+std::string printQuery(TermRef T);
+
+} // namespace smt
+} // namespace ids
+
+#endif // IDS_SMT_TERMPRINTER_H

@@ -1,0 +1,139 @@
+//===- structures/Bst.cpp - Binary search tree benchmark -------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Intrinsic definition of binary search trees (Appendix D.2 of the
+/// paper): parent pointers, rational ranks that strictly decrease
+/// downwards (acyclicity), and min/max maps that localise the BST
+/// ordering. Methods: find (search by key) and the fully annotated
+/// right-rotation of Appendix D.2.
+///
+//===----------------------------------------------------------------------===//
+
+#include "structures/Sources.h"
+
+const char *ids::structures::BstSource = R"IDS(
+structure Bst {
+  field l: Loc;
+  field r: Loc;
+  field key: int;
+  ghost field p: Loc;
+  ghost field rank: rat;
+  ghost field min: int;
+  ghost field max: int;
+
+  // Appendix D.2's local condition.
+  local t (x) {
+    x.min <= x.key && x.key <= x.max
+    && (x.p != nil ==> (x.p.l == x || x.p.r == x))
+    && (x.l == nil ==> x.min == x.key)
+    && (x.l != nil ==>
+          x.l.p == x && x.l.rank < x.rank
+       && x.l.max < x.key && x.min == x.l.min)
+    && (x.r == nil ==> x.max == x.key)
+    && (x.r != nil ==>
+          x.r.p == x && x.r.rank < x.rank
+       && x.key < x.r.min && x.max == x.r.max)
+  }
+
+  correlation (y) { y.p == nil }
+
+  // Appendix D.2's impact table.
+  impact l    [t] { x, old(x.l) }
+  impact r    [t] { x, old(x.r) }
+  impact p    [t] { x, old(x.p) }
+  impact key  [t] { x }
+  impact min  [t] { x, x.p }
+  impact max  [t] { x, x.p }
+  impact rank [t] { x, x.p }
+}
+
+// Search by key, walking the ordering maps.
+procedure find(root: Loc, k: int) returns (res: Loc)
+  requires br(t) == {}
+  requires root != nil
+  ensures  br(t) == {}
+  ensures  res != nil ==> res.key == k
+{
+  var cur: Loc;
+  cur := root;
+  res := nil;
+  while (cur != nil && res == nil)
+    invariant br(t) == {}
+    invariant res != nil ==> res.key == k
+  {
+    InferLCOutsideBr(t, cur);
+    if (cur.key == k) {
+      res := cur;
+    } else {
+      if (k < cur.key) {
+        cur := cur.l;
+      } else {
+        cur := cur.r;
+      }
+    }
+  }
+}
+
+// Appendix D.2: right rotation at x (y = x.l becomes the subtree root).
+procedure rotate_right(x: Loc, xp: Loc) returns (ret: Loc)
+  requires br(t) == {}
+  requires x != nil && x.l != nil && x.p == xp
+  requires xp != nil ==> xp.rank > x.rank
+  ensures  br(t) == {}
+  ensures  ret == old(x.l) && ret.p == xp
+  ensures  ret.r == x && x.p == ret
+  ensures  ret.l == old(x.l.l) && x.l == old(x.l.r) && x.r == old(x.r)
+  ensures  ret.min == old(x.min) && ret.max == old(x.max)
+  ensures  xp != nil ==> xp.rank > ret.rank
+  ensures  xp != nil ==> (old(xp.l) == x ==> xp.l == ret)
+  ensures  xp != nil ==> (old(xp.r) == x ==> xp.r == ret)
+  modifies {x, x.l, x.l.r, x.p}
+{
+  var y: Loc;
+  var mid: Loc;
+  InferLCOutsideBr(t, x);
+  y := x.l;
+  InferLCOutsideBr(t, y);
+  mid := y.r;
+  if (mid != nil) {
+    InferLCOutsideBr(t, mid);
+  }
+  if (xp != nil) {
+    InferLCOutsideBr(t, xp);
+    if (xp.l == x) {
+      Mut(xp.l, y);
+    } else {
+      Mut(xp.r, y);
+    }
+  }
+  Mut(x.l, mid);
+  ghost {
+    if (mid != nil) {
+      Mut(mid.p, x);
+    }
+  }
+  Mut(y.r, x);
+  ghost {
+    Mut(x.p, y);
+    Mut(y.p, xp);
+    Mut(x.min, ite(mid == nil, x.key, mid.min));
+    Mut(y.max, x.max);
+    Mut(y.rank, ite(xp == nil, x.rank + 1, (xp.rank + x.rank) / 2));
+  }
+  ghost {
+    if (mid != nil) {
+      AssertLCAndRemove(t, mid);
+    }
+  }
+  AssertLCAndRemove(t, x);
+  AssertLCAndRemove(t, y);
+  if (xp != nil) {
+    AssertLCAndRemove(t, xp);
+  }
+  ret := y;
+}
+)IDS";

@@ -1,0 +1,29 @@
+//===- structures/Registry.cpp - Embedded benchmark suite ------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "structures/Registry.h"
+
+using namespace ids;
+using namespace ids::structures;
+
+#include "structures/Sources.h"
+
+const std::vector<Benchmark> &structures::allBenchmarks() {
+  static const std::vector<Benchmark> All = {
+      {"singly-linked-list", "Singly-Linked List", SinglyLinkedListSource},
+      {"sorted-list", "Sorted List", SortedListSource},
+      {"bst", "Binary Search Tree", BstSource},
+      {"treap", "Treap", TreapSource},
+  };
+  return All;
+}
+
+const char *structures::findBenchmark(const std::string &Name) {
+  for (const Benchmark &B : allBenchmarks())
+    if (Name == B.Name)
+      return B.Source;
+  return nullptr;
+}

@@ -1,0 +1,42 @@
+//===- structures/Registry.h - Embedded benchmark suite --------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Table 2 benchmark suite: every data structure of the paper's
+/// evaluation, re-authored in the IDS surface language with FWYB
+/// annotations, embedded as sources so tests/benches/examples are
+/// self-contained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_STRUCTURES_REGISTRY_H
+#define IDS_STRUCTURES_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+namespace ids {
+namespace structures {
+
+struct Benchmark {
+  /// Registry key, e.g. "singly-linked-list".
+  const char *Name;
+  /// Display name matching Table 2, e.g. "Singly-Linked List".
+  const char *Table2Name;
+  /// Full module source (structure + procedures).
+  const char *Source;
+};
+
+/// All benchmarks in Table 2 order.
+const std::vector<Benchmark> &allBenchmarks();
+
+/// Source by registry key; nullptr when unknown.
+const char *findBenchmark(const std::string &Name);
+
+} // namespace structures
+} // namespace ids
+
+#endif // IDS_STRUCTURES_REGISTRY_H

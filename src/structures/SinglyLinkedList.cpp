@@ -1,0 +1,100 @@
+//===- structures/SinglyLinkedList.cpp - SLL benchmark ---------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Intrinsic definition of (plain) singly-linked lists and the Table 2
+/// methods. The monadic maps follow Section 4.1: `prev` (inverse pointer),
+/// `length`, `keys` and the heaplet `hslist`; the local condition is the
+/// non-sorted variant of equation (2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "structures/Sources.h"
+
+const char *ids::structures::SinglyLinkedListSource = R"IDS(
+structure List {
+  field next: Loc;
+  field key: int;
+  ghost field prev: Loc;
+  ghost field length: int;
+  ghost field keys: set<int>;
+  ghost field hslist: set<Loc>;
+
+  // Local condition: non-sorted lists with inverse pointers, lengths,
+  // key-sets and heaplets (the paper's equation (2) minus sortedness).
+  local l (x) {
+    (x.next != nil ==>
+         x.next.prev == x
+      && x.length == x.next.length + 1
+      && x.keys == {x.key} union x.next.keys
+      && x.hslist == {x} duplus x.next.hslist)
+    && (x.prev != nil ==> x.prev.next == x)
+    && (x.next == nil ==>
+         x.length == 1 && x.keys == {x.key} && x.hslist == {x})
+  }
+
+  correlation (y) { y.prev == nil }
+
+  // Table 1 of the paper.
+  impact next   [l] { x, old(x.next) }
+  impact key    [l] { x, x.prev }
+  impact prev   [l] { x, old(x.prev) }
+  impact length [l] { x, x.prev }
+  impact keys   [l] { x, x.prev }
+  impact hslist [l] { x, x.prev }
+}
+
+// Push a new key onto the head of the list.
+procedure insert_front(x: Loc, k: int) returns (r: Loc)
+  requires br(l) == {}
+  requires x != nil && x.prev == nil
+  ensures  br(l) == {}
+  ensures  r != nil && r.prev == nil
+  ensures  r.keys == {k} union old(x.keys)
+  ensures  r.length == old(x.length) + 1
+  ensures  r.next == x
+  modifies {x}
+{
+  var z: Loc;
+  InferLCOutsideBr(l, x);
+  NewObj(z);
+  Mut(z.key, k);
+  Mut(z.next, x);
+  Mut(x.prev, z);
+  Mut(z.length, x.length + 1);
+  Mut(z.keys, {k} union x.keys);
+  Mut(z.hslist, {z} union x.hslist);
+  AssertLCAndRemove(l, x);
+  AssertLCAndRemove(l, z);
+  r := z;
+}
+
+// Membership via the keys map, walking the list.
+procedure find(x: Loc, k: int) returns (found: bool)
+  requires br(l) == {}
+  requires x != nil
+  ensures  br(l) == {}
+  ensures  found <==> k in old(x.keys)
+{
+  var cur: Loc;
+  cur := x;
+  found := false;
+  InferLCOutsideBr(l, x);
+  while (cur != nil && !found)
+    invariant br(l) == {}
+    invariant found ==> k in x.keys
+    invariant (!found && cur != nil) ==> (k in x.keys <==> k in cur.keys)
+    invariant (!found && cur == nil) ==> !(k in x.keys)
+  {
+    InferLCOutsideBr(l, cur);
+    if (cur.key == k) {
+      found := true;
+    } else {
+      cur := cur.next;
+    }
+  }
+}
+)IDS";

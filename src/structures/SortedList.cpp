@@ -1,0 +1,147 @@
+//===- structures/SortedList.cpp - Sorted list benchmark -------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's running example (Sections 3/4.1): sorted linked lists with
+/// the monadic maps of equation (2) and the fully annotated insertion of
+/// Figure 7, transcribed from the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "structures/Sources.h"
+
+const char *ids::structures::SortedListSource = R"IDS(
+structure SortedList {
+  field next: Loc;
+  field key: int;
+  ghost field prev: Loc;
+  ghost field length: int;
+  ghost field keys: set<int>;
+  ghost field hslist: set<Loc>;
+
+  // Equation (2) of the paper.
+  local l (x) {
+    (x.next != nil ==>
+         x.key <= x.next.key
+      && x.next.prev == x
+      && x.length == x.next.length + 1
+      && x.keys == {x.key} union x.next.keys
+      && x.hslist == {x} duplus x.next.hslist)
+    && (x.prev != nil ==> x.prev.next == x)
+    && (x.next == nil ==>
+         x.length == 1 && x.keys == {x.key} && x.hslist == {x})
+  }
+
+  correlation (y) { y.prev == nil }
+
+  // Table 1 of the paper.
+  impact next   [l] { x, old(x.next) }
+  impact key    [l] { x, x.prev }
+  impact prev   [l] { x, old(x.prev) }
+  impact length [l] { x, x.prev }
+  impact keys   [l] { x, x.prev }
+  impact hslist [l] { x, x.prev }
+}
+
+// Membership via the keys map (the sorted-list 'Find' row of Table 2).
+procedure find(x: Loc, k: int) returns (found: bool)
+  requires br(l) == {}
+  requires x != nil
+  ensures  br(l) == {}
+  ensures  found <==> k in old(x.keys)
+{
+  var cur: Loc;
+  cur := x;
+  found := false;
+  InferLCOutsideBr(l, x);
+  while (cur != nil && !found)
+    invariant br(l) == {}
+    invariant found ==> k in x.keys
+    invariant (!found && cur != nil) ==> (k in x.keys <==> k in cur.keys)
+    invariant (!found && cur == nil) ==> !(k in x.keys)
+  {
+    InferLCOutsideBr(l, cur);
+    if (cur.key == k) {
+      found := true;
+    } else {
+      cur := cur.next;
+    }
+  }
+}
+
+// Figure 7 of the paper: recursive insertion into a sorted list.
+procedure insert(x: Loc, k: int) returns (r: Loc)
+  requires br(l) == {}
+  requires x != nil
+  ensures  lc(l, r) && r != nil && r.prev == nil
+  ensures  br(l) == ite(old(x.prev) == nil, {}, {old(x.prev)})
+  ensures  r.length == old(x.length) + 1
+  ensures  r.keys == old(x.keys) union {k}
+  ensures  old(x.hslist) subsetof r.hslist
+  ensures  r.hslist subsetof (old(x.hslist) union (alloc setminus old(alloc)))
+  ensures  r.key == old(x.key) || r.key == k
+  ensures  r.key <= old(x.key) && r.key <= k
+  modifies x.hslist
+{
+  var z: Loc;
+  var y: Loc;
+  var tmp: Loc;
+  InferLCOutsideBr(l, x);
+  if (x.key >= k) {
+    // k inserted before x.
+    NewObj(z);
+    Mut(z.key, k);
+    Mut(z.next, x);
+    Mut(z.hslist, {z} union x.hslist);
+    Mut(z.length, 1 + x.length);
+    Mut(z.keys, {k} union x.keys);
+    Mut(x.prev, z);
+    AssertLCAndRemove(l, z);
+    AssertLCAndRemove(l, x);
+    r := z;
+  } else {
+    if (x.next == nil) {
+      // One-element list; k goes after x.
+      NewObj(z);
+      Mut(z.key, k);
+      Mut(z.next, nil);
+      Mut(z.hslist, {z});
+      Mut(z.length, 1);
+      Mut(z.keys, {k});
+      Mut(x.next, z);
+      Mut(z.prev, x);
+      AssertLCAndRemove(l, z);
+      Mut(x.prev, nil);
+      Mut(x.hslist, {x} union {z});
+      Mut(x.length, 2);
+      Mut(x.keys, {x.key} union {k});
+      AssertLCAndRemove(l, x);
+      r := x;
+    } else {
+      // Recursive case.
+      y := x.next;
+      InferLCOutsideBr(l, y);
+      call tmp := insert(y, k);
+      InferLCOutsideBr(l, y);
+      ghost {
+        if (y.prev == x) {
+          Mut(y.prev, nil);
+        }
+      }
+      Mut(x.next, tmp);
+      AssertLCAndRemove(l, y);
+      Mut(tmp.prev, x);
+      AssertLCAndRemove(l, tmp);
+      Mut(x.hslist, {x} union tmp.hslist);
+      Mut(x.length, 1 + tmp.length);
+      Mut(x.keys, {x.key} union tmp.keys);
+      Mut(x.prev, nil);
+      AssertLCAndRemove(l, x);
+      r := x;
+    }
+  }
+}
+)IDS";

@@ -1,0 +1,33 @@
+//===- structures/Sources.h - Benchmark source declarations ----*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal declarations of the embedded benchmark sources, one per
+/// translation unit in this directory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_STRUCTURES_SOURCES_H
+#define IDS_STRUCTURES_SOURCES_H
+
+namespace ids {
+namespace structures {
+
+extern const char *SinglyLinkedListSource;
+extern const char *SortedListSource;
+extern const char *SortedListMinMaxSource;
+extern const char *CircularListSource;
+extern const char *BstSource;
+extern const char *TreapSource;
+extern const char *AvlSource;
+extern const char *RedBlackTreeSource;
+extern const char *BstScaffoldSource;
+extern const char *SchedulerQueueSource;
+
+} // namespace structures
+} // namespace ids
+
+#endif // IDS_STRUCTURES_SOURCES_H

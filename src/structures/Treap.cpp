@@ -1,0 +1,105 @@
+//===- structures/Treap.cpp - Treap benchmark ------------------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Treaps: a BST on keys that is simultaneously a max-heap on priorities.
+/// The intrinsic definition composes the BST local condition with a local
+/// heap condition on the `prio` field — the priority order doubles as the
+/// rank (acyclicity comes for free, Section 5.2's treap rows).
+///
+//===----------------------------------------------------------------------===//
+
+#include "structures/Sources.h"
+
+const char *ids::structures::TreapSource = R"IDS(
+structure Treap {
+  field l: Loc;
+  field r: Loc;
+  field key: int;
+  field prio: int;
+  ghost field p: Loc;
+  ghost field min: int;
+  ghost field max: int;
+
+  // BST ordering via min/max plus the max-heap property on priorities;
+  // the strictly decreasing priorities double as the rank map.
+  local t (x) {
+    x.min <= x.key && x.key <= x.max
+    && (x.p != nil ==> (x.p.l == x || x.p.r == x))
+    && (x.l == nil ==> x.min == x.key)
+    && (x.l != nil ==>
+          x.l.p == x && x.l.prio < x.prio
+       && x.l.max < x.key && x.min == x.l.min)
+    && (x.r == nil ==> x.max == x.key)
+    && (x.r != nil ==>
+          x.r.p == x && x.r.prio < x.prio
+       && x.key < x.r.min && x.max == x.r.max)
+  }
+
+  correlation (y) { y.p == nil }
+
+  impact l    [t] { x, old(x.l) }
+  impact r    [t] { x, old(x.r) }
+  impact p    [t] { x, old(x.p) }
+  impact key  [t] { x }
+  impact prio [t] { x, x.p }
+  impact min  [t] { x, x.p }
+  impact max  [t] { x, x.p }
+}
+
+// Key lookup; identical control structure to the BST search.
+procedure find(root: Loc, k: int) returns (res: Loc)
+  requires br(t) == {}
+  requires root != nil
+  ensures  br(t) == {}
+  ensures  res != nil ==> res.key == k
+{
+  var cur: Loc;
+  cur := root;
+  res := nil;
+  while (cur != nil && res == nil)
+    invariant br(t) == {}
+    invariant res != nil ==> res.key == k
+  {
+    InferLCOutsideBr(t, cur);
+    if (cur.key == k) {
+      res := cur;
+    } else {
+      if (k < cur.key) {
+        cur := cur.l;
+      } else {
+        cur := cur.r;
+      }
+    }
+  }
+}
+
+// The root of a valid treap carries the maximum priority among the nodes
+// inspected on any root-to-node path; walking down priorities decrease.
+procedure find_max_prio_on_path(root: Loc, k: int) returns (best: int)
+  requires br(t) == {}
+  requires root != nil
+  ensures  br(t) == {}
+  ensures  best == old(root.prio)
+{
+  var cur: Loc;
+  InferLCOutsideBr(t, root);
+  best := root.prio;
+  cur := root;
+  while (cur != nil)
+    invariant br(t) == {}
+    invariant cur != nil ==> cur.prio <= best
+    invariant best == old(root.prio)
+  {
+    InferLCOutsideBr(t, cur);
+    if (k < cur.key) {
+      cur := cur.l;
+    } else {
+      cur := cur.r;
+    }
+  }
+}
+)IDS";

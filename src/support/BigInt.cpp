@@ -1,0 +1,341 @@
+//===- support/BigInt.cpp - Arbitrary-precision integers ------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace ids;
+
+static constexpr uint32_t Base = 1000000000u; // 10^9
+
+BigInt::BigInt(int64_t Value) {
+  Negative = Value < 0;
+  // Avoid overflow on INT64_MIN by working in unsigned space.
+  uint64_t Magnitude =
+      Negative ? ~static_cast<uint64_t>(Value) + 1 : static_cast<uint64_t>(Value);
+  while (Magnitude != 0) {
+    Limbs.push_back(static_cast<uint32_t>(Magnitude % Base));
+    Magnitude /= Base;
+  }
+  if (Limbs.empty())
+    Negative = false;
+}
+
+BigInt BigInt::fromString(const std::string &Text) {
+  assert(!Text.empty() && "empty decimal literal");
+  size_t Start = 0;
+  bool Neg = false;
+  if (Text[0] == '-') {
+    Neg = true;
+    Start = 1;
+  }
+  assert(Start < Text.size() && "sign without digits");
+  BigInt Result;
+  // Consume 9 decimal digits at a time from the least-significant end.
+  size_t End = Text.size();
+  while (End > Start) {
+    size_t ChunkBegin = End >= Start + 9 ? End - 9 : Start;
+    uint32_t Chunk = 0;
+    for (size_t I = ChunkBegin; I < End; ++I) {
+      assert(Text[I] >= '0' && Text[I] <= '9' && "malformed decimal literal");
+      Chunk = Chunk * 10 + static_cast<uint32_t>(Text[I] - '0');
+    }
+    Result.Limbs.push_back(Chunk);
+    End = ChunkBegin;
+  }
+  // We pushed most-significant chunks last while scanning right-to-left,
+  // but each push corresponds to an increasing power of Base, which is
+  // exactly the little-endian layout; only trailing zeros need trimming.
+  trim(Result.Limbs);
+  Result.Negative = Neg && !Result.Limbs.empty();
+  return Result;
+}
+
+bool BigInt::toInt64(int64_t &Out) const {
+  // 2^63 has 19 decimal digits => at most 3 limbs can possibly fit.
+  if (Limbs.size() > 3)
+    return false;
+  unsigned __int128 Magnitude = 0;
+  for (size_t I = Limbs.size(); I-- > 0;)
+    Magnitude = Magnitude * Base + Limbs[I];
+  unsigned __int128 Limit = static_cast<unsigned __int128>(1) << 63;
+  if (Negative) {
+    if (Magnitude > Limit)
+      return false;
+    Out = static_cast<int64_t>(-static_cast<__int128>(Magnitude));
+    return true;
+  }
+  if (Magnitude >= Limit)
+    return false;
+  Out = static_cast<int64_t>(Magnitude);
+  return true;
+}
+
+std::string BigInt::toString() const {
+  if (Limbs.empty())
+    return "0";
+  std::string Result;
+  if (Negative)
+    Result += '-';
+  char Buffer[16];
+  snprintf(Buffer, sizeof(Buffer), "%u", Limbs.back());
+  Result += Buffer;
+  for (size_t I = Limbs.size() - 1; I-- > 0;) {
+    snprintf(Buffer, sizeof(Buffer), "%09u", Limbs[I]);
+    Result += Buffer;
+  }
+  return Result;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt Result = *this;
+  if (!Result.Limbs.empty())
+    Result.Negative = !Result.Negative;
+  return Result;
+}
+
+int BigInt::compareMagnitude(const std::vector<uint32_t> &A,
+                             const std::vector<uint32_t> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+void BigInt::trim(std::vector<uint32_t> &Limbs) {
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+}
+
+std::vector<uint32_t> BigInt::addMagnitude(const std::vector<uint32_t> &A,
+                                           const std::vector<uint32_t> &B) {
+  std::vector<uint32_t> Result;
+  Result.reserve(std::max(A.size(), B.size()) + 1);
+  uint32_t Carry = 0;
+  for (size_t I = 0; I < A.size() || I < B.size(); ++I) {
+    uint64_t Sum = Carry;
+    if (I < A.size())
+      Sum += A[I];
+    if (I < B.size())
+      Sum += B[I];
+    Result.push_back(static_cast<uint32_t>(Sum % Base));
+    Carry = static_cast<uint32_t>(Sum / Base);
+  }
+  if (Carry)
+    Result.push_back(Carry);
+  return Result;
+}
+
+std::vector<uint32_t> BigInt::subMagnitude(const std::vector<uint32_t> &A,
+                                           const std::vector<uint32_t> &B) {
+  assert(compareMagnitude(A, B) >= 0 && "subMagnitude requires |A| >= |B|");
+  std::vector<uint32_t> Result;
+  Result.reserve(A.size());
+  int64_t Borrow = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    int64_t Diff = static_cast<int64_t>(A[I]) - Borrow -
+                   (I < B.size() ? static_cast<int64_t>(B[I]) : 0);
+    if (Diff < 0) {
+      Diff += Base;
+      Borrow = 1;
+    } else {
+      Borrow = 0;
+    }
+    Result.push_back(static_cast<uint32_t>(Diff));
+  }
+  trim(Result);
+  return Result;
+}
+
+BigInt BigInt::operator+(const BigInt &RHS) const {
+  BigInt Result;
+  if (Negative == RHS.Negative) {
+    Result.Limbs = addMagnitude(Limbs, RHS.Limbs);
+    Result.Negative = Negative && !Result.Limbs.empty();
+    return Result;
+  }
+  int Cmp = compareMagnitude(Limbs, RHS.Limbs);
+  if (Cmp == 0)
+    return Result; // zero
+  if (Cmp > 0) {
+    Result.Limbs = subMagnitude(Limbs, RHS.Limbs);
+    Result.Negative = Negative;
+  } else {
+    Result.Limbs = subMagnitude(RHS.Limbs, Limbs);
+    Result.Negative = RHS.Negative;
+  }
+  return Result;
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const { return *this + (-RHS); }
+
+BigInt BigInt::operator*(const BigInt &RHS) const {
+  BigInt Result;
+  if (isZero() || RHS.isZero())
+    return Result;
+  std::vector<uint64_t> Acc(Limbs.size() + RHS.Limbs.size(), 0);
+  for (size_t I = 0; I < Limbs.size(); ++I) {
+    uint64_t Carry = 0;
+    for (size_t J = 0; J < RHS.Limbs.size(); ++J) {
+      uint64_t Cur = Acc[I + J] +
+                     static_cast<uint64_t>(Limbs[I]) * RHS.Limbs[J] + Carry;
+      Acc[I + J] = Cur % Base;
+      Carry = Cur / Base;
+    }
+    size_t K = I + RHS.Limbs.size();
+    while (Carry) {
+      uint64_t Cur = Acc[K] + Carry;
+      Acc[K] = Cur % Base;
+      Carry = Cur / Base;
+      ++K;
+    }
+  }
+  Result.Limbs.assign(Acc.begin(), Acc.end());
+  trim(Result.Limbs);
+  Result.Negative = (Negative != RHS.Negative) && !Result.Limbs.empty();
+  return Result;
+}
+
+std::vector<uint32_t>
+BigInt::divModMagnitude(const std::vector<uint32_t> &A,
+                        const std::vector<uint32_t> &B,
+                        std::vector<uint32_t> &Rem) {
+  assert(!B.empty() && "division by zero");
+  Rem.clear();
+  if (compareMagnitude(A, B) < 0) {
+    Rem = A;
+    return {};
+  }
+  // Fast path: single-limb divisor.
+  if (B.size() == 1) {
+    std::vector<uint32_t> Quot(A.size(), 0);
+    uint64_t Divisor = B[0];
+    uint64_t Carry = 0;
+    for (size_t I = A.size(); I-- > 0;) {
+      uint64_t Cur = Carry * Base + A[I];
+      Quot[I] = static_cast<uint32_t>(Cur / Divisor);
+      Carry = Cur % Divisor;
+    }
+    trim(Quot);
+    if (Carry)
+      Rem.push_back(static_cast<uint32_t>(Carry));
+    return Quot;
+  }
+  // Schoolbook long division, one result limb at a time, estimating each
+  // quotient digit with 128-bit arithmetic on the top limbs and correcting
+  // by at most a couple of steps.
+  std::vector<uint32_t> Quot(A.size(), 0);
+  std::vector<uint32_t> Current; // running remainder, little-endian
+  auto MulSmall = [](const std::vector<uint32_t> &V, uint32_t D) {
+    std::vector<uint32_t> R;
+    R.reserve(V.size() + 1);
+    uint64_t Carry = 0;
+    for (uint32_t Limb : V) {
+      uint64_t Cur = static_cast<uint64_t>(Limb) * D + Carry;
+      R.push_back(static_cast<uint32_t>(Cur % Base));
+      Carry = Cur / Base;
+    }
+    if (Carry)
+      R.push_back(static_cast<uint32_t>(Carry));
+    trim(R);
+    return R;
+  };
+  for (size_t I = A.size(); I-- > 0;) {
+    Current.insert(Current.begin(), A[I]);
+    trim(Current);
+    if (compareMagnitude(Current, B) < 0)
+      continue;
+    // Estimate the quotient digit from the aligned top limbs: take the top
+    // T limbs of B and the corresponding T + (|Current| - |B|) top limbs of
+    // Current (at most 4 limbs, which fits in 128 bits). Truncating the low
+    // limbs leaves the estimate off by at most a couple of units in either
+    // direction; the loops below correct it.
+    size_t M = Current.size(), N = B.size();
+    assert(M == N || M == N + 1);
+    size_t T = N < 3 ? N : 3;
+    unsigned __int128 Top = 0;
+    for (size_t K = M; K-- > N - T;)
+      Top = Top * Base + Current[K];
+    unsigned __int128 Den = 0;
+    for (size_t K = N; K-- > N - T;)
+      Den = Den * Base + B[K];
+    uint64_t Digit = static_cast<uint64_t>(Top / Den);
+    if (Digit >= Base)
+      Digit = Base - 1;
+    std::vector<uint32_t> Product = MulSmall(B, static_cast<uint32_t>(Digit));
+    while (compareMagnitude(Product, Current) > 0) {
+      --Digit;
+      Product = MulSmall(B, static_cast<uint32_t>(Digit));
+    }
+    // The estimate can also be low; correct upward.
+    for (;;) {
+      std::vector<uint32_t> Next = MulSmall(B, static_cast<uint32_t>(Digit + 1));
+      if (compareMagnitude(Next, Current) > 0)
+        break;
+      ++Digit;
+      Product = Next;
+    }
+    Current = subMagnitude(Current, Product);
+    Quot[I] = static_cast<uint32_t>(Digit);
+  }
+  trim(Quot);
+  Rem = Current;
+  return Quot;
+}
+
+BigInt BigInt::operator/(const BigInt &RHS) const {
+  assert(!RHS.isZero() && "division by zero");
+  BigInt Result;
+  std::vector<uint32_t> Rem;
+  Result.Limbs = divModMagnitude(Limbs, RHS.Limbs, Rem);
+  Result.Negative = (Negative != RHS.Negative) && !Result.Limbs.empty();
+  return Result;
+}
+
+BigInt BigInt::operator%(const BigInt &RHS) const {
+  assert(!RHS.isZero() && "division by zero");
+  BigInt Result;
+  std::vector<uint32_t> Rem;
+  divModMagnitude(Limbs, RHS.Limbs, Rem);
+  Result.Limbs = Rem;
+  Result.Negative = Negative && !Result.Limbs.empty();
+  return Result;
+}
+
+int BigInt::compare(const BigInt &RHS) const {
+  if (Negative != RHS.Negative)
+    return Negative ? -1 : 1;
+  int MagCmp = compareMagnitude(Limbs, RHS.Limbs);
+  return Negative ? -MagCmp : MagCmp;
+}
+
+BigInt BigInt::abs() const {
+  BigInt Result = *this;
+  Result.Negative = false;
+  return Result;
+}
+
+BigInt BigInt::gcd(BigInt A, BigInt B) {
+  A = A.abs();
+  B = B.abs();
+  while (!B.isZero()) {
+    BigInt R = A % B;
+    A = B;
+    B = R;
+  }
+  return A;
+}
+
+size_t BigInt::hash() const {
+  size_t H = Negative ? 0x9e3779b97f4a7c15ull : 0;
+  for (uint32_t Limb : Limbs)
+    H = H * 1000003ull + Limb;
+  return H;
+}

@@ -1,0 +1,109 @@
+//===- support/BigInt.h - Arbitrary-precision integers ---------*- C++ -*-===//
+//
+// Part of the IDSVerify project, an open-source reproduction of
+// "Predictable Verification using Intrinsic Definitions" (PLDI 2024).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arbitrary-precision signed integers.
+///
+/// The simplex core and the rank monadic maps manipulate exact rational
+/// numbers whose numerators and denominators can grow without bound during
+/// pivoting, so a fixed-width representation is not safe. This is a small,
+/// portable sign-magnitude implementation (base 10^9 limbs) with the
+/// operations the solver stack needs: ring arithmetic, Euclidean division,
+/// gcd, comparisons, hashing, and decimal (de)serialisation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SUPPORT_BIGINT_H
+#define IDS_SUPPORT_BIGINT_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ids {
+
+/// Arbitrary-precision signed integer (sign + base-10^9 magnitude).
+///
+/// Invariants: \c Limbs has no trailing zero limb, and zero is represented
+/// with an empty \c Limbs and \c Negative == false.
+class BigInt {
+public:
+  BigInt() = default;
+  BigInt(int64_t Value);
+
+  /// Parses a decimal string with optional leading '-'. Asserts on
+  /// malformed input; use only on trusted/validated text.
+  static BigInt fromString(const std::string &Text);
+
+  bool isZero() const { return Limbs.empty(); }
+  bool isNegative() const { return Negative; }
+  bool isOne() const { return !Negative && Limbs.size() == 1 && Limbs[0] == 1; }
+
+  /// Returns true and stores the value into \p Out when it fits in int64.
+  bool toInt64(int64_t &Out) const;
+
+  std::string toString() const;
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt &RHS) const;
+  BigInt operator-(const BigInt &RHS) const;
+  BigInt operator*(const BigInt &RHS) const;
+
+  /// Truncated division (C semantics: rounds toward zero). \p RHS != 0.
+  BigInt operator/(const BigInt &RHS) const;
+  /// Remainder matching operator/ (same sign as the dividend).
+  BigInt operator%(const BigInt &RHS) const;
+
+  BigInt &operator+=(const BigInt &RHS) { return *this = *this + RHS; }
+  BigInt &operator-=(const BigInt &RHS) { return *this = *this - RHS; }
+  BigInt &operator*=(const BigInt &RHS) { return *this = *this * RHS; }
+
+  bool operator==(const BigInt &RHS) const {
+    return Negative == RHS.Negative && Limbs == RHS.Limbs;
+  }
+  bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
+  bool operator<(const BigInt &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const BigInt &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const BigInt &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const BigInt &RHS) const { return compare(RHS) >= 0; }
+
+  /// Three-way comparison: negative, zero, or positive.
+  int compare(const BigInt &RHS) const;
+
+  BigInt abs() const;
+
+  static BigInt gcd(BigInt A, BigInt B);
+
+  size_t hash() const;
+
+private:
+  /// Compares magnitudes only.
+  static int compareMagnitude(const std::vector<uint32_t> &A,
+                              const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> addMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B);
+  /// Requires |A| >= |B|.
+  static std::vector<uint32_t> subMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B);
+  static void trim(std::vector<uint32_t> &Limbs);
+  /// Magnitude division: returns quotient, stores remainder in \p Rem.
+  static std::vector<uint32_t> divModMagnitude(const std::vector<uint32_t> &A,
+                                               const std::vector<uint32_t> &B,
+                                               std::vector<uint32_t> &Rem);
+
+  bool Negative = false;
+  std::vector<uint32_t> Limbs; // little-endian, base 10^9
+};
+
+} // namespace ids
+
+template <> struct std::hash<ids::BigInt> {
+  size_t operator()(const ids::BigInt &Value) const { return Value.hash(); }
+};
+
+#endif // IDS_SUPPORT_BIGINT_H

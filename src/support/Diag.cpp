@@ -1,0 +1,33 @@
+//===- support/Diag.cpp - Source locations and diagnostics ----------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+using namespace ids;
+
+std::string SourceLoc::toString() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+std::string Diagnostic::toString() const {
+  const char *Prefix = "error";
+  if (Kind == DiagKind::Warning)
+    Prefix = "warning";
+  else if (Kind == DiagKind::Note)
+    Prefix = "note";
+  return Loc.toString() + ": " + Prefix + ": " + Message;
+}
+
+std::string DiagEngine::toString() const {
+  std::string Result;
+  for (const Diagnostic &D : Diags) {
+    Result += D.toString();
+    Result += '\n';
+  }
+  return Result;
+}

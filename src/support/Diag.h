@@ -1,0 +1,74 @@
+//===- support/Diag.h - Source locations and diagnostics -------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a diagnostic sink shared by the lexer, parser, type
+/// checker, ghost checker, well-behavedness checker and verifier driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SUPPORT_DIAG_H
+#define IDS_SUPPORT_DIAG_H
+
+#include <string>
+#include <vector>
+
+namespace ids {
+
+/// 1-based line/column position in a source buffer. Line 0 marks an
+/// unknown/synthesised location.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  std::string toString() const;
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string toString() const;
+};
+
+/// Collects diagnostics produced by a front-end pass.
+///
+/// Passes report through this sink instead of printing, so library users
+/// (tests, the CLI, the bench harness) decide how to render failures.
+class DiagEngine {
+public:
+  void error(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({DiagKind::Error, Loc, Message});
+    ++ErrorCount;
+  }
+  void warning(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({DiagKind::Warning, Loc, Message});
+  }
+  void note(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({DiagKind::Note, Loc, Message});
+  }
+
+  bool hasErrors() const { return ErrorCount != 0; }
+  unsigned errorCount() const { return ErrorCount; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics joined by newlines; convenient for test failure text.
+  std::string toString() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned ErrorCount = 0;
+};
+
+} // namespace ids
+
+#endif // IDS_SUPPORT_DIAG_H

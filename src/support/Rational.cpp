@@ -1,0 +1,79 @@
+//===- support/Rational.cpp - Exact rational arithmetic -------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+using namespace ids;
+
+Rational::Rational(BigInt Numerator, BigInt Denominator)
+    : Num(std::move(Numerator)), Den(std::move(Denominator)) {
+  assert(!Den.isZero() && "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (Den.isNegative()) {
+    Num = -Num;
+    Den = -Den;
+  }
+  if (Num.isZero()) {
+    Den = BigInt(1);
+    return;
+  }
+  BigInt G = BigInt::gcd(Num, Den);
+  if (!G.isOne()) {
+    Num = Num / G;
+    Den = Den / G;
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational Result = *this;
+  Result.Num = -Result.Num;
+  return Result;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  return Rational(Num * RHS.Num, Den * RHS.Den);
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "division by zero rational");
+  return Rational(Num * RHS.Den, Den * RHS.Num);
+}
+
+int Rational::compare(const Rational &RHS) const {
+  return (Num * RHS.Den).compare(RHS.Num * Den);
+}
+
+BigInt Rational::floor() const {
+  BigInt Quot = Num / Den;
+  // Truncation rounds toward zero; fix up negatives with a remainder.
+  if (Num.isNegative() && (Quot * Den) != Num)
+    Quot = Quot - BigInt(1);
+  return Quot;
+}
+
+BigInt Rational::ceil() const {
+  BigInt Quot = Num / Den;
+  if (!Num.isNegative() && (Quot * Den) != Num)
+    Quot = Quot + BigInt(1);
+  return Quot;
+}
+
+std::string Rational::toString() const {
+  if (Den.isOne())
+    return Num.toString();
+  return Num.toString() + "/" + Den.toString();
+}

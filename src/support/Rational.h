@@ -1,0 +1,89 @@
+//===- support/Rational.h - Exact rational arithmetic ----------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over BigInt.
+///
+/// Used by the simplex core (tableau coefficients, bounds, models) and by
+/// the interpreter for `rat`-typed ghost fields such as the `rank` maps of
+/// Section 1 / Example 2.6 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SUPPORT_RATIONAL_H
+#define IDS_SUPPORT_RATIONAL_H
+
+#include "support/BigInt.h"
+
+#include <cassert>
+#include <functional>
+#include <string>
+
+namespace ids {
+
+/// Exact rational number, always stored in lowest terms with a positive
+/// denominator.
+class Rational {
+public:
+  Rational() : Num(0), Den(1) {}
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+  Rational(BigInt Numerator) : Num(std::move(Numerator)), Den(1) {}
+  Rational(BigInt Numerator, BigInt Denominator);
+  Rational(int64_t Numerator, int64_t Denominator)
+      : Rational(BigInt(Numerator), BigInt(Denominator)) {}
+
+  const BigInt &numerator() const { return Num; }
+  const BigInt &denominator() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isNegative() const { return Num.isNegative(); }
+  bool isInteger() const { return Den.isOne(); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  Rational operator/(const Rational &RHS) const;
+
+  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
+  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
+  Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
+  Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const Rational &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const Rational &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const Rational &RHS) const { return compare(RHS) >= 0; }
+
+  int compare(const Rational &RHS) const;
+
+  /// Largest integer <= this value.
+  BigInt floor() const;
+  /// Smallest integer >= this value.
+  BigInt ceil() const;
+
+  std::string toString() const;
+
+  size_t hash() const { return Num.hash() * 31 + Den.hash(); }
+
+private:
+  void normalize();
+
+  BigInt Num;
+  BigInt Den; // always positive
+};
+
+} // namespace ids
+
+template <> struct std::hash<ids::Rational> {
+  size_t operator()(const ids::Rational &Value) const { return Value.hash(); }
+};
+
+#endif // IDS_SUPPORT_RATIONAL_H

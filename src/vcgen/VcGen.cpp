@@ -1,0 +1,817 @@
+//===- vcgen/VcGen.cpp - Verification condition generation -----------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vcgen/VcGen.h"
+
+#include "lang/Checks.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+using namespace ids;
+using namespace ids::vcgen;
+using namespace ids::lang;
+using smt::TermManager;
+using smt::TermRef;
+
+smt::TermRef ProcVc::conjoined(TermManager &TM) const {
+  std::vector<TermRef> Parts;
+  Parts.reserve(Obligations.size());
+  for (const Obligation &O : Obligations)
+    Parts.push_back(TM.mkImplies(O.Guard, O.Claim));
+  return TM.mkAnd(std::move(Parts));
+}
+
+namespace {
+/// Symbolic state: current incarnation term for every variable, field map,
+/// broken set and the alloc set.
+struct Env {
+  std::map<std::string, TermRef> Vars;
+  std::map<std::string, TermRef> Fields;
+  std::map<std::string, TermRef> Br;
+  TermRef Alloc = nullptr;
+};
+
+/// Havoc targets of a loop body.
+struct Targets {
+  std::set<std::string> Vars;
+  std::set<std::string> Fields;
+  std::set<std::string> BrGroups;
+  bool Alloc = false;
+};
+
+class VcGenerator {
+public:
+  VcGenerator(TermManager &TM, const Module &M, const VcOptions &Opts)
+      : TM(TM), M(M), Opts(Opts) {}
+
+  ProcVc run(const ProcDecl &P);
+  ProcVc runImpact(const ImpactDecl &Impact);
+
+private:
+  // --- plumbing ---
+  const smt::Sort *sortOf(const Type &T) {
+    switch (T.Kind) {
+    case TypeKind::Int:
+      return TM.intSort();
+    case TypeKind::Rat:
+      return TM.ratSort();
+    case TypeKind::Bool:
+      return TM.boolSort();
+    case TypeKind::Loc:
+      return TM.locSort();
+    case TypeKind::Set:
+      return TM.getArraySort(sortOf(Type{T.Elem, TypeKind::Int}),
+                             TM.boolSort());
+    }
+    return TM.boolSort();
+  }
+  const smt::Sort *fieldMapSort(const FieldDecl &F) {
+    return TM.getArraySort(TM.locSort(), sortOf(F.Ty));
+  }
+  TermRef defaultValue(const Type &T) {
+    switch (T.Kind) {
+    case TypeKind::Int:
+      return TM.mkIntConst(0);
+    case TypeKind::Rat:
+      return TM.mkRatConst(Rational(0));
+    case TypeKind::Bool:
+      return TM.mkFalse();
+    case TypeKind::Loc:
+      return TM.mkNil();
+    case TypeKind::Set:
+      return TM.mkEmptySet(sortOf(Type{T.Elem, TypeKind::Int}));
+    }
+    return TM.mkFalse();
+  }
+
+  void oblige(TermRef Guard, TermRef Claim, SourceLoc Loc,
+              const std::string &Desc) {
+    if (Claim == TM.mkTrue())
+      return;
+    Obls.push_back({Guard, Claim, Loc, Desc});
+  }
+
+  /// Introduces a fresh incarnation constant equal to \p Value; keeps env
+  /// entries small and shares structure through the equality.
+  TermRef incarnate(const std::string &Prefix, TermRef Value,
+                    std::vector<TermRef> &Assumes) {
+    TermRef V = TM.mkFreshVar(Prefix, Value->getSort());
+    Assumes.push_back(TM.mkEq(V, Value));
+    return V;
+  }
+
+  // --- expression translation ---
+  struct SideFx {
+    std::vector<TermRef> Assumes; ///< guarded closure assumptions
+  };
+
+  /// Translates an expression. \p Fx non-null marks an executable context:
+  /// field reads emit null-dereference obligations (guarded by \p Guard,
+  /// the accumulated short-circuit guard) and alloc-closure assumptions.
+  /// old(...) resolves against \p OldE.
+  TermRef tr(const Expr *E, const Env &Cur, const Env *OldE, TermRef Ctx,
+             TermRef Guard, SideFx *Fx);
+
+  TermRef trSpec(const Expr *E, const Env &Cur, const Env *OldE) {
+    return tr(E, Cur, OldE, TM.mkTrue(), TM.mkTrue(), nullptr);
+  }
+
+  /// The local condition of \p Group instantiated at \p LocTerm.
+  TermRef lcAt(const std::string &Group, TermRef LocTerm, const Env &E);
+
+  /// Allocation-closure assumption for an object (Appendix A.3): its
+  /// location fields are nil-or-allocated and its set<Loc> fields are
+  /// subsets of Alloc.
+  TermRef allocClosure(TermRef Obj, const Env &E);
+
+  // --- statements ---
+  TermRef execSeq(const std::vector<Stmt *> &Body, Env &E, TermRef Ctx);
+  TermRef exec(const Stmt *S, Env &E, TermRef Ctx);
+  void emitEnsures(const Env &E, TermRef Ctx, SourceLoc Loc);
+  void collectTargets(const std::vector<Stmt *> &Body, Targets &T);
+  /// Merges two branch environments; returns the joined env and appends
+  /// join equations to the per-branch assumption terms.
+  Env mergeEnvs(const Env &E1, std::vector<TermRef> &A1, const Env &E2,
+                std::vector<TermRef> &A2);
+
+  TermManager &TM;
+  const Module &M;
+  VcOptions Opts;
+  std::vector<Obligation> Obls;
+  Env Entry;
+  TermRef ModAtEntry = nullptr;
+  const ProcDecl *Proc = nullptr;
+};
+} // namespace
+
+TermRef VcGenerator::tr(const Expr *E, const Env &Cur, const Env *OldE,
+                        TermRef Ctx, TermRef Guard, SideFx *Fx) {
+  auto Rec = [&](const Expr *Sub) {
+    return tr(Sub, Cur, OldE, Ctx, Guard, Fx);
+  };
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return E->Ty.Kind == TypeKind::Rat
+               ? TM.mkRatConst(Rational(E->IntVal))
+               : TM.mkIntConst(E->IntVal);
+  case ExprKind::BoolLit:
+    return TM.mkBool(E->BoolVal);
+  case ExprKind::NilLit:
+    return TM.mkNil();
+  case ExprKind::EmptySetLit:
+    return TM.mkEmptySet(sortOf(Type{E->Ty.Elem, TypeKind::Int}));
+  case ExprKind::VarRef: {
+    auto It = Cur.Vars.find(E->Name);
+    assert(It != Cur.Vars.end() && "unbound variable after type checking");
+    return It->second;
+  }
+  case ExprKind::FieldRead: {
+    TermRef Base = Rec(E->arg(0));
+    if (Fx) {
+      oblige(TM.mkAnd(Ctx, Guard), TM.mkDistinct(Base, TM.mkNil()),
+             E->Loc, "dereference of '" + E->Name + "' on non-nil object");
+      if (E->Ty.Kind == TypeKind::Loc ||
+          (E->Ty.isSet() && E->Ty.Elem == TypeKind::Loc)) {
+        TermRef Read = TM.mkSelect(Cur.Fields.at(E->Name), Base);
+        TermRef Closure =
+            E->Ty.Kind == TypeKind::Loc
+                ? TM.mkOr(TM.mkEq(Read, TM.mkNil()),
+                          TM.mkMember(Read, Cur.Alloc))
+                : TM.mkSubset(Read, Cur.Alloc);
+        Fx->Assumes.push_back(TM.mkImplies(Guard, Closure));
+      }
+    }
+    return TM.mkSelect(Cur.Fields.at(E->Name), Base);
+  }
+  case ExprKind::Old: {
+    assert(OldE && "old() with no old-state environment");
+    return tr(E->arg(0), *OldE, OldE, Ctx, Guard, nullptr);
+  }
+  case ExprKind::BrSet:
+    return Cur.Br.at(E->Name);
+  case ExprKind::AllocSet:
+    return Cur.Alloc;
+  case ExprKind::Unary:
+    return E->UOp == UnOp::Not ? TM.mkNot(Rec(E->arg(0)))
+                               : TM.mkNeg(Rec(E->arg(0)));
+  case ExprKind::Binary: {
+    const Expr *L = E->arg(0), *R = E->arg(1);
+    switch (E->BOp) {
+    case BinOp::And: {
+      TermRef LT = Rec(L);
+      TermRef RT = tr(R, Cur, OldE, Ctx, TM.mkAnd(Guard, LT), Fx);
+      return TM.mkAnd(LT, RT);
+    }
+    case BinOp::Or: {
+      TermRef LT = Rec(L);
+      TermRef RT = tr(R, Cur, OldE, Ctx, TM.mkAnd(Guard, TM.mkNot(LT)), Fx);
+      return TM.mkOr(LT, RT);
+    }
+    case BinOp::Implies: {
+      TermRef LT = Rec(L);
+      TermRef RT = tr(R, Cur, OldE, Ctx, TM.mkAnd(Guard, LT), Fx);
+      return TM.mkImplies(LT, RT);
+    }
+    case BinOp::Iff:
+      return TM.mkEq(Rec(L), Rec(R));
+    case BinOp::Add:
+      return TM.mkAdd(Rec(L), Rec(R));
+    case BinOp::Sub:
+      return TM.mkSub(Rec(L), Rec(R));
+    case BinOp::Mul: {
+      if (L->Kind == ExprKind::IntLit ||
+          (L->Kind == ExprKind::Unary && L->UOp == UnOp::Neg))
+        std::swap(L, R);
+      // R is the literal (possibly negated).
+      TermRef LT = Rec(L);
+      Rational C = R->Kind == ExprKind::IntLit
+                       ? Rational(R->IntVal)
+                       : -Rational(R->arg(0)->IntVal);
+      return TM.mkMulConst(C, LT);
+    }
+    case BinOp::Div: {
+      Rational C(R->IntVal);
+      return TM.mkMulConst(Rational(1) / C, Rec(L));
+    }
+    case BinOp::Union:
+      return TM.mkSetUnion(Rec(L), Rec(R));
+    case BinOp::Isect:
+      return TM.mkSetIntersect(Rec(L), Rec(R));
+    case BinOp::SetMinus:
+      return TM.mkSetMinus(Rec(L), Rec(R));
+    case BinOp::DuPlus:
+      assert(false && "duplus outside an equality; rejected by checker");
+      return TM.mkTrue();
+    case BinOp::In:
+      return TM.mkMember(Rec(L), Rec(R));
+    case BinOp::Subset:
+      return TM.mkSubset(Rec(L), Rec(R));
+    case BinOp::Eq:
+    case BinOp::Ne: {
+      if (R->Kind == ExprKind::Binary && R->BOp == BinOp::DuPlus) {
+        // a == b duplus c  ~~>  a == b union c  &&  disjoint(b, c)
+        TermRef A = Rec(L);
+        TermRef B = Rec(R->arg(0));
+        TermRef C = Rec(R->arg(1));
+        TermRef Conj = TM.mkAnd(TM.mkEq(A, TM.mkSetUnion(B, C)),
+                                TM.mkDisjoint(B, C));
+        return Conj;
+      }
+      TermRef Eq = TM.mkEq(Rec(L), Rec(R));
+      return E->BOp == BinOp::Eq ? Eq : TM.mkNot(Eq);
+    }
+    case BinOp::Lt:
+      return TM.mkLt(Rec(L), Rec(R));
+    case BinOp::Le:
+      return TM.mkLe(Rec(L), Rec(R));
+    case BinOp::Gt:
+      return TM.mkGt(Rec(L), Rec(R));
+    case BinOp::Ge:
+      return TM.mkGe(Rec(L), Rec(R));
+    }
+    return TM.mkTrue();
+  }
+  case ExprKind::IteExpr: {
+    TermRef C = Rec(E->arg(0));
+    TermRef T = tr(E->arg(1), Cur, OldE, Ctx, TM.mkAnd(Guard, C), Fx);
+    TermRef F = tr(E->arg(2), Cur, OldE, Ctx, TM.mkAnd(Guard, TM.mkNot(C)),
+                   Fx);
+    return TM.mkIte(C, T, F);
+  }
+  case ExprKind::SetLit: {
+    TermRef S = TM.mkEmptySet(sortOf(Type{E->Ty.Elem, TypeKind::Int}));
+    for (const Expr *Elem : E->Args)
+      S = TM.mkSetInsert(S, Rec(Elem));
+    return S;
+  }
+  case ExprKind::Fresh: {
+    assert(OldE);
+    TermRef S = Rec(E->arg(0));
+    return TM.mkAnd(TM.mkDisjoint(S, OldE->Alloc),
+                    TM.mkSubset(S, Cur.Alloc));
+  }
+  case ExprKind::LcApp:
+    return lcAt(E->Name, Rec(E->arg(0)), Cur);
+  }
+  return TM.mkTrue();
+}
+
+TermRef VcGenerator::lcAt(const std::string &Group, TermRef LocTerm,
+                          const Env &E) {
+  const LocalCondDecl *L = M.Structure.findLocal(Group);
+  assert(L && "unknown LC group after checking");
+  Env Scoped = E;
+  Scoped.Vars[L->Param] = LocTerm;
+  return tr(L->Body, Scoped, /*OldE=*/nullptr, TM.mkTrue(), TM.mkTrue(),
+            nullptr);
+}
+
+TermRef VcGenerator::allocClosure(TermRef Obj, const Env &E) {
+  std::vector<TermRef> Parts;
+  for (const FieldDecl &F : M.Structure.Fields) {
+    TermRef Read = TM.mkSelect(E.Fields.at(F.Name), Obj);
+    if (F.Ty.Kind == TypeKind::Loc)
+      Parts.push_back(TM.mkOr(TM.mkEq(Read, TM.mkNil()),
+                              TM.mkMember(Read, E.Alloc)));
+    else if (F.Ty.isSet() && F.Ty.Elem == TypeKind::Loc)
+      Parts.push_back(TM.mkSubset(Read, E.Alloc));
+  }
+  TermRef Guard = TM.mkAnd(TM.mkDistinct(Obj, TM.mkNil()),
+                           TM.mkMember(Obj, E.Alloc));
+  return TM.mkImplies(Guard, TM.mkAnd(std::move(Parts)));
+}
+
+void VcGenerator::collectTargets(const std::vector<Stmt *> &Body,
+                                 Targets &T) {
+  for (const Stmt *S : Body) {
+    switch (S->Kind) {
+    case StmtKind::VarDecl:
+    case StmtKind::Assign:
+      T.Vars.insert(S->VarName);
+      break;
+    case StmtKind::Mut: {
+      T.Fields.insert(S->Target->Name);
+      for (const LocalCondDecl &L : M.Structure.Locals)
+        if (fieldsReadByLocal(M.Structure, L.Name).count(S->Target->Name))
+          T.BrGroups.insert(L.Name);
+      break;
+    }
+    case StmtKind::NewObj:
+      T.Vars.insert(S->VarName);
+      for (const FieldDecl &F : M.Structure.Fields)
+        T.Fields.insert(F.Name);
+      for (const LocalCondDecl &L : M.Structure.Locals)
+        T.BrGroups.insert(L.Name);
+      T.Alloc = true;
+      break;
+    case StmtKind::AssertLcRemove:
+      T.BrGroups.insert(S->Group);
+      break;
+    case StmtKind::Call:
+      for (const std::string &N : S->CallLhs)
+        T.Vars.insert(N);
+      for (const FieldDecl &F : M.Structure.Fields)
+        T.Fields.insert(F.Name);
+      for (const LocalCondDecl &L : M.Structure.Locals)
+        T.BrGroups.insert(L.Name);
+      T.Alloc = true;
+      break;
+    case StmtKind::If:
+      collectTargets(S->Body, T);
+      collectTargets(S->ElseBody, T);
+      break;
+    case StmtKind::While:
+    case StmtKind::Block:
+    case StmtKind::GhostBlock:
+      collectTargets(S->Body, T);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+Env VcGenerator::mergeEnvs(const Env &E1, std::vector<TermRef> &A1,
+                           const Env &E2, std::vector<TermRef> &A2) {
+  Env Out;
+  auto Join = [&](TermRef V1, TermRef V2, const std::string &Name) {
+    if (V1 == V2)
+      return V1;
+    TermRef J = TM.mkFreshVar(Name + "@join", V1->getSort());
+    A1.push_back(TM.mkEq(J, V1));
+    A2.push_back(TM.mkEq(J, V2));
+    return J;
+  };
+  // Variables may be scoped to one branch; join only common ones.
+  for (const auto &[N, V1] : E1.Vars) {
+    auto It = E2.Vars.find(N);
+    if (It != E2.Vars.end())
+      Out.Vars[N] = Join(V1, It->second, N);
+  }
+  for (const auto &[N, V1] : E1.Fields)
+    Out.Fields[N] = Join(V1, E2.Fields.at(N), "M_" + N);
+  for (const auto &[N, V1] : E1.Br)
+    Out.Br[N] = Join(V1, E2.Br.at(N), "Br_" + N);
+  Out.Alloc = Join(E1.Alloc, E2.Alloc, "Alloc");
+  return Out;
+}
+
+void VcGenerator::emitEnsures(const Env &E, TermRef Ctx, SourceLoc Loc) {
+  for (const Expr *Post : Proc->Ensures)
+    oblige(Ctx, tr(Post, E, &Entry, Ctx, TM.mkTrue(), nullptr), Loc,
+           "postcondition of '" + Proc->Name + "'");
+}
+
+TermRef VcGenerator::execSeq(const std::vector<Stmt *> &Body, Env &E,
+                             TermRef Ctx) {
+  std::vector<TermRef> Assumes;
+  for (const Stmt *S : Body) {
+    TermRef A = exec(S, E, TM.mkAnd(Ctx, TM.mkAnd(Assumes)));
+    Assumes.push_back(A);
+  }
+  return TM.mkAnd(std::move(Assumes));
+}
+
+TermRef VcGenerator::exec(const Stmt *S, Env &E, TermRef Ctx) {
+  switch (S->Kind) {
+  case StmtKind::VarDecl: {
+    std::vector<TermRef> Assumes;
+    TermRef Init = nullptr;
+    if (S->Init) {
+      SideFx Fx;
+      Init = tr(S->Init, E, &Entry, Ctx, TM.mkTrue(), &Fx);
+      Assumes = std::move(Fx.Assumes);
+    }
+    TermRef V = TM.mkFreshVar(S->VarName, sortOf(S->VarType));
+    if (Init)
+      Assumes.push_back(TM.mkEq(V, Init));
+    E.Vars[S->VarName] = V;
+    return TM.mkAnd(std::move(Assumes));
+  }
+  case StmtKind::Assign: {
+    SideFx Fx;
+    TermRef Val = tr(S->Init, E, &Entry, Ctx, TM.mkTrue(), &Fx);
+    std::vector<TermRef> Assumes = std::move(Fx.Assumes);
+    E.Vars[S->VarName] =
+        incarnate(S->VarName, Val, Assumes);
+    return TM.mkAnd(std::move(Assumes));
+  }
+  case StmtKind::Mut: {
+    SideFx Fx;
+    TermRef Base = tr(S->Target->arg(0), E, &Entry, Ctx, TM.mkTrue(), &Fx);
+    TermRef Val = tr(S->Init, E, &Entry, Ctx, TM.mkTrue(), &Fx);
+    std::vector<TermRef> Assumes = std::move(Fx.Assumes);
+    const std::string &Field = S->Target->Name;
+    oblige(Ctx, TM.mkDistinct(Base, TM.mkNil()), S->Loc,
+           "Mut target is non-nil");
+    if (Opts.CheckFrames && ModAtEntry)
+      oblige(Ctx,
+             TM.mkOr(TM.mkMember(Base, ModAtEntry),
+                     TM.mkNot(TM.mkMember(Base, Entry.Alloc))),
+             S->Loc, "mutation stays within the modifies footprint");
+    // Impact-set updates per group, evaluated in the pre-mutation state
+    // (old() inside impact terms refers to the state before this Mut).
+    std::vector<std::pair<std::string, TermRef>> BrUpdates;
+    for (const ImpactDecl &I : M.Structure.Impacts) {
+      if (I.Field != Field)
+        continue;
+      Env ImpEnv = E;
+      ImpEnv.Vars[I.Param] = Base;
+      if (I.Precondition)
+        oblige(Ctx, tr(I.Precondition, ImpEnv, &ImpEnv, Ctx, TM.mkTrue(),
+                       nullptr),
+               S->Loc, "mutation precondition for field '" + Field + "'");
+      TermRef NewBr = E.Br.at(I.Group);
+      for (const Expr *T : I.Terms) {
+        TermRef TT = tr(T, ImpEnv, &ImpEnv, Ctx, TM.mkTrue(), nullptr);
+        NewBr = TM.mkIte(TM.mkEq(TT, TM.mkNil()), NewBr,
+                         TM.mkSetInsert(NewBr, TT));
+      }
+      BrUpdates.emplace_back(I.Group, NewBr);
+    }
+    // Apply the store and the broken-set growth.
+    E.Fields[Field] = incarnate(
+        "M_" + Field, TM.mkStore(E.Fields.at(Field), Base, Val), Assumes);
+    for (auto &[Group, NewBr] : BrUpdates)
+      E.Br[Group] = incarnate("Br_" + Group, NewBr, Assumes);
+    return TM.mkAnd(std::move(Assumes));
+  }
+  case StmtKind::NewObj: {
+    std::vector<TermRef> Assumes;
+    TermRef O = TM.mkFreshVar("obj", TM.locSort());
+    Assumes.push_back(TM.mkDistinct(O, TM.mkNil()));
+    Assumes.push_back(TM.mkNot(TM.mkMember(O, E.Alloc)));
+    E.Alloc = incarnate("Alloc", TM.mkSetInsert(E.Alloc, O), Assumes);
+    for (const FieldDecl &F : M.Structure.Fields)
+      E.Fields[F.Name] =
+          incarnate("M_" + F.Name,
+                    TM.mkStore(E.Fields.at(F.Name), O, defaultValue(F.Ty)),
+                    Assumes);
+    for (const LocalCondDecl &L : M.Structure.Locals)
+      E.Br[L.Name] = incarnate(
+          "Br_" + L.Name, TM.mkSetInsert(E.Br.at(L.Name), O), Assumes);
+    E.Vars[S->VarName] = O;
+    return TM.mkAnd(std::move(Assumes));
+  }
+  case StmtKind::AssertLcRemove: {
+    SideFx Fx;
+    TermRef X = tr(S->Cond, E, &Entry, Ctx, TM.mkTrue(), &Fx);
+    std::vector<TermRef> Assumes = std::move(Fx.Assumes);
+    oblige(Ctx, TM.mkDistinct(X, TM.mkNil()), S->Loc,
+           "AssertLCAndRemove target is non-nil");
+    oblige(TM.mkAnd(Ctx, TM.mkAnd(Assumes)), lcAt(S->Group, X, E), S->Loc,
+           "local condition '" + S->Group + "' holds (Assert LC and "
+           "Remove, Figure 2)");
+    E.Br[S->Group] = incarnate(
+        "Br_" + S->Group, TM.mkSetRemove(E.Br.at(S->Group), X), Assumes);
+    return TM.mkAnd(std::move(Assumes));
+  }
+  case StmtKind::InferLc: {
+    SideFx Fx;
+    TermRef X = tr(S->Cond, E, &Entry, Ctx, TM.mkTrue(), &Fx);
+    std::vector<TermRef> Assumes = std::move(Fx.Assumes);
+    oblige(Ctx, TM.mkDistinct(X, TM.mkNil()), S->Loc,
+           "InferLCOutsideBr target is non-nil");
+    oblige(Ctx, TM.mkNot(TM.mkMember(X, E.Br.at(S->Group))), S->Loc,
+           "object is outside the broken set (Infer LC Outside Br, "
+           "Figure 2)");
+    Assumes.push_back(lcAt(S->Group, X, E));
+    Assumes.push_back(allocClosure(X, E));
+    return TM.mkAnd(std::move(Assumes));
+  }
+  case StmtKind::Assert: {
+    TermRef C = tr(S->Cond, E, &Entry, Ctx, TM.mkTrue(), nullptr);
+    oblige(Ctx, C, S->Loc, "assertion");
+    return C;
+  }
+  case StmtKind::Assume:
+    return tr(S->Cond, E, &Entry, Ctx, TM.mkTrue(), nullptr);
+  case StmtKind::If: {
+    SideFx Fx;
+    TermRef Cond = tr(S->Cond, E, &Entry, Ctx, TM.mkTrue(), &Fx);
+    TermRef Pre = TM.mkAnd(Fx.Assumes);
+    Env E1 = E, E2 = E;
+    std::vector<TermRef> A1 = {
+        execSeq(S->Body, E1, TM.mkAnd({Ctx, Pre, Cond}))};
+    std::vector<TermRef> A2 = {execSeq(
+        S->ElseBody, E2, TM.mkAnd({Ctx, Pre, TM.mkNot(Cond)}))};
+    E = mergeEnvs(E1, A1, E2, A2);
+    return TM.mkAnd(
+        {Pre, TM.mkImplies(Cond, TM.mkAnd(std::move(A1))),
+         TM.mkImplies(TM.mkNot(Cond), TM.mkAnd(std::move(A2)))});
+  }
+  case StmtKind::While: {
+    // 1. Invariants hold on entry.
+    for (const Expr *Inv : S->Invariants)
+      oblige(Ctx, tr(Inv, E, &Entry, Ctx, TM.mkTrue(), nullptr), Inv->Loc,
+             "loop invariant holds on entry");
+    // 2. Havoc the loop targets.
+    Targets T;
+    collectTargets(S->Body, T);
+    std::vector<TermRef> Assumes;
+    for (const std::string &V : T.Vars) {
+      auto It = E.Vars.find(V);
+      if (It != E.Vars.end())
+        It->second = TM.mkFreshVar(V, It->second->getSort());
+    }
+    for (const std::string &F : T.Fields)
+      E.Fields[F] = TM.mkFreshVar("M_" + F, E.Fields.at(F)->getSort());
+    for (const std::string &G : T.BrGroups)
+      E.Br[G] = TM.mkFreshVar("Br_" + G, E.Br.at(G)->getSort());
+    if (T.Alloc) {
+      TermRef NewAlloc = TM.mkFreshVar("Alloc", E.Alloc->getSort());
+      Assumes.push_back(TM.mkSubset(E.Alloc, NewAlloc));
+      Assumes.push_back(TM.mkNot(TM.mkMember(TM.mkNil(), NewAlloc)));
+      E.Alloc = NewAlloc;
+    }
+    // 3. Assume invariants for the arbitrary iteration.
+    for (const Expr *Inv : S->Invariants)
+      Assumes.push_back(tr(Inv, E, &Entry, Ctx, TM.mkTrue(), nullptr));
+    TermRef LoopCtx = TM.mkAnd(Ctx, TM.mkAnd(Assumes));
+    SideFx Fx;
+    TermRef Cond = tr(S->Cond, E, &Entry, LoopCtx, TM.mkTrue(), &Fx);
+    for (TermRef A : Fx.Assumes)
+      Assumes.push_back(A);
+    LoopCtx = TM.mkAnd(Ctx, TM.mkAnd(Assumes));
+    // 4. Body branch: runs under cond; invariants are re-established.
+    Env BodyEnv = E;
+    TermRef D0 = S->Decreases
+                     ? tr(S->Decreases, E, &Entry, LoopCtx, TM.mkTrue(),
+                          nullptr)
+                     : nullptr;
+    TermRef ABody =
+        execSeq(S->Body, BodyEnv, TM.mkAnd(LoopCtx, Cond));
+    TermRef LatchCtx = TM.mkAnd({LoopCtx, Cond, ABody});
+    for (const Expr *Inv : S->Invariants)
+      oblige(LatchCtx, tr(Inv, BodyEnv, &Entry, LatchCtx, TM.mkTrue(),
+                          nullptr),
+             Inv->Loc, "loop invariant is preserved");
+    if (D0) {
+      TermRef D1 = tr(S->Decreases, BodyEnv, &Entry, LatchCtx, TM.mkTrue(),
+                      nullptr);
+      oblige(LatchCtx,
+             TM.mkAnd(TM.mkLe(TM.mkIntConst(0), D1), TM.mkLt(D1, D0)),
+             S->Loc, "loop measure decreases and stays non-negative");
+    }
+    // 5. Continue after the loop with the negated condition.
+    Assumes.push_back(TM.mkNot(Cond));
+    return TM.mkAnd(std::move(Assumes));
+  }
+  case StmtKind::Call: {
+    const ProcDecl *Callee = M.findProc(S->Callee);
+    assert(Callee && "unresolved call after checking");
+    SideFx Fx;
+    std::vector<TermRef> ArgTerms;
+    for (const Expr *A : S->CallArgs)
+      ArgTerms.push_back(tr(A, E, &Entry, Ctx, TM.mkTrue(), &Fx));
+    std::vector<TermRef> Assumes = std::move(Fx.Assumes);
+    TermRef PreCtx = TM.mkAnd(Ctx, TM.mkAnd(Assumes));
+
+    // Callee environment for requires/modifies (pre-state, args bound).
+    Env CalleePre = E;
+    CalleePre.Vars.clear();
+    for (size_t I = 0; I < ArgTerms.size(); ++I)
+      CalleePre.Vars[Callee->Params[I].Name] = ArgTerms[I];
+    for (const Expr *Req : Callee->Requires)
+      oblige(PreCtx, tr(Req, CalleePre, nullptr, PreCtx, TM.mkTrue(),
+                        nullptr),
+             S->Loc, "precondition of '" + Callee->Name + "' at call site");
+
+    TermRef ModCallee = TM.mkEmptySet(TM.locSort());
+    for (const Expr *ModE : Callee->Modifies)
+      ModCallee = TM.mkSetUnion(
+          ModCallee,
+          tr(ModE, CalleePre, nullptr, PreCtx, TM.mkTrue(), nullptr));
+    if (Opts.CheckFrames && ModAtEntry)
+      oblige(PreCtx,
+             TM.mkSubset(ModCallee,
+                         TM.mkSetUnion(ModAtEntry,
+                                       TM.mkSetMinus(E.Alloc, Entry.Alloc))),
+             S->Loc, "callee footprint lies within the caller's");
+
+    Env PreCall = E; // old() state for the callee's ensures
+    // Allocation can only grow across the call.
+    TermRef AllocPost = TM.mkFreshVar("Alloc", E.Alloc->getSort());
+    if (Opts.QuantifiedMode) {
+      TermRef O = TM.mkFreshVar("qo", TM.locSort());
+      Assumes.push_back(TM.mkForall(
+          {O}, TM.mkImplies(TM.mkMember(O, E.Alloc),
+                            TM.mkMember(O, AllocPost))));
+    } else {
+      Assumes.push_back(TM.mkSubset(E.Alloc, AllocPost));
+    }
+    Assumes.push_back(TM.mkNot(TM.mkMember(TM.mkNil(), AllocPost)));
+    E.Alloc = AllocPost;
+    // Heap change: parameterized map update over footprint + fresh objs.
+    TermRef FrameGuard = TM.mkSetUnion(
+        ModCallee, TM.mkSetMinus(AllocPost, PreCall.Alloc));
+    for (const FieldDecl &F : M.Structure.Fields) {
+      TermRef Havoc = TM.mkFreshVar("M_" + F.Name,
+                                    PreCall.Fields.at(F.Name)->getSort());
+      if (Opts.QuantifiedMode) {
+        TermRef O = TM.mkFreshVar("qo", TM.locSort());
+        Assumes.push_back(TM.mkForall(
+            {O},
+            TM.mkImplies(
+                TM.mkNot(TM.mkMember(O, FrameGuard)),
+                TM.mkEq(TM.mkSelect(Havoc, O),
+                        TM.mkSelect(PreCall.Fields.at(F.Name), O)))));
+        E.Fields[F.Name] = Havoc;
+      } else {
+        E.Fields[F.Name] = incarnate(
+            "M_" + F.Name,
+            TM.mkPwIte(FrameGuard, Havoc, PreCall.Fields.at(F.Name)),
+            Assumes);
+      }
+    }
+    // Broken sets are governed by the callee's contract.
+    for (const LocalCondDecl &L : M.Structure.Locals)
+      E.Br[L.Name] =
+          TM.mkFreshVar("Br_" + L.Name, E.Br.at(L.Name)->getSort());
+    // Results.
+    Env CalleePost = E;
+    CalleePost.Vars.clear();
+    for (size_t I = 0; I < ArgTerms.size(); ++I)
+      CalleePost.Vars[Callee->Params[I].Name] = ArgTerms[I];
+    Env CalleeOld = PreCall;
+    CalleeOld.Vars = CalleePost.Vars;
+    for (size_t I = 0; I < S->CallLhs.size(); ++I) {
+      TermRef R = TM.mkFreshVar(S->CallLhs[I],
+                                sortOf(Callee->Returns[I].Ty));
+      CalleePost.Vars[Callee->Returns[I].Name] = R;
+      E.Vars[S->CallLhs[I]] = R;
+      if (Callee->Returns[I].Ty.Kind == TypeKind::Loc) {
+        Assumes.push_back(TM.mkOr(TM.mkEq(R, TM.mkNil()),
+                                  TM.mkMember(R, E.Alloc)));
+        Assumes.push_back(allocClosure(R, E));
+      }
+    }
+    for (const Expr *Post : Callee->Ensures)
+      Assumes.push_back(tr(Post, CalleePost, &CalleeOld, Ctx, TM.mkTrue(),
+                           nullptr));
+    return TM.mkAnd(std::move(Assumes));
+  }
+  case StmtKind::Return:
+    emitEnsures(E, Ctx, S->Loc);
+    return TM.mkFalse(); // cuts the rest of the path
+  case StmtKind::Block:
+  case StmtKind::GhostBlock:
+    return execSeq(S->Body, E, Ctx);
+  }
+  return TM.mkTrue();
+}
+
+ProcVc VcGenerator::run(const ProcDecl &P) {
+  Proc = &P;
+  Obls.clear();
+
+  Env E;
+  for (const FieldDecl &F : M.Structure.Fields)
+    E.Fields[F.Name] = TM.mkFreshVar("M_" + F.Name, fieldMapSort(F));
+  for (const LocalCondDecl &L : M.Structure.Locals)
+    E.Br[L.Name] = TM.mkFreshVar(
+        "Br_" + L.Name, TM.getArraySort(TM.locSort(), TM.boolSort()));
+  E.Alloc = TM.mkFreshVar("Alloc",
+                          TM.getArraySort(TM.locSort(), TM.boolSort()));
+  std::vector<TermRef> Assumes;
+  Assumes.push_back(TM.mkNot(TM.mkMember(TM.mkNil(), E.Alloc)));
+  for (const ParamDecl &Param : P.Params) {
+    TermRef V = TM.mkFreshVar(Param.Name, sortOf(Param.Ty));
+    E.Vars[Param.Name] = V;
+    if (Param.Ty.Kind == TypeKind::Loc) {
+      Assumes.push_back(
+          TM.mkOr(TM.mkEq(V, TM.mkNil()), TM.mkMember(V, E.Alloc)));
+      Assumes.push_back(allocClosure(V, E));
+    } else if (Param.Ty.isSet() && Param.Ty.Elem == TypeKind::Loc) {
+      Assumes.push_back(TM.mkSubset(V, E.Alloc));
+    }
+  }
+  for (const ParamDecl &Ret : P.Returns)
+    E.Vars[Ret.Name] = TM.mkFreshVar(Ret.Name, sortOf(Ret.Ty));
+
+  Entry = E;
+  for (const Expr *Req : P.Requires)
+    Assumes.push_back(tr(Req, E, nullptr, TM.mkTrue(), TM.mkTrue(),
+                         nullptr));
+  ModAtEntry = TM.mkEmptySet(TM.locSort());
+  for (const Expr *ModE : P.Modifies)
+    ModAtEntry = TM.mkSetUnion(
+        ModAtEntry, tr(ModE, E, nullptr, TM.mkTrue(), TM.mkTrue(), nullptr));
+
+  TermRef Ctx = TM.mkAnd(std::move(Assumes));
+  TermRef ABody = execSeq(P.Body->Body, E, Ctx);
+  emitEnsures(E, TM.mkAnd(Ctx, ABody), P.Loc);
+
+  ProcVc Result;
+  Result.Obligations = std::move(Obls);
+  return Result;
+}
+
+ProcVc VcGenerator::runImpact(const ImpactDecl &Impact) {
+  Obls.clear();
+  Proc = nullptr;
+
+  Env E;
+  for (const FieldDecl &F : M.Structure.Fields)
+    E.Fields[F.Name] = TM.mkFreshVar("M_" + F.Name, fieldMapSort(F));
+  for (const LocalCondDecl &L : M.Structure.Locals)
+    E.Br[L.Name] = TM.mkFreshVar(
+        "Br_" + L.Name, TM.getArraySort(TM.locSort(), TM.boolSort()));
+  E.Alloc = TM.mkFreshVar("Alloc",
+                          TM.getArraySort(TM.locSort(), TM.boolSort()));
+
+  const FieldDecl *F = M.Structure.findField(Impact.Field);
+  assert(F);
+  TermRef X = TM.mkFreshVar("x", TM.locSort());
+  TermRef U = TM.mkFreshVar("u", TM.locSort());
+  TermRef V = TM.mkFreshVar("v", sortOf(F->Ty));
+
+  Env ImpEnv = E;
+  ImpEnv.Vars[Impact.Param] = X;
+
+  std::vector<TermRef> Assumes;
+  Assumes.push_back(TM.mkDistinct(X, TM.mkNil()));
+  Assumes.push_back(TM.mkDistinct(U, TM.mkNil()));
+  // u is outside the declared impact set (pre-state terms).
+  for (const Expr *T : Impact.Terms) {
+    TermRef TT = tr(T, ImpEnv, &ImpEnv, TM.mkTrue(), TM.mkTrue(), nullptr);
+    Assumes.push_back(TM.mkDistinct(U, TT));
+  }
+  if (Impact.Precondition)
+    Assumes.push_back(tr(Impact.Precondition, ImpEnv, &ImpEnv, TM.mkTrue(),
+                         TM.mkTrue(), nullptr));
+  // LC_g(u) holds before the mutation.
+  Assumes.push_back(lcAt(Impact.Group, U, E));
+
+  // Mutate x.f := v.
+  Env Post = E;
+  Post.Fields[Impact.Field] =
+      TM.mkStore(E.Fields.at(Impact.Field), X, V);
+
+  // LC_g(u) must still hold.
+  oblige(TM.mkAnd(std::move(Assumes)), lcAt(Impact.Group, U, Post),
+         Impact.Loc,
+         "impact set for field '" + Impact.Field + "' w.r.t. group '" +
+             Impact.Group + "' is correct (Appendix C)");
+
+  ProcVc Result;
+  Result.Obligations = std::move(Obls);
+  return Result;
+}
+
+ProcVc vcgen::generateVc(TermManager &TM, const Module &M,
+                         const ProcDecl &P, const VcOptions &Opts) {
+  VcGenerator G(TM, M, Opts);
+  return G.run(P);
+}
+
+ProcVc vcgen::generateImpactVc(TermManager &TM, const Module &M,
+                               const ImpactDecl &Impact) {
+  VcGenerator G(TM, M, VcOptions());
+  return G.runImpact(Impact);
+}

@@ -1,0 +1,76 @@
+//===- vcgen/VcGen.h - Verification condition generation -------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates an annotated procedure into verification conditions over the
+/// quantifier-free theories of Section 3.7 / Appendix A.3 of the paper:
+///
+///  - fields and monadic maps become updatable arrays `M_f : Loc -> T`,
+///  - allocation is modelled with an `Alloc` set and closure assumptions,
+///  - per-group broken sets `Br_g` are threaded through the FWYB macros,
+///  - heap change across calls uses parameterized map updates (pwIte) over
+///    the callee's `modifies` footprint plus fresh allocations,
+///  - loops are cut at user-supplied invariants; ghost loops additionally
+///    prove their `decreases` measure,
+///  - frame obligations: every mutation target must lie in the procedure's
+///    declared footprint or be freshly allocated, and every callee
+///    footprint must be covered by the caller's.
+///
+/// The alternative "Dafny-style" quantified encoding (RQ3) replaces the
+/// parameterized updates and allocation growth by universally quantified
+/// axioms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_VCGEN_VCGEN_H
+#define IDS_VCGEN_VCGEN_H
+
+#include "lang/Ast.h"
+#include "smt/Term.h"
+
+#include <string>
+#include <vector>
+
+namespace ids {
+namespace vcgen {
+
+/// One proof obligation: Guard => Claim must be valid.
+struct Obligation {
+  smt::TermRef Guard = nullptr;
+  smt::TermRef Claim = nullptr;
+  SourceLoc Loc;
+  std::string Description;
+};
+
+struct VcOptions {
+  /// Use quantified frame/allocation axioms instead of parameterized map
+  /// updates (the RQ3 baseline).
+  bool QuantifiedMode = false;
+  /// Emit footprint obligations for mutations and callee frames.
+  bool CheckFrames = true;
+};
+
+struct ProcVc {
+  std::vector<Obligation> Obligations;
+
+  /// All obligations as a single formula (to refute in one query).
+  smt::TermRef conjoined(smt::TermManager &TM) const;
+};
+
+/// Generates the VC for \p P. The module must be fully checked.
+ProcVc generateVc(smt::TermManager &TM, const lang::Module &M,
+                  const lang::ProcDecl &P, const VcOptions &Opts);
+
+/// Generates the impact-set correctness VC for one impact declaration
+/// (Appendix C): mutating x.f must preserve LC_g(u) for any u outside the
+/// declared impact set. Returns the obligations to prove.
+ProcVc generateImpactVc(smt::TermManager &TM, const lang::Module &M,
+                        const lang::ImpactDecl &Impact);
+
+} // namespace vcgen
+} // namespace ids
+
+#endif // IDS_VCGEN_VCGEN_H

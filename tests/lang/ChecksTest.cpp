@@ -1,0 +1,208 @@
+//===- tests/lang/ChecksTest.cpp - Ghost/WB discipline tests ---------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Checks.h"
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace ids;
+using namespace ids::lang;
+
+namespace {
+const char *Prelude = R"(
+structure S {
+  field next: Loc;
+  field key: int;
+  ghost field prev: Loc;
+  ghost field len: int;
+  local l (x) { (x.next != nil ==> x.next.prev == x)
+             && (x.next != nil ==> x.len == x.next.len + 1) }
+  correlation (y) { y.prev == nil }
+  impact next [l] { x, old(x.next) }
+  impact prev [l] { x, old(x.prev) }
+  impact len  [l] { x, x.prev }
+}
+)";
+
+enum class Which { Ghost, WellBehaved };
+
+bool passes(Which W, const std::string &ProcText, std::string *Err = nullptr) {
+  DiagEngine Diags;
+  auto M = parseModule(std::string(Prelude) + ProcText, Diags);
+  EXPECT_TRUE(M != nullptr) << Diags.toString();
+  if (!M)
+    return false;
+  EXPECT_TRUE(typeCheck(*M, Diags)) << Diags.toString();
+  bool Ok = W == Which::Ghost ? checkGhostDiscipline(*M, Diags)
+                              : checkWellBehaved(*M, Diags);
+  if (Err)
+    *Err = Diags.toString();
+  return Ok;
+}
+} // namespace
+
+TEST(GhostCheckTest, UserCannotReadGhost) {
+  EXPECT_FALSE(passes(Which::Ghost, R"(
+procedure p(a: Loc) returns (r: Loc)
+{
+  r := a.prev;
+}
+)"));
+  // Ghost variables may read ghost fields.
+  EXPECT_TRUE(passes(Which::Ghost, R"(
+procedure p(a: Loc) returns (r: Loc)
+{
+  ghost var g: Loc := a.prev;
+  r := a;
+}
+)"));
+}
+
+TEST(GhostCheckTest, GhostCannotWriteUserState) {
+  EXPECT_FALSE(passes(Which::Ghost, R"(
+procedure p(a: Loc) returns (r: Loc)
+{
+  ghost { r := a; }
+}
+)"));
+  EXPECT_FALSE(passes(Which::Ghost, R"(
+procedure p(a: Loc) returns (r: Loc)
+{
+  ghost { Mut(a.next, nil); }
+  r := a;
+}
+)"));
+  // Mutating a ghost field inside a ghost block is the normal FWYB repair.
+  EXPECT_TRUE(passes(Which::Ghost, R"(
+procedure p(a: Loc) returns (r: Loc)
+{
+  ghost { Mut(a.prev, nil); }
+  r := a;
+}
+)"));
+}
+
+TEST(GhostCheckTest, UserControlFlowCannotDependOnGhost) {
+  EXPECT_FALSE(passes(Which::Ghost, R"(
+procedure p(a: Loc) returns (r: Loc)
+{
+  if (a.prev == nil) { r := a; } else { r := nil; }
+}
+)"));
+  EXPECT_TRUE(passes(Which::Ghost, R"(
+procedure p(a: Loc) returns (r: Loc)
+{
+  ghost {
+    if (a.prev == nil) { Mut(a.prev, nil); }
+  }
+  r := a;
+}
+)"));
+}
+
+TEST(GhostCheckTest, GhostLoopsNeedDecreases) {
+  EXPECT_FALSE(passes(Which::Ghost, R"(
+procedure p(a: Loc) returns (r: Loc)
+{
+  ghost {
+    var c: Loc := a;
+    while (c != nil) { c := c.prev; }
+  }
+  r := a;
+}
+)"));
+  EXPECT_TRUE(passes(Which::Ghost, R"(
+procedure p(a: Loc) returns (r: Loc)
+{
+  ghost {
+    var c: Loc := a;
+    var n: int := 10;
+    while (c != nil && n > 0) decreases n { c := c.prev; n := n - 1; }
+  }
+  r := a;
+}
+)"));
+}
+
+TEST(WellBehavedTest, BranchConditionsMustNotMentionBr) {
+  EXPECT_FALSE(passes(Which::WellBehaved, R"(
+procedure p(a: Loc) returns (r: Loc)
+{
+  if (a in br(l)) { r := a; } else { r := nil; }
+}
+)"));
+}
+
+TEST(WellBehavedTest, MutationNeedsImpactDeclaration) {
+  // `key` is read by no impact declaration... the group's LC does not read
+  // key at all, so mutating it is fine.
+  EXPECT_TRUE(passes(Which::WellBehaved, R"(
+procedure p(a: Loc) returns (r: Loc)
+{
+  Mut(a.key, 3);
+  r := a;
+}
+)"));
+}
+
+TEST(WellBehavedTest, MissingImpactForLcField) {
+  // A structure whose LC reads `key` but declares no impact for it.
+  DiagEngine Diags;
+  auto M = parseModule(R"(
+structure S {
+  field next: Loc;
+  field key: int;
+  ghost field prev: Loc;
+  local l (x) { (x.next != nil ==> x.key <= x.next.key) }
+  correlation (y) { y.prev == nil }
+  impact next [l] { x, old(x.next) }
+}
+procedure p(a: Loc) returns (r: Loc)
+{
+  Mut(a.key, 3);
+  r := a;
+}
+)",
+                      Diags);
+  ASSERT_TRUE(M != nullptr) << Diags.toString();
+  ASSERT_TRUE(typeCheck(*M, Diags)) << Diags.toString();
+  EXPECT_FALSE(checkWellBehaved(*M, Diags));
+}
+
+TEST(MetricsTest, CountsCodeSpecAnnotation) {
+  DiagEngine Diags;
+  auto M = parseModule(std::string(Prelude) + R"(
+procedure p(a: Loc) returns (r: Loc)
+  requires a != nil
+  ensures r == a
+  modifies {a}
+{
+  r := a;
+  InferLCOutsideBr(l, a);
+  ghost { Mut(a.prev, nil); }
+  Mut(a.next, nil);
+}
+)",
+                      Diags);
+  ASSERT_TRUE(M != nullptr);
+  ASSERT_TRUE(typeCheck(*M, Diags));
+  ProcMetrics PM = computeMetrics(M->Structure, M->Procs[0]);
+  EXPECT_EQ(PM.SpecLines, 3u);
+  EXPECT_EQ(PM.CodeLines, 2u);  // r := a; Mut(a.next,...)
+  EXPECT_EQ(PM.AnnotLines, 2u); // InferLC...; ghost Mut
+}
+
+TEST(MetricsTest, LcSizeCountsConjuncts) {
+  DiagEngine Diags;
+  auto M = parseModule(std::string(Prelude) + R"(
+procedure p(a: Loc) returns (r: Loc) { r := a; }
+)",
+                      Diags);
+  ASSERT_TRUE(M != nullptr);
+  EXPECT_EQ(localConditionSize(M->Structure), 2u);
+}

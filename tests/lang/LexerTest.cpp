@@ -1,0 +1,76 @@
+//===- tests/lang/LexerTest.cpp - Lexer tests ------------------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace ids;
+using namespace ids::lang;
+
+namespace {
+std::vector<Token> lex(const std::string &S) {
+  DiagEngine Diags;
+  auto Toks = tokenize(S, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.toString();
+  return Toks;
+}
+} // namespace
+
+TEST(LexerTest, Identifiers) {
+  auto T = lex("foo bar_baz _x x1");
+  ASSERT_EQ(T.size(), 5u); // + eof
+  EXPECT_TRUE(T[0].isIdent("foo"));
+  EXPECT_TRUE(T[1].isIdent("bar_baz"));
+  EXPECT_TRUE(T[2].isIdent("_x"));
+  EXPECT_TRUE(T[3].isIdent("x1"));
+  EXPECT_TRUE(T[4].is(TokKind::Eof));
+}
+
+TEST(LexerTest, OperatorsAndLocations) {
+  auto T = lex(":= == != <= >= ==> <==> && || < >");
+  EXPECT_TRUE(T[0].is(TokKind::Assign));
+  EXPECT_TRUE(T[1].is(TokKind::EqEq));
+  EXPECT_TRUE(T[2].is(TokKind::NotEq));
+  EXPECT_TRUE(T[3].is(TokKind::LessEq));
+  EXPECT_TRUE(T[4].is(TokKind::GreaterEq));
+  EXPECT_TRUE(T[5].is(TokKind::Implies));
+  EXPECT_TRUE(T[6].is(TokKind::Iff));
+  EXPECT_TRUE(T[7].is(TokKind::AndAnd));
+  EXPECT_TRUE(T[8].is(TokKind::OrOr));
+  EXPECT_TRUE(T[9].is(TokKind::LAngle));
+  EXPECT_TRUE(T[10].is(TokKind::RAngle));
+  EXPECT_EQ(T[0].Loc.Line, 1u);
+  EXPECT_EQ(T[0].Loc.Column, 1u);
+  EXPECT_EQ(T[1].Loc.Column, 4u);
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto T = lex("a // comment\n b /* multi\nline */ c");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_TRUE(T[0].isIdent("a"));
+  EXPECT_TRUE(T[1].isIdent("b"));
+  EXPECT_TRUE(T[2].isIdent("c"));
+  EXPECT_EQ(T[2].Loc.Line, 3u);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto T = lex("0 42 123456789012345678901234567890");
+  EXPECT_TRUE(T[0].is(TokKind::IntLit));
+  EXPECT_EQ(T[2].Text, "123456789012345678901234567890");
+}
+
+TEST(LexerTest, ErrorOnBadCharacter) {
+  DiagEngine Diags;
+  tokenize("a $ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, UnterminatedComment) {
+  DiagEngine Diags;
+  tokenize("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}

@@ -1,0 +1,150 @@
+//===- tests/lang/ParserTest.cpp - Parser tests ----------------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ids;
+using namespace ids::lang;
+
+namespace {
+const char *MiniStructure = R"(
+structure S {
+  field next: Loc;
+  field key: int;
+  ghost field prev: Loc;
+  ghost field keys: set<int>;
+  local l (x) { (x.next != nil ==> x.next.prev == x) }
+  correlation (y) { y.prev == nil }
+  impact next [l] { x, old(x.next) }
+  impact prev [l] requires x != nil { x, old(x.prev) }
+}
+)";
+
+std::unique_ptr<Module> parseOk(const std::string &S) {
+  DiagEngine Diags;
+  auto M = parseModule(S, Diags);
+  EXPECT_TRUE(M != nullptr) << Diags.toString();
+  return M;
+}
+} // namespace
+
+TEST(ParserTest, StructureMembers) {
+  auto M = parseOk(MiniStructure);
+  const StructureDecl &S = M->Structure;
+  EXPECT_EQ(S.Name, "S");
+  ASSERT_EQ(S.Fields.size(), 4u);
+  EXPECT_FALSE(S.Fields[0].IsGhost);
+  EXPECT_TRUE(S.Fields[2].IsGhost);
+  EXPECT_EQ(S.Fields[3].Ty, Type::setTy(TypeKind::Int));
+  ASSERT_EQ(S.Locals.size(), 1u);
+  EXPECT_EQ(S.Locals[0].Name, "l");
+  EXPECT_EQ(S.Locals[0].Param, "x");
+  ASSERT_EQ(S.Impacts.size(), 2u);
+  EXPECT_EQ(S.Impacts[0].Field, "next");
+  EXPECT_EQ(S.Impacts[0].Terms.size(), 2u);
+  EXPECT_EQ(S.Impacts[1].Precondition != nullptr, true);
+}
+
+TEST(ParserTest, ProcedureWithContracts) {
+  auto M = parseOk(std::string(MiniStructure) + R"(
+procedure p(a: Loc, ghost g: int) returns (r: Loc)
+  requires a != nil
+  ensures r == a
+  modifies {a}
+{
+  r := a;
+  return;
+}
+)");
+  ASSERT_EQ(M->Procs.size(), 1u);
+  const ProcDecl &P = M->Procs[0];
+  EXPECT_EQ(P.Params.size(), 2u);
+  EXPECT_TRUE(P.Params[1].IsGhost);
+  EXPECT_EQ(P.Requires.size(), 1u);
+  EXPECT_EQ(P.Ensures.size(), 1u);
+  EXPECT_EQ(P.Modifies.size(), 1u);
+  EXPECT_EQ(P.Body->Body.size(), 2u);
+}
+
+TEST(ParserTest, StatementsAndMacros) {
+  auto M = parseOk(std::string(MiniStructure) + R"(
+procedure p(a: Loc) returns (r: Loc)
+{
+  var z: Loc;
+  NewObj(z);
+  Mut(z.next, a);
+  InferLCOutsideBr(l, a);
+  AssertLCAndRemove(l, z);
+  if (a == nil) { r := z; } else { r := a; }
+  while (r != nil)
+    invariant true
+    decreases 0
+  { r := r.next; }
+  ghost { var g: int := 3; }
+  call r := p(r);
+}
+)");
+  const ProcDecl &P = M->Procs[0];
+  ASSERT_GE(P.Body->Body.size(), 9u);
+  EXPECT_EQ(P.Body->Body[1]->Kind, StmtKind::NewObj);
+  EXPECT_EQ(P.Body->Body[2]->Kind, StmtKind::Mut);
+  EXPECT_EQ(P.Body->Body[3]->Kind, StmtKind::InferLc);
+  EXPECT_EQ(P.Body->Body[4]->Kind, StmtKind::AssertLcRemove);
+  EXPECT_EQ(P.Body->Body[5]->Kind, StmtKind::If);
+  EXPECT_EQ(P.Body->Body[6]->Kind, StmtKind::While);
+  EXPECT_EQ(P.Body->Body[6]->Invariants.size(), 1u);
+  EXPECT_NE(P.Body->Body[6]->Decreases, nullptr);
+  EXPECT_EQ(P.Body->Body[7]->Kind, StmtKind::GhostBlock);
+  EXPECT_EQ(P.Body->Body[8]->Kind, StmtKind::Call);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto M = parseOk(std::string(MiniStructure) + R"(
+procedure p(a: int, b: int) returns (r: bool)
+{
+  r := a + 2 * b <= a || a == b && true;
+}
+)");
+  // (a + (2*b) <= a) || ((a == b) && true): top is Or.
+  const Stmt *S = M->Procs[0].Body->Body[0];
+  ASSERT_EQ(S->Init->Kind, ExprKind::Binary);
+  EXPECT_EQ(S->Init->BOp, BinOp::Or);
+  EXPECT_EQ(S->Init->arg(0)->BOp, BinOp::Le);
+  EXPECT_EQ(S->Init->arg(1)->BOp, BinOp::And);
+}
+
+TEST(ParserTest, ImpliesRightAssociative) {
+  auto M = parseOk(std::string(MiniStructure) + R"(
+procedure p(a: bool, b: bool, c: bool) returns (r: bool)
+{
+  r := a ==> b ==> c;
+}
+)");
+  const Expr *E = M->Procs[0].Body->Body[0]->Init;
+  EXPECT_EQ(E->BOp, BinOp::Implies);
+  EXPECT_EQ(E->arg(1)->BOp, BinOp::Implies);
+}
+
+TEST(ParserTest, SetLiteralsAndDuplus) {
+  auto M = parseOk(std::string(MiniStructure) + R"(
+procedure p(a: Loc) returns (r: bool)
+{
+  assert a.keys == {1, 2} union ({} union {3});
+  assert a.keys == {1} duplus {2};
+}
+)");
+  EXPECT_EQ(M->Procs[0].Body->Body.size(), 2u);
+}
+
+TEST(ParserTest, ErrorRecoveryReportsLocation) {
+  DiagEngine Diags;
+  auto M = parseModule("structure S { field x }", Diags);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_TRUE(Diags.diagnostics()[0].Loc.isValid());
+}

@@ -1,0 +1,203 @@
+//===- tests/lang/TypeCheckTest.cpp - Type checker tests -------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/TypeCheck.h"
+
+#include <gtest/gtest.h>
+
+using namespace ids;
+using namespace ids::lang;
+
+namespace {
+const char *Prelude = R"(
+structure S {
+  field next: Loc;
+  field key: int;
+  ghost field prev: Loc;
+  ghost field rank: rat;
+  ghost field keys: set<int>;
+  ghost field hs: set<Loc>;
+  local l (x) { (x.next != nil ==> x.next.prev == x) }
+  correlation (y) { y.prev == nil }
+  impact next [l] { x, old(x.next) }
+  impact prev [l] { x, old(x.prev) }
+}
+)";
+
+bool checks(const std::string &ProcText, std::string *Err = nullptr) {
+  DiagEngine Diags;
+  auto M = parseModule(std::string(Prelude) + ProcText, Diags);
+  if (!M) {
+    if (Err)
+      *Err = Diags.toString();
+    return false;
+  }
+  bool Ok = typeCheck(*M, Diags);
+  if (Err)
+    *Err = Diags.toString();
+  return Ok;
+}
+} // namespace
+
+TEST(TypeCheckTest, WellTypedProcedure) {
+  std::string Err;
+  EXPECT_TRUE(checks(R"(
+procedure p(a: Loc, k: int) returns (r: int)
+  requires a != nil
+  ensures r == old(a.key) + k
+{
+  r := a.key + k;
+}
+)",
+                     &Err))
+      << Err;
+}
+
+TEST(TypeCheckTest, RatCoercionAndDivision) {
+  std::string Err;
+  EXPECT_TRUE(checks(R"(
+procedure p(a: Loc, b: Loc) returns (r: rat)
+{
+  r := (a.rank + b.rank) / 2;
+}
+)",
+                     &Err))
+      << Err;
+}
+
+TEST(TypeCheckTest, RejectsNonLinearMultiplication) {
+  EXPECT_FALSE(checks(R"(
+procedure p(a: int, b: int) returns (r: int)
+{
+  r := a * b;
+}
+)"));
+}
+
+TEST(TypeCheckTest, RejectsDivisionByVariable) {
+  EXPECT_FALSE(checks(R"(
+procedure p(a: rat, b: int) returns (r: rat)
+{
+  r := a / b;
+}
+)"));
+}
+
+TEST(TypeCheckTest, RejectsUnknownField) {
+  EXPECT_FALSE(checks(R"(
+procedure p(a: Loc) returns (r: int)
+{
+  r := a.nonexistent;
+}
+)"));
+}
+
+TEST(TypeCheckTest, RejectsUnknownVariable) {
+  EXPECT_FALSE(checks(R"(
+procedure p(a: Loc) returns (r: Loc)
+{
+  r := zz;
+}
+)"));
+}
+
+TEST(TypeCheckTest, RejectsSetElementMismatch) {
+  EXPECT_FALSE(checks(R"(
+procedure p(a: Loc) returns (r: bool)
+{
+  r := 3 in a.hs;
+}
+)"));
+}
+
+TEST(TypeCheckTest, EmptySetNeedsContext) {
+  EXPECT_TRUE(checks(R"(
+procedure p(a: Loc) returns (r: bool)
+{
+  r := a.keys == {};
+}
+)"));
+  EXPECT_FALSE(checks(R"(
+procedure p(a: Loc) returns (r: bool)
+{
+  r := {} == {};
+}
+)"));
+}
+
+TEST(TypeCheckTest, DuplusOnlyUnderEquality) {
+  EXPECT_TRUE(checks(R"(
+procedure p(a: Loc) returns (r: bool)
+{
+  r := a.hs == {a} duplus a.hs;
+}
+)"));
+  EXPECT_FALSE(checks(R"(
+procedure p(a: Loc) returns (r: set<Loc>)
+{
+  r := {a} duplus a.hs;
+}
+)"));
+}
+
+TEST(TypeCheckTest, OldOnlyInSpecPositions) {
+  EXPECT_FALSE(checks(R"(
+procedure p(a: Loc) returns (r: int)
+{
+  r := old(a.key);
+}
+)"));
+}
+
+TEST(TypeCheckTest, CallArityAndTypes) {
+  EXPECT_TRUE(checks(R"(
+procedure callee(a: Loc) returns (r: Loc)
+{
+  r := a;
+}
+procedure caller(a: Loc) returns (r: Loc)
+{
+  call r := callee(a);
+}
+)"));
+  EXPECT_FALSE(checks(R"(
+procedure callee(a: Loc) returns (r: Loc)
+{
+  r := a;
+}
+procedure caller(a: Loc) returns (r: Loc)
+{
+  call r := callee(a, a);
+}
+)"));
+}
+
+TEST(TypeCheckTest, BrSetRequiresKnownGroup) {
+  EXPECT_TRUE(checks(R"(
+procedure p(a: Loc) returns (r: bool)
+  requires br(l) == {}
+{
+  r := true;
+}
+)"));
+  EXPECT_FALSE(checks(R"(
+procedure p(a: Loc) returns (r: bool)
+  requires br(wrong) == {}
+{
+  r := true;
+}
+)"));
+}
+
+TEST(TypeCheckTest, DecreasesMustBeInt) {
+  EXPECT_FALSE(checks(R"(
+procedure p(a: Loc) returns (r: int)
+{
+  while (r > 0) decreases a.rank { r := r - 1; }
+}
+)"));
+}

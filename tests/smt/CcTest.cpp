@@ -1,0 +1,152 @@
+//===- tests/smt/CcTest.cpp - Congruence closure tests ---------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/CongruenceClosure.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace ids;
+using namespace ids::smt;
+
+namespace {
+class CcTest : public ::testing::Test {
+protected:
+  TermManager TM;
+
+  TermRef loc(const std::string &N) { return TM.mkVar(N, TM.locSort()); }
+  TermRef f(TermRef X) {
+    const FuncDecl *D =
+        TM.getFuncDecl("f", {TM.locSort()}, TM.locSort());
+    return TM.mkApply(D, {X});
+  }
+};
+} // namespace
+
+TEST_F(CcTest, TransitivityAndSymmetry) {
+  CongruenceClosure CC(TM);
+  TermRef A = loc("a"), B = loc("b"), C = loc("c");
+  EXPECT_TRUE(CC.assertEqual(A, B, 0));
+  EXPECT_TRUE(CC.assertEqual(B, C, 1));
+  EXPECT_TRUE(CC.areEqual(A, C));
+  EXPECT_TRUE(CC.areEqual(C, A));
+}
+
+TEST_F(CcTest, CongruenceOneStep) {
+  CongruenceClosure CC(TM);
+  TermRef A = loc("a"), B = loc("b");
+  CC.registerTerm(f(A));
+  CC.registerTerm(f(B));
+  EXPECT_FALSE(CC.areEqual(f(A), f(B)));
+  EXPECT_TRUE(CC.assertEqual(A, B, 0));
+  EXPECT_TRUE(CC.areEqual(f(A), f(B)));
+}
+
+TEST_F(CcTest, CongruenceChain) {
+  // Classic: a=b implies f^n(a) = f^n(b).
+  CongruenceClosure CC(TM);
+  TermRef A = loc("a"), B = loc("b");
+  TermRef FA = A, FB = B;
+  for (int I = 0; I < 10; ++I) {
+    FA = f(FA);
+    FB = f(FB);
+  }
+  CC.registerTerm(FA);
+  CC.registerTerm(FB);
+  EXPECT_TRUE(CC.assertEqual(A, B, 0));
+  EXPECT_TRUE(CC.areEqual(FA, FB));
+}
+
+TEST_F(CcTest, DisequalityConflict) {
+  CongruenceClosure CC(TM);
+  TermRef A = loc("a"), B = loc("b"), C = loc("c");
+  EXPECT_TRUE(CC.assertDisequal(A, C, 7));
+  EXPECT_TRUE(CC.assertEqual(A, B, 1));
+  EXPECT_FALSE(CC.assertEqual(B, C, 2));
+  EXPECT_TRUE(CC.inConflict());
+  // Explanation: all three assertions participate.
+  std::vector<int> Tags = CC.conflictTags();
+  EXPECT_EQ(Tags.size(), 3u);
+}
+
+TEST_F(CcTest, ValueClashIntConstants) {
+  CongruenceClosure CC(TM);
+  TermRef X = TM.mkVar("x", TM.intSort());
+  EXPECT_TRUE(CC.assertEqual(X, TM.mkIntConst(1), 0));
+  EXPECT_FALSE(CC.assertEqual(X, TM.mkIntConst(2), 1));
+  EXPECT_TRUE(CC.inConflict());
+}
+
+TEST_F(CcTest, TrueFalseClash) {
+  CongruenceClosure CC(TM);
+  TermRef P = TM.mkVar("p", TM.boolSort());
+  EXPECT_TRUE(CC.assertEqual(P, TM.mkTrue(), 0));
+  EXPECT_FALSE(CC.assertEqual(P, TM.mkFalse(), 1));
+}
+
+TEST_F(CcTest, ExplanationMinimality) {
+  CongruenceClosure CC(TM);
+  TermRef A = loc("a"), B = loc("b"), C = loc("c"), D = loc("d");
+  CC.assertEqual(A, B, 0);
+  CC.assertEqual(C, D, 1); // irrelevant to a=b
+  std::set<int> Tags;
+  CC.explainEquality(A, B, Tags);
+  EXPECT_EQ(Tags, std::set<int>({0}));
+}
+
+TEST_F(CcTest, CongruenceExplanationIncludesChildren) {
+  CongruenceClosure CC(TM);
+  TermRef A = loc("a"), B = loc("b");
+  CC.registerTerm(f(A));
+  CC.registerTerm(f(B));
+  CC.assertEqual(A, B, 3);
+  std::set<int> Tags;
+  CC.explainEquality(f(A), f(B), Tags);
+  EXPECT_EQ(Tags, std::set<int>({3}));
+}
+
+TEST_F(CcTest, SelectCongruence) {
+  // select(M, x) == select(M, y) when x == y: the reasoning the array
+  // reduction relies on.
+  CongruenceClosure CC(TM);
+  const Sort *ArrS = TM.getArraySort(TM.locSort(), TM.intSort());
+  TermRef M = TM.mkVar("M", ArrS);
+  TermRef X = loc("x"), Y = loc("y");
+  TermRef SX = TM.mkSelect(M, X), SY = TM.mkSelect(M, Y);
+  CC.registerTerm(SX);
+  CC.registerTerm(SY);
+  CC.assertEqual(X, Y, 0);
+  EXPECT_TRUE(CC.areEqual(SX, SY));
+}
+
+/// Property test: random equalities on a small universe agree with a
+/// naive union-find oracle (no congruence, constants only).
+TEST_F(CcTest, PropertyRandomEqualitiesVsUnionFind) {
+  std::mt19937 Rng(31337);
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    const int N = 8;
+    std::vector<TermRef> Terms;
+    for (int I = 0; I < N; ++I)
+      Terms.push_back(loc("v" + std::to_string(Iter) + "_" +
+                          std::to_string(I)));
+    std::vector<int> Parent(N);
+    for (int I = 0; I < N; ++I)
+      Parent[I] = I;
+    std::function<int(int)> Find = [&](int X) {
+      return Parent[X] == X ? X : Parent[X] = Find(Parent[X]);
+    };
+    CongruenceClosure CC(TM);
+    for (int Step = 0; Step < 12; ++Step) {
+      int A = static_cast<int>(Rng() % N), B = static_cast<int>(Rng() % N);
+      ASSERT_TRUE(CC.assertEqual(Terms[A], Terms[B], Step));
+      Parent[Find(A)] = Find(B);
+    }
+    for (int A = 0; A < N; ++A)
+      for (int B = 0; B < N; ++B)
+        EXPECT_EQ(CC.areEqual(Terms[A], Terms[B]), Find(A) == Find(B));
+  }
+}

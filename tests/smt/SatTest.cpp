@@ -1,0 +1,164 @@
+//===- tests/smt/SatTest.cpp - CDCL SAT core tests -------------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SatSolver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace ids::sat;
+
+TEST(SatTest, TrivialSat) {
+  SatSolver S;
+  Var A = S.newVar();
+  EXPECT_TRUE(S.addClause({Lit(A, false)}));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+}
+
+TEST(SatTest, TrivialUnsat) {
+  SatSolver S;
+  Var A = S.newVar();
+  S.addClause({Lit(A, false)});
+  S.addClause({Lit(A, true)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatTest, UnitPropagationChain) {
+  SatSolver S;
+  std::vector<Var> Vs;
+  for (int I = 0; I < 20; ++I)
+    Vs.push_back(S.newVar());
+  // v0, v_i -> v_{i+1}, and finally !v19: unsat.
+  S.addClause({Lit(Vs[0], false)});
+  for (int I = 0; I + 1 < 20; ++I)
+    S.addClause({Lit(Vs[I], true), Lit(Vs[I + 1], false)});
+  S.addClause({Lit(Vs[19], true)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatTest, PigeonHole43Unsat) {
+  // 4 pigeons, 3 holes: classic small UNSAT instance exercising learning.
+  SatSolver S;
+  Var P[4][3];
+  for (auto &Row : P)
+    for (Var &V : Row)
+      V = S.newVar();
+  for (auto &Row : P)
+    S.addClause({Lit(Row[0], false), Lit(Row[1], false), Lit(Row[2], false)});
+  for (int H = 0; H < 3; ++H)
+    for (int I = 0; I < 4; ++I)
+      for (int J = I + 1; J < 4; ++J)
+        S.addClause({Lit(P[I][H], true), Lit(P[J][H], true)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatTest, TautologyClauseIgnored) {
+  SatSolver S;
+  Var A = S.newVar();
+  Var B = S.newVar();
+  EXPECT_TRUE(S.addClause({Lit(A, false), Lit(A, true), Lit(B, false)}));
+  S.addClause({Lit(B, true)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+}
+
+namespace {
+/// Brute-force 3-SAT oracle.
+bool bruteForceSat(int NumVars, const std::vector<std::vector<Lit>> &Clauses) {
+  for (uint32_t Mask = 0; Mask < (1u << NumVars); ++Mask) {
+    bool AllSat = true;
+    for (const auto &C : Clauses) {
+      bool CSat = false;
+      for (Lit L : C) {
+        bool V = (Mask >> L.var()) & 1;
+        if (V != L.negated()) {
+          CSat = true;
+          break;
+        }
+      }
+      if (!CSat) {
+        AllSat = false;
+        break;
+      }
+    }
+    if (AllSat)
+      return true;
+  }
+  return false;
+}
+} // namespace
+
+/// Property test: random 3-SAT instances around the phase transition agree
+/// with a brute-force oracle, and Sat models actually satisfy the clauses.
+TEST(SatTest, PropertyRandom3SatVsBruteForce) {
+  std::mt19937 Rng(4242);
+  for (int Iter = 0; Iter < 400; ++Iter) {
+    int NumVars = 5 + static_cast<int>(Rng() % 8); // 5..12
+    int NumClauses = static_cast<int>(NumVars * 4.3);
+    std::vector<std::vector<Lit>> Clauses;
+    SatSolver S;
+    for (int I = 0; I < NumVars; ++I)
+      S.newVar();
+    bool AddedOk = true;
+    for (int I = 0; I < NumClauses; ++I) {
+      std::vector<Lit> C;
+      for (int K = 0; K < 3; ++K)
+        C.push_back(Lit(static_cast<Var>(Rng() % NumVars), Rng() % 2 == 0));
+      Clauses.push_back(C);
+      AddedOk = S.addClause(C) && AddedOk;
+    }
+    bool Expected = bruteForceSat(NumVars, Clauses);
+    SatSolver::Result R =
+        AddedOk ? S.solve() : SatSolver::Result::Unsat;
+    EXPECT_EQ(R == SatSolver::Result::Sat, Expected) << "iter " << Iter;
+    if (R == SatSolver::Result::Sat) {
+      for (const auto &C : Clauses) {
+        bool CSat = false;
+        for (Lit L : C)
+          CSat = CSat || (S.modelValue(L.var()) != L.negated());
+        EXPECT_TRUE(CSat) << "model does not satisfy clause, iter " << Iter;
+      }
+    }
+  }
+}
+
+namespace {
+/// A theory that forbids a specific combination of two variables, to
+/// exercise the theory-conflict path.
+class ForbidBoth : public TheoryCallback {
+public:
+  ForbidBoth(Var A, Var B, const SatSolver &S) : A(A), B(B), S(S) {}
+  bool onFullModel(std::vector<Lit> &ConflictOut) override {
+    if (S.modelValue(A) && S.modelValue(B)) {
+      ConflictOut = {Lit(A, true), Lit(B, true)};
+      return false;
+    }
+    return true;
+  }
+  Var A, B;
+  const SatSolver &S;
+};
+} // namespace
+
+TEST(SatTest, TheoryCallbackConflicts) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause({Lit(A, false)}); // A forced true
+  ForbidBoth T(A, B, S);
+  EXPECT_EQ(S.solve(&T), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_FALSE(S.modelValue(B));
+}
+
+TEST(SatTest, TheoryCallbackUnsat) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause({Lit(A, false)});
+  S.addClause({Lit(B, false)});
+  ForbidBoth T(A, B, S);
+  EXPECT_EQ(S.solve(&T), SatSolver::Result::Unsat);
+}

@@ -1,0 +1,125 @@
+//===- tests/smt/TermTest.cpp - Term manager tests -------------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Term.h"
+#include "smt/TermPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace ids;
+using namespace ids::smt;
+
+namespace {
+class TermTest : public ::testing::Test {
+protected:
+  TermManager TM;
+};
+} // namespace
+
+TEST_F(TermTest, HashConsingSharesStructure) {
+  TermRef X = TM.mkVar("x", TM.intSort());
+  TermRef Y = TM.mkVar("y", TM.intSort());
+  EXPECT_EQ(TM.mkAdd(X, Y), TM.mkAdd(Y, X)); // canonical ordering
+  EXPECT_EQ(TM.mkEq(X, Y), TM.mkEq(Y, X));
+  EXPECT_EQ(TM.mkVar("x", TM.intSort()), X);
+}
+
+TEST_F(TermTest, BooleanSimplification) {
+  TermRef P = TM.mkVar("p", TM.boolSort());
+  EXPECT_EQ(TM.mkNot(TM.mkNot(P)), P);
+  EXPECT_EQ(TM.mkAnd(P, TM.mkTrue()), P);
+  EXPECT_EQ(TM.mkAnd(P, TM.mkFalse()), TM.mkFalse());
+  EXPECT_EQ(TM.mkOr(P, TM.mkTrue()), TM.mkTrue());
+  EXPECT_EQ(TM.mkOr(P, P), P);
+  EXPECT_EQ(TM.mkImplies(TM.mkFalse(), P), TM.mkTrue());
+  EXPECT_EQ(TM.mkIte(TM.mkTrue(), P, TM.mkFalse()), P);
+}
+
+TEST_F(TermTest, AndFlattening) {
+  TermRef P = TM.mkVar("p", TM.boolSort());
+  TermRef Q = TM.mkVar("q", TM.boolSort());
+  TermRef R = TM.mkVar("r", TM.boolSort());
+  TermRef Nested = TM.mkAnd(P, TM.mkAnd(Q, R));
+  EXPECT_EQ(Nested->getKind(), TermKind::And);
+  EXPECT_EQ(Nested->getNumArgs(), 3u);
+}
+
+TEST_F(TermTest, ArithmeticFolding) {
+  TermRef X = TM.mkVar("x", TM.intSort());
+  EXPECT_EQ(TM.mkAdd(TM.mkIntConst(2), TM.mkIntConst(3)), TM.mkIntConst(5));
+  EXPECT_EQ(TM.mkMulConst(Rational(0), X), TM.mkIntConst(0));
+  EXPECT_EQ(TM.mkMulConst(Rational(1), X), X);
+  EXPECT_EQ(TM.mkSub(X, X), TM.mkIntConst(0));
+  EXPECT_EQ(TM.mkLe(TM.mkIntConst(1), TM.mkIntConst(2)), TM.mkTrue());
+  EXPECT_EQ(TM.mkLt(TM.mkIntConst(2), TM.mkIntConst(2)), TM.mkFalse());
+  // -( -x ) == x through nested Mul folding
+  EXPECT_EQ(TM.mkNeg(TM.mkNeg(X)), X);
+}
+
+TEST_F(TermTest, EqualityFolding) {
+  TermRef X = TM.mkVar("x", TM.intSort());
+  EXPECT_EQ(TM.mkEq(X, X), TM.mkTrue());
+  EXPECT_EQ(TM.mkEq(TM.mkIntConst(1), TM.mkIntConst(2)), TM.mkFalse());
+  TermRef P = TM.mkVar("p", TM.boolSort());
+  EXPECT_EQ(TM.mkEq(P, TM.mkTrue()), P);
+  EXPECT_EQ(TM.mkEq(P, TM.mkFalse()), TM.mkNot(P));
+}
+
+TEST_F(TermTest, SelectOverStore) {
+  const Sort *ArrS = TM.getArraySort(TM.locSort(), TM.intSort());
+  TermRef M = TM.mkVar("M", ArrS);
+  TermRef X = TM.mkVar("x", TM.locSort());
+  TermRef V = TM.mkIntConst(7);
+  EXPECT_EQ(TM.mkSelect(TM.mkStore(M, X, V), X), V);
+  EXPECT_EQ(TM.mkSelect(TM.mkConstArray(ArrS, V), X), V);
+  // store-over-store on the same index collapses
+  TermRef S2 = TM.mkStore(TM.mkStore(M, X, V), X, TM.mkIntConst(9));
+  EXPECT_EQ(S2->getArg(0), M);
+}
+
+TEST_F(TermTest, SetSugar) {
+  TermRef X = TM.mkVar("x", TM.locSort());
+  TermRef S = TM.mkSingleton(X);
+  EXPECT_EQ(TM.mkMember(X, S), TM.mkTrue());
+  TermRef Empty = TM.mkEmptySet(TM.locSort());
+  EXPECT_EQ(TM.mkSetUnion(S, Empty), S);
+  EXPECT_EQ(TM.mkSetIntersect(S, Empty), Empty);
+  EXPECT_EQ(TM.mkSetMinus(Empty, S), Empty);
+}
+
+TEST_F(TermTest, Substitution) {
+  TermRef X = TM.mkVar("x", TM.intSort());
+  TermRef Y = TM.mkVar("y", TM.intSort());
+  TermRef F = TM.mkLe(TM.mkAdd(X, TM.mkIntConst(1)), Y);
+  std::unordered_map<TermRef, TermRef> Map = {{X, TM.mkIntConst(4)}};
+  TermRef G = TM.substitute(F, Map);
+  EXPECT_EQ(G, TM.mkLe(TM.mkIntConst(5), Y));
+}
+
+TEST_F(TermTest, QuantifierDetection) {
+  TermRef X = TM.mkVar("x", TM.locSort());
+  TermRef Body = TM.mkEq(X, TM.mkNil());
+  TermRef Q = TM.mkForall({X}, Body);
+  EXPECT_TRUE(TM.containsQuantifier(Q));
+  EXPECT_FALSE(TM.containsQuantifier(Body));
+  EXPECT_TRUE(TM.containsQuantifier(TM.mkAnd(Q, Body)));
+}
+
+TEST_F(TermTest, PrinterRoundTripish) {
+  TermRef X = TM.mkVar("x", TM.intSort());
+  TermRef F = TM.mkLt(X, TM.mkIntConst(3));
+  EXPECT_EQ(printTerm(F), "(< x 3)");
+  std::string Query = printQuery(F);
+  EXPECT_NE(Query.find("(declare-const x Int)"), std::string::npos);
+  EXPECT_NE(Query.find("(check-sat)"), std::string::npos);
+}
+
+TEST_F(TermTest, FreshVarsAreFresh) {
+  TermRef A = TM.mkFreshVar("tmp", TM.intSort());
+  TermRef B = TM.mkFreshVar("tmp", TM.intSort());
+  EXPECT_NE(A, B);
+  EXPECT_NE(A->getName(), B->getName());
+}

@@ -1,0 +1,125 @@
+//===- tests/support/BigIntTest.cpp - BigInt unit & property tests --------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using ids::BigInt;
+
+TEST(BigIntTest, ConstructionAndToString) {
+  EXPECT_EQ(BigInt(0).toString(), "0");
+  EXPECT_EQ(BigInt(42).toString(), "42");
+  EXPECT_EQ(BigInt(-42).toString(), "-42");
+  EXPECT_EQ(BigInt(1000000000).toString(), "1000000000");
+  EXPECT_EQ(BigInt(INT64_MIN).toString(), "-9223372036854775808");
+  EXPECT_EQ(BigInt(INT64_MAX).toString(), "9223372036854775807");
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  const char *Cases[] = {"0",
+                         "7",
+                         "-7",
+                         "123456789012345678901234567890",
+                         "-999999999999999999999999999999999"};
+  for (const char *C : Cases)
+    EXPECT_EQ(BigInt::fromString(C).toString(), C);
+}
+
+TEST(BigIntTest, ZeroNormalisation) {
+  EXPECT_TRUE((BigInt(5) - BigInt(5)).isZero());
+  EXPECT_FALSE((BigInt(5) - BigInt(5)).isNegative());
+  EXPECT_EQ(BigInt::fromString("-0").toString(), "0");
+}
+
+TEST(BigIntTest, ArithmeticSmall) {
+  EXPECT_EQ((BigInt(17) + BigInt(25)).toString(), "42");
+  EXPECT_EQ((BigInt(17) - BigInt(25)).toString(), "-8");
+  EXPECT_EQ((BigInt(-6) * BigInt(7)).toString(), "-42");
+  EXPECT_EQ((BigInt(42) / BigInt(5)).toString(), "8");
+  EXPECT_EQ((BigInt(42) % BigInt(5)).toString(), "2");
+  EXPECT_EQ((BigInt(-42) / BigInt(5)).toString(), "-8");
+  EXPECT_EQ((BigInt(-42) % BigInt(5)).toString(), "-2");
+}
+
+TEST(BigIntTest, LargeMultiplyDivide) {
+  BigInt A = BigInt::fromString("123456789012345678901234567890");
+  BigInt B = BigInt::fromString("987654321098765432109876543210");
+  BigInt P = A * B;
+  EXPECT_EQ(P / A, B);
+  EXPECT_EQ(P / B, A);
+  EXPECT_TRUE((P % A).isZero());
+  BigInt Q = (P + BigInt(17)) / B;
+  BigInt R = (P + BigInt(17)) % B;
+  EXPECT_EQ(Q * B + R, P + BigInt(17));
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).toString(), "6");
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).toString(), "6");
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).toString(), "5");
+  EXPECT_EQ(BigInt::gcd(BigInt(7), BigInt(0)).toString(), "7");
+}
+
+TEST(BigIntTest, ToInt64Bounds) {
+  int64_t Out = 0;
+  EXPECT_TRUE(BigInt(INT64_MAX).toInt64(Out));
+  EXPECT_EQ(Out, INT64_MAX);
+  EXPECT_TRUE(BigInt(INT64_MIN).toInt64(Out));
+  EXPECT_EQ(Out, INT64_MIN);
+  BigInt TooBig = BigInt(INT64_MAX) + BigInt(1);
+  EXPECT_FALSE(TooBig.toInt64(Out));
+  BigInt TooSmall = BigInt(INT64_MIN) - BigInt(1);
+  EXPECT_FALSE(TooSmall.toInt64(Out));
+}
+
+/// Property test: BigInt agrees with native 64-bit arithmetic wherever the
+/// latter is exact.
+TEST(BigIntTest, PropertyAgreesWithInt64) {
+  std::mt19937_64 Rng(12345);
+  std::uniform_int_distribution<int64_t> Dist(-1000000000LL, 1000000000LL);
+  for (int I = 0; I < 2000; ++I) {
+    int64_t A = Dist(Rng), B = Dist(Rng);
+    EXPECT_EQ((BigInt(A) + BigInt(B)).toString(), std::to_string(A + B));
+    EXPECT_EQ((BigInt(A) - BigInt(B)).toString(), std::to_string(A - B));
+    EXPECT_EQ((BigInt(A) * BigInt(B)).toString(), std::to_string(A * B));
+    if (B != 0) {
+      EXPECT_EQ((BigInt(A) / BigInt(B)).toString(), std::to_string(A / B));
+      EXPECT_EQ((BigInt(A) % BigInt(B)).toString(), std::to_string(A % B));
+    }
+    EXPECT_EQ(BigInt(A).compare(BigInt(B)),
+              A < B ? -1 : (A == B ? 0 : 1));
+  }
+}
+
+/// Property test: division invariant a == (a/b)*b + a%b on random large
+/// operands.
+TEST(BigIntTest, PropertyDivMod) {
+  std::mt19937_64 Rng(99);
+  auto RandomBig = [&](int Limbs) {
+    std::string S = std::to_string(1 + Rng() % 9);
+    for (int I = 0; I < Limbs * 9; ++I)
+      S += static_cast<char>('0' + Rng() % 10);
+    return BigInt::fromString(S);
+  };
+  for (int I = 0; I < 300; ++I) {
+    BigInt A = RandomBig(1 + static_cast<int>(Rng() % 5));
+    BigInt B = RandomBig(1 + static_cast<int>(Rng() % 3));
+    if (Rng() % 2)
+      A = -A;
+    if (Rng() % 2)
+      B = -B;
+    BigInt Q = A / B;
+    BigInt R = A % B;
+    EXPECT_EQ(Q * B + R, A) << "A=" << A.toString() << " B=" << B.toString();
+    EXPECT_TRUE(R.abs() < B.abs());
+    // C-style truncation: remainder sign matches dividend (or zero).
+    if (!R.isZero())
+      EXPECT_EQ(R.isNegative(), A.isNegative());
+  }
+}

@@ -1,0 +1,80 @@
+//===- tests/support/RationalTest.cpp - Rational unit & property tests ----===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using ids::BigInt;
+using ids::Rational;
+
+TEST(RationalTest, NormalisationLowestTerms) {
+  Rational R(6, 8);
+  EXPECT_EQ(R.numerator().toString(), "3");
+  EXPECT_EQ(R.denominator().toString(), "4");
+  Rational Neg(3, -6);
+  EXPECT_EQ(Neg.numerator().toString(), "-1");
+  EXPECT_EQ(Neg.denominator().toString(), "2");
+  EXPECT_EQ(Rational(0, 17).toString(), "0");
+}
+
+TEST(RationalTest, Arithmetic) {
+  EXPECT_EQ((Rational(1, 2) + Rational(1, 3)).toString(), "5/6");
+  EXPECT_EQ((Rational(1, 2) - Rational(1, 3)).toString(), "1/6");
+  EXPECT_EQ((Rational(2, 3) * Rational(3, 4)).toString(), "1/2");
+  EXPECT_EQ((Rational(2, 3) / Rational(4, 3)).toString(), "1/2");
+  EXPECT_EQ((-Rational(2, 3)).toString(), "-2/3");
+}
+
+TEST(RationalTest, ComparisonAcrossDenominators) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_GT(Rational(7, 2), Rational(3));
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor().toString(), "3");
+  EXPECT_EQ(Rational(7, 2).ceil().toString(), "4");
+  EXPECT_EQ(Rational(-7, 2).floor().toString(), "-4");
+  EXPECT_EQ(Rational(-7, 2).ceil().toString(), "-3");
+  EXPECT_EQ(Rational(4).floor().toString(), "4");
+  EXPECT_EQ(Rational(4).ceil().toString(), "4");
+  EXPECT_EQ(Rational(-4).floor().toString(), "-4");
+}
+
+TEST(RationalTest, MidpointIsBetween) {
+  // The paper's rank repair uses (rank(x)+rank(y))/2; check density.
+  Rational A(3, 7), B(4, 7);
+  Rational Mid = (A + B) / Rational(2);
+  EXPECT_LT(A, Mid);
+  EXPECT_LT(Mid, B);
+}
+
+TEST(RationalTest, PropertyFieldAxioms) {
+  std::mt19937_64 Rng(7);
+  std::uniform_int_distribution<int64_t> Dist(-50, 50);
+  auto Rand = [&]() {
+    int64_t D = 0;
+    while (D == 0)
+      D = Dist(Rng);
+    return Rational(Dist(Rng), D);
+  };
+  for (int I = 0; I < 1000; ++I) {
+    Rational A = Rand(), B = Rand(), C = Rand();
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ((A + B) + C, A + (B + C));
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    EXPECT_EQ(A - A, Rational(0));
+    if (!B.isZero())
+      EXPECT_EQ(A / B * B, A);
+    // floor(x) <= x < floor(x)+1
+    EXPECT_LE(Rational(A.floor()), A);
+    EXPECT_LT(A, Rational(A.floor() + BigInt(1)));
+  }
+}

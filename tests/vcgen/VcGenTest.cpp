@@ -1,0 +1,364 @@
+//===- tests/vcgen/VcGenTest.cpp - VC generation + verifier tests ----------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end verification tests on small hand-written modules: valid
+/// programs verify, buggy programs fail with the right obligation, the
+/// FWYB macros behave per Figure 2, and impact sets are machine-checked
+/// (Appendix C) including a deliberately wrong one.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace ids;
+using namespace ids::driver;
+
+namespace {
+const char *Mini = R"(
+structure S {
+  field next: Loc;
+  field key: int;
+  ghost field prev: Loc;
+  ghost field len: int;
+  local l (x) { (x.next != nil ==> x.next.prev == x
+                                && x.len == x.next.len + 1)
+             && (x.prev != nil ==> x.prev.next == x)
+             && (x.next == nil ==> x.len == 1) }
+  correlation (y) { y.prev == nil }
+  impact next [l] { x, old(x.next) }
+  impact prev [l] { x, old(x.prev) }
+  impact len  [l] { x, x.prev }
+}
+)";
+
+ModuleResult verify(const std::string &Src, VerifyOptions Opts = {}) {
+  DiagEngine Diags;
+  ModuleResult R = verifySource(Src, Opts, Diags);
+  EXPECT_TRUE(R.FrontEndOk) << Diags.toString();
+  return R;
+}
+} // namespace
+
+TEST(VcGenTest, TrivialArithmeticProc) {
+  ModuleResult R = verify(std::string(Mini) + R"(
+procedure p(a: int) returns (b: int)
+  ensures b == a + 1
+{
+  b := a + 1;
+}
+)");
+  EXPECT_TRUE(R.allVerified());
+}
+
+TEST(VcGenTest, WrongPostconditionFailsWithCounterexample) {
+  VerifyOptions Opts;
+  Opts.CheckImpacts = false;
+  ModuleResult R = verify(std::string(Mini) + R"(
+procedure p(a: int) returns (b: int)
+  ensures b == a + 2
+{
+  b := a + 1;
+}
+)",
+                          Opts);
+  ASSERT_EQ(R.Procs.size(), 1u);
+  EXPECT_EQ(R.Procs[0].St, Status::Failed);
+  EXPECT_NE(R.Procs[0].FailedObligation.find("postcondition"),
+            std::string::npos);
+  EXPECT_FALSE(R.Procs[0].Counterexample.empty());
+}
+
+TEST(VcGenTest, NullDereferenceCaught) {
+  VerifyOptions Opts;
+  Opts.CheckImpacts = false;
+  ModuleResult R = verify(std::string(Mini) + R"(
+procedure p(a: Loc) returns (b: int)
+{
+  b := a.key;
+}
+)",
+                          Opts);
+  EXPECT_EQ(R.Procs[0].St, Status::Failed);
+  EXPECT_NE(R.Procs[0].FailedObligation.find("dereference"),
+            std::string::npos);
+  // Guarding the dereference fixes it.
+  ModuleResult R2 = verify(std::string(Mini) + R"(
+procedure p(a: Loc) returns (b: int)
+  requires a != nil
+{
+  b := a.key;
+}
+)",
+                           Opts);
+  EXPECT_TRUE(R2.Procs[0].St == Status::Verified);
+}
+
+TEST(VcGenTest, ShortCircuitGuardsDereference) {
+  VerifyOptions Opts;
+  Opts.CheckImpacts = false;
+  ModuleResult R = verify(std::string(Mini) + R"(
+procedure p(a: Loc) returns (b: bool)
+{
+  b := a != nil && a.key > 0;
+}
+)",
+                          Opts);
+  EXPECT_EQ(R.Procs[0].St, Status::Verified);
+}
+
+TEST(VcGenTest, InferLcRequiresOutsideBr) {
+  VerifyOptions Opts;
+  Opts.CheckImpacts = false;
+  // Without knowing Br is empty, InferLCOutsideBr must fail.
+  ModuleResult R = verify(std::string(Mini) + R"(
+procedure p(a: Loc) returns (b: Loc)
+  requires a != nil
+{
+  InferLCOutsideBr(l, a);
+  b := a;
+}
+)",
+                          Opts);
+  EXPECT_EQ(R.Procs[0].St, Status::Failed);
+  // With the emptiness precondition it verifies.
+  ModuleResult R2 = verify(std::string(Mini) + R"(
+procedure p(a: Loc) returns (b: Loc)
+  requires a != nil && br(l) == {}
+{
+  InferLCOutsideBr(l, a);
+  b := a;
+}
+)",
+                           Opts);
+  EXPECT_EQ(R2.Procs[0].St, Status::Verified);
+}
+
+TEST(VcGenTest, MutGrowsBrokenSetAndAssertShrinksIt) {
+  VerifyOptions Opts;
+  Opts.CheckImpacts = false;
+  // After mutating prev on a fresh node, Br = {node}; removing it needs
+  // the LC proof; then Br is empty again.
+  ModuleResult R = verify(std::string(Mini) + R"(
+procedure p() returns (b: Loc)
+  requires br(l) == {}
+  ensures  br(l) == {}
+{
+  var z: Loc;
+  NewObj(z);
+  Mut(z.len, 1);
+  AssertLCAndRemove(l, z);
+  b := z;
+}
+)",
+                          Opts);
+  EXPECT_EQ(R.Procs[0].St, Status::Verified) << R.Procs[0].FailedObligation;
+  // Forgetting the repair leaves z in Br: postcondition fails.
+  ModuleResult R2 = verify(std::string(Mini) + R"(
+procedure p() returns (b: Loc)
+  requires br(l) == {}
+  ensures  br(l) == {}
+{
+  var z: Loc;
+  NewObj(z);
+  Mut(z.len, 1);
+  b := z;
+}
+)",
+                           Opts);
+  EXPECT_EQ(R2.Procs[0].St, Status::Failed);
+}
+
+TEST(VcGenTest, AssertLcChecksTheLocalCondition) {
+  VerifyOptions Opts;
+  Opts.CheckImpacts = false;
+  // len never set to 1, so LC(z) (next == nil => len == 1) is unprovable.
+  ModuleResult R = verify(std::string(Mini) + R"(
+procedure p() returns (b: Loc)
+  requires br(l) == {}
+{
+  var z: Loc;
+  NewObj(z);
+  AssertLCAndRemove(l, z);
+  b := z;
+}
+)",
+                          Opts);
+  EXPECT_EQ(R.Procs[0].St, Status::Failed);
+  EXPECT_NE(R.Procs[0].FailedObligation.find("local condition"),
+            std::string::npos);
+}
+
+TEST(VcGenTest, FrameObligationCatchesFootprintEscape) {
+  // Mutating a non-fresh object outside the modifies footprint fails.
+  ModuleResult R = verify(std::string(Mini) + R"(
+procedure p(a: Loc) returns (b: Loc)
+  requires a != nil && br(l) == {}
+  modifies {}
+{
+  Mut(a.key, 1);
+  b := a;
+}
+)",
+                          [] {
+                            VerifyOptions O;
+                            O.CheckImpacts = false;
+                            return O;
+                          }());
+  EXPECT_EQ(R.Procs[0].St, Status::Failed);
+  EXPECT_NE(R.Procs[0].FailedObligation.find("footprint"),
+            std::string::npos);
+}
+
+TEST(VcGenTest, LoopInvariantEntryAndPreservation) {
+  VerifyOptions Opts;
+  Opts.CheckImpacts = false;
+  ModuleResult R = verify(std::string(Mini) + R"(
+procedure count(n: int) returns (s: int)
+  requires n >= 0
+  ensures s == n
+{
+  var i: int := 0;
+  s := 0;
+  while (i < n)
+    invariant 0 <= i && i <= n
+    invariant s == i
+  {
+    i := i + 1;
+    s := s + 1;
+  }
+}
+)",
+                          Opts);
+  EXPECT_EQ(R.Procs[0].St, Status::Verified) << R.Procs[0].FailedObligation;
+  // A wrong invariant is rejected at the latch.
+  ModuleResult R2 = verify(std::string(Mini) + R"(
+procedure count(n: int) returns (s: int)
+  requires n >= 0
+{
+  var i: int := 0;
+  s := 0;
+  while (i < n)
+    invariant s == 0
+  {
+    i := i + 1;
+    s := s + 1;
+  }
+}
+)",
+                           Opts);
+  EXPECT_EQ(R2.Procs[0].St, Status::Failed);
+}
+
+TEST(VcGenTest, GhostLoopDecreasesChecked) {
+  VerifyOptions Opts;
+  Opts.CheckImpacts = false;
+  // Measure does not decrease: must fail.
+  ModuleResult R = verify(std::string(Mini) + R"(
+procedure p(n: int) returns (s: int)
+  requires n >= 0
+{
+  ghost {
+    var i: int := n;
+    while (i > 0)
+      invariant i >= 0
+      decreases i
+    {
+      i := i + 1;
+    }
+  }
+  s := 0;
+}
+)",
+                          Opts);
+  EXPECT_EQ(R.Procs[0].St, Status::Failed);
+  EXPECT_NE(R.Procs[0].FailedObligation.find("measure"), std::string::npos);
+}
+
+TEST(VcGenTest, CallUsesContractAndFrames) {
+  VerifyOptions Opts;
+  Opts.CheckImpacts = false;
+  ModuleResult R = verify(std::string(Mini) + R"(
+procedure bump(a: Loc) returns (r: int)
+  requires a != nil
+  ensures  r == old(a.key) + 1
+  ensures  a.key == old(a.key)
+  modifies {}
+{
+  r := a.key + 1;
+}
+procedure caller(a: Loc, b: Loc) returns (r: int)
+  requires a != nil && b != nil
+  ensures  r == old(a.key) + 1
+  ensures  b.key == old(b.key)
+{
+  call r := bump(a);
+}
+)",
+                          Opts);
+  for (const ProcResult &P : R.Procs)
+    EXPECT_EQ(P.St, Status::Verified) << P.Name << ": "
+                                      << P.FailedObligation;
+}
+
+TEST(VcGenTest, ImpactSetsVerifiedAndWrongOnesRejected) {
+  // The declared impact sets of the mini structure are correct.
+  ModuleResult R = verify(std::string(Mini) + R"(
+procedure p(a: int) returns (b: int) { b := a; }
+)");
+  for (const ImpactResult &I : R.Impacts)
+    EXPECT_TRUE(I.Ok) << I.Field << " [" << I.Group << "]";
+
+  // Dropping old(x.next) from next's impact set makes it wrong
+  // (Section 4.1's argument: the old successor's prev-link breaks).
+  DiagEngine Diags;
+  ModuleResult R2 = verifySource(R"(
+structure S {
+  field next: Loc;
+  ghost field prev: Loc;
+  local l (x) { (x.next != nil ==> x.next.prev == x)
+             && (x.prev != nil ==> x.prev.next == x) }
+  correlation (y) { y.prev == nil }
+  impact next [l] { x }
+  impact prev [l] { x, old(x.prev) }
+}
+procedure p(a: int) returns (b: int) { b := a; }
+)",
+                                 VerifyOptions(), Diags);
+  ASSERT_TRUE(R2.FrontEndOk) << Diags.toString();
+  bool AnyFailed = false;
+  for (const ImpactResult &I : R2.Impacts)
+    if (I.Field == "next" && !I.Ok)
+      AnyFailed = true;
+  EXPECT_TRUE(AnyFailed);
+}
+
+TEST(VcGenTest, QuantifiedModeVerifiesSimpleProc) {
+  VerifyOptions Opts;
+  Opts.CheckImpacts = false;
+  Opts.QuantifiedMode = true;
+  ModuleResult R = verify(std::string(Mini) + R"(
+procedure callee(a: Loc) returns (r: int)
+  requires a != nil
+  ensures  r == old(a.key)
+  modifies {}
+{
+  r := a.key;
+}
+procedure caller(a: Loc) returns (r: int)
+  requires a != nil
+  ensures  r == old(a.key)
+{
+  call r := callee(a);
+}
+)",
+                          Opts);
+  for (const ProcResult &P : R.Procs)
+    EXPECT_EQ(P.St, Status::Verified) << P.Name << ": "
+                                      << P.FailedObligation;
+}
