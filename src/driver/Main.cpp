@@ -12,7 +12,8 @@
 ///   ids-verify --list              list embedded benchmarks
 ///
 /// Options: --quant (Dafny-style quantified encoding, RQ3), --splits N,
-/// --proc NAME, --no-frames, --no-impacts.
+/// --proc NAME, --no-frames, --no-impacts, --budget N (theory-check
+/// budget per solver query; exhaustion reports "unknown").
 ///
 //===----------------------------------------------------------------------===//
 
@@ -116,7 +117,9 @@ int main(int Argc, char **Argv) {
   } else {
     fprintf(stderr,
             "usage: ids-verify [options] (FILE | --benchmark NAME | "
-            "--list)\n");
+            "--list)\n"
+            "options: --quant --splits N --proc NAME --no-frames "
+            "--no-impacts --budget N\n");
     return 2;
   }
 

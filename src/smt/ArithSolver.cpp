@@ -380,17 +380,28 @@ void ArithSolver::restore(const Snapshot &S) {
 }
 
 namespace {
-constexpr int MaxSearchDepth = 4000;
-constexpr int CutTag = -2;
+// Depth budget for branch & bound / disequality splitting. Each frame
+// carries a tableau snapshot, so the budget must stay well under what the
+// thread stack can hold; exhaustion is reported as Result::Unknown and
+// surfaces as solver-level Unknown, never as a wrong verdict.
+constexpr int MaxSearchDepth = 256;
+// Branch cuts are tagged per depth: a frame's "cut unused" test and its
+// core-combine step must strip exactly its own cuts, never an ancestor's.
+// With a single shared tag, an inner combine would erase an outer frame's
+// cut dependency and the outer "core stands on its own" early return
+// could report an Unsat core that silently relied on an outer cut.
+// The range [-1000 - MaxSearchDepth, -1000] avoids every other internal
+// tag (-1 unset, -3 probe, -7 model-repair separation).
+constexpr int CutTagBase = -1000;
+constexpr int cutTagFor(int Depth) { return CutTagBase - Depth; }
 } // namespace
 
 ArithSolver::Result ArithSolver::search(std::set<int> &ConflictOut,
                                         int Depth) {
-  assert(Depth < MaxSearchDepth &&
-         "arithmetic branch-and-bound exceeded its depth budget");
   Result R = simplexCheck(ConflictOut);
   if (R == Result::Unsat)
     return R;
+  const int CutTag = cutTagFor(Depth);
 
   // Integer branching.
   for (int V = 0; V < numVars(); ++V) {
@@ -399,6 +410,11 @@ ArithSolver::Result ArithSolver::search(std::set<int> &ConflictOut,
     assert(Beta[V].D.isZero() && "integer variable has a delta component");
     if (Beta[V].R.isInteger())
       continue;
+    // The depth budget gates branching only: a frame at the cap still
+    // runs its LP check above, so a decisive relaxation is never
+    // forfeited to Unknown.
+    if (Depth >= MaxSearchDepth)
+      return Result::Unknown;
     ++Branches;
     Rational FloorV(Beta[V].R.floor());
     Snapshot S = save();
@@ -408,7 +424,7 @@ ArithSolver::Result ArithSolver::search(std::set<int> &ConflictOut,
     if (R1 == Result::Sat)
       return Result::Sat;
     restore(S);
-    if (!Core1.count(CutTag)) {
+    if (R1 == Result::Unsat && !Core1.count(CutTag)) {
       ConflictOut = Core1; // branch cut unused: core stands on its own
       ConflictOut.erase(CutTag);
       return Result::Unsat;
@@ -419,11 +435,16 @@ ArithSolver::Result ArithSolver::search(std::set<int> &ConflictOut,
     if (R2 == Result::Sat)
       return Result::Sat;
     restore(S);
-    if (!Core2.count(CutTag)) {
+    // A branch-2 core that never used the cut refutes the input
+    // constraints on its own, independent of branch 1's outcome.
+    if (R2 == Result::Unsat && !Core2.count(CutTag)) {
       ConflictOut = Core2;
       ConflictOut.erase(CutTag);
       return Result::Unsat;
     }
+    // Unsat needs both branches refuted; an Unknown branch forfeits that.
+    if (R1 == Result::Unknown || R2 == Result::Unknown)
+      return Result::Unknown;
     Core1.insert(Core2.begin(), Core2.end());
     Core1.erase(CutTag);
     ConflictOut = Core1;
@@ -435,6 +456,8 @@ ArithSolver::Result ArithSolver::search(std::set<int> &ConflictOut,
     auto [V, C, Tag] = Diseqs[I];
     if (Beta[V] != DeltaRat(C))
       continue;
+    if (Depth >= MaxSearchDepth)
+      return Result::Unknown;
     ++Branches;
     Snapshot S = save();
     std::set<int> Core1, Core2;
@@ -447,6 +470,11 @@ ArithSolver::Result ArithSolver::search(std::set<int> &ConflictOut,
     if (R1 == Result::Sat)
       return Result::Sat;
     restore(S);
+    if (R1 == Result::Unsat && !Core1.count(CutTag)) {
+      ConflictOut = Core1; // cut unused: core refutes the input alone
+      ConflictOut.erase(CutTag);
+      return Result::Unsat;
+    }
     bool Feasible2;
     if (IsInt[V])
       Feasible2 = assertLower(V, DeltaRat(C + Rational(1)), CutTag, &Core2);
@@ -456,6 +484,13 @@ ArithSolver::Result ArithSolver::search(std::set<int> &ConflictOut,
     if (R2 == Result::Sat)
       return Result::Sat;
     restore(S);
+    if (R2 == Result::Unsat && !Core2.count(CutTag)) {
+      ConflictOut = Core2;
+      ConflictOut.erase(CutTag);
+      return Result::Unsat;
+    }
+    if (R1 == Result::Unknown || R2 == Result::Unknown)
+      return Result::Unknown;
     Core1.insert(Core2.begin(), Core2.end());
     Core1.erase(CutTag);
     Core1.insert(Tag);
@@ -545,7 +580,8 @@ bool ArithSolver::assertPolyNegative(LinTerm Poly, int Tag,
 }
 
 bool ArithSolver::probeForcedEqual(int Var1, int Var2,
-                                   std::set<int> &TagsOut) {
+                                   std::set<int> &TagsOut,
+                                   bool *UnknownOut) {
   constexpr int ProbeTag = -3;
   LinTerm Diff;
   Diff.add(Var1, Rational(1));
@@ -560,7 +596,7 @@ bool ArithSolver::probeForcedEqual(int Var1, int Var2,
   Result R1 = Feasible ? search(Core1, 0) : Result::Unsat;
   restore(S);
   if (R1 == Result::Sat)
-    return false;
+    return false; // a strict order is possible: not forced
   // Probe Var1 > Var2.
   LinTerm NegDiff;
   NegDiff.add(Var1, Rational(-1));
@@ -570,6 +606,35 @@ bool ArithSolver::probeForcedEqual(int Var1, int Var2,
   restore(S);
   if (R2 == Result::Sat)
     return false;
+  // Forced equality needs both probes refuted. An undecided probe whose
+  // sibling did not prove Sat must be reported: the caller cannot
+  // distinguish "not forced" from "undecided", and acting on the latter
+  // can cascade into a wrong verdict.
+  if (R1 == Result::Unknown || R2 == Result::Unknown) {
+    if (UnknownOut)
+      *UnknownOut = true;
+    return false;
+  }
+
+  // A refutation is only evidence of a forced equality when it rests on
+  // input constraints alone. Besides our own ProbeTag (and -1, the "no
+  // tag" marker), a negative tag in a core marks an artificial assertion
+  // injected by the SMT driver (e.g. a model-repair separation); claiming
+  // "forced" with that dependence silently stripped would hand the caller
+  // an explanation the inputs do not imply. Report such probes as
+  // undecided instead. (Branch cut tags never escape: every search frame
+  // erases its own before returning.)
+  auto RestsOnArtificial = [](const std::set<int> &Core) {
+    for (int T : Core)
+      if (T < 0 && T != ProbeTag && T != -1)
+        return true;
+    return false;
+  };
+  if (RestsOnArtificial(Core1) || RestsOnArtificial(Core2)) {
+    if (UnknownOut)
+      *UnknownOut = true;
+    return false;
+  }
 
   for (int T : Core1)
     if (T >= 0)

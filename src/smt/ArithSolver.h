@@ -80,7 +80,10 @@ struct LinTerm {
 class ArithSolver {
 public:
   enum class Op { Le, Lt, Eq, Ne };
-  enum class Result { Sat, Unsat };
+  /// Unknown is reported when branch & bound exhausts its depth budget —
+  /// bounded resources instead of unbounded recursion (which would
+  /// overflow the stack on adversarial integer instances).
+  enum class Result { Sat, Unsat, Unknown };
 
   /// Creates a solver variable. \p IsInt marks integrality.
   int addVar(bool IsInt);
@@ -100,8 +103,12 @@ public:
 
   /// After a Sat check: returns true when Var1 == Var2 in every model, and
   /// fills \p TagsOut with the explanation. Only meaningful when the
-  /// current model already agrees on the two variables.
-  bool probeForcedEqual(int Var1, int Var2, std::set<int> &TagsOut);
+  /// current model already agrees on the two variables. When a probe
+  /// search exhausts its depth budget the result is not trustworthy
+  /// either way; \p UnknownOut (when non-null) is set so the caller can
+  /// surface budget exhaustion instead of acting on a silent "false".
+  bool probeForcedEqual(int Var1, int Var2, std::set<int> &TagsOut,
+                        bool *UnknownOut = nullptr);
 
   /// Statistics for the bench harness.
   uint64_t numPivots() const { return Pivots; }

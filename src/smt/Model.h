@@ -77,6 +77,11 @@ public:
   /// sort-default value (false / 0 / loc 0 / empty array).
   Value eval(TermRef T) const;
 
+  /// Public evaluation entry point for differential testing: a Sat answer
+  /// from the solver can be cross-checked by evaluating the original
+  /// formula under the produced model. Alias of eval().
+  Value evaluate(TermRef T) const { return eval(T); }
+
   /// Default value for a sort (used for unconstrained leaves).
   static Value defaultFor(const Sort *S);
 

@@ -120,6 +120,13 @@ void Solver::buildCnf(TermRef F) {
 }
 
 namespace ids::smt {
+
+/// Tag for the artificial x != y separations asserted during model repair
+/// (index-collision splitting). Negative so expandTags never leaks it into
+/// a learned clause; conflict cores containing it must not become theory
+/// lemmas (the separation is not an input constraint).
+constexpr int SeparationTag = -7;
+
 /// The per-full-model theory check: congruence closure + simplex with
 /// equality exchange, model construction and the evaluation safety net.
 class TheoryCheck : public sat::TheoryCallback {
@@ -360,9 +367,26 @@ bool TheoryCheck::equalityFixpoint(std::vector<sat::Lit> &ConflictOut) {
       }
     }
     std::set<int> Core;
-    if (Arith->check(Core) == ArithSolver::Result::Unsat) {
-      clauseFromTags(Core, ConflictOut);
+    ArithSolver::Result AR = Arith->check(Core);
+    if (AR == ArithSolver::Result::Unsat) {
+      if (Core.count(SeparationTag)) {
+        // The contradiction leans on an artificial model-repair
+        // separation (x != y asserted under SeparationTag), which
+        // expandTags would silently drop — the resulting lemma over the
+        // real atoms alone would be stronger than justified. Block the
+        // current assignment instead; that is always sound.
+        ++S.St.BlockingClauses;
+        blockingClause(ConflictOut);
+      } else {
+        clauseFromTags(Core, ConflictOut);
+      }
       return false;
+    }
+    if (AR == ArithSolver::Result::Unknown) {
+      // Branch-and-bound budget exhausted: stop the search and let
+      // checkSat() report Unknown rather than loop on an undecided check.
+      S.BudgetExhausted = true;
+      return true;
     }
     // Arithmetic -> CC: probe forced equalities among model-equal opaques.
     // Only terms feeding congruence (select/store indices, apply args)
@@ -382,8 +406,17 @@ bool TheoryCheck::equalityFixpoint(std::vector<sat::Lit> &ConflictOut) {
           if (CC->areEqual(X, Y))
             continue;
           std::set<int> Expl;
-          if (!Arith->probeForcedEqual(ArithVars[X], ArithVars[Y], Expl))
+          bool ProbeUnknown = false;
+          if (!Arith->probeForcedEqual(ArithVars[X], ArithVars[Y], Expl,
+                                       &ProbeUnknown)) {
+            if (ProbeUnknown) {
+              // Undecided probe: a missed forced equality can cascade
+              // into a bogus blocking clause, so give up explicitly.
+              S.BudgetExhausted = true;
+              return true;
+            }
             continue;
+          }
           int CTag = newCompositeTag(Expl);
           if (!CC->assertEqual(X, Y, CTag)) {
             std::set<int> Tags(CC->conflictTags().begin(),
@@ -593,6 +626,8 @@ bool TheoryCheck::onFullModel(std::vector<sat::Lit> &ConflictOut) {
   }
   if (!equalityFixpoint(ConflictOut))
     return false;
+  if (S.BudgetExhausted)
+    return true;
 
   // Model construction with index-collision repair.
   for (unsigned Iter = 0; Iter <= S.Opts.MaxModelRepairIters; ++Iter) {
@@ -636,7 +671,7 @@ bool TheoryCheck::onFullModel(std::vector<sat::Lit> &ConflictOut) {
           LinTerm P;
           P.add(ArithVars[X], Rational(1));
           P.add(ArithVars[Y], Rational(-1));
-          Arith->assertAtom(P, ArithSolver::Op::Ne, -7);
+          Arith->assertAtom(P, ArithSolver::Op::Ne, SeparationTag);
           Repaired = true;
         }
       }
@@ -644,10 +679,20 @@ bool TheoryCheck::onFullModel(std::vector<sat::Lit> &ConflictOut) {
     if (!Repaired)
       break;
     std::set<int> Core;
-    if (Arith->check(Core) == ArithSolver::Result::Unsat)
+    ArithSolver::Result AR = Arith->check(Core);
+    if (AR == ArithSolver::Result::Unknown) {
+      // Undecided separation: blocking this assignment could turn a
+      // satisfiable formula into a bogus Unsat, so stop and report
+      // Unknown instead.
+      S.BudgetExhausted = true;
+      return true;
+    }
+    if (AR == ArithSolver::Result::Unsat)
       break; // separation infeasible; fall through to blocking
     if (!equalityFixpoint(ConflictOut))
       return false;
+    if (S.BudgetExhausted)
+      return true;
   }
   ++S.St.BlockingClauses;
   blockingClause(ConflictOut);

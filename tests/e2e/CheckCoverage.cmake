@@ -1,0 +1,44 @@
+# Verifies the golden-file suite covers every embedded Table 2 benchmark:
+# each name printed by `ids-verify --list` must have a golden file, and
+# each golden file must correspond to a listed benchmark.
+#   cmake -DIDS_VERIFY=<exe> -DGOLDEN_DIR=<dir> -P CheckCoverage.cmake
+
+if(NOT DEFINED IDS_VERIFY OR NOT DEFINED GOLDEN_DIR)
+  message(FATAL_ERROR "usage: cmake -DIDS_VERIFY=... -DGOLDEN_DIR=... -P CheckCoverage.cmake")
+endif()
+
+execute_process(
+  COMMAND "${IDS_VERIFY}" --list
+  OUTPUT_VARIABLE ListOut
+  RESULT_VARIABLE ExitCode)
+if(NOT ExitCode EQUAL 0)
+  message(FATAL_ERROR "ids-verify --list failed with exit code ${ExitCode}")
+endif()
+
+string(REGEX MATCHALL "[^\n]+" Lines "${ListOut}")
+set(Listed "")
+foreach(Line ${Lines})
+  # Lines look like `singly-linked-list  (Singly-Linked List)`.
+  string(REGEX MATCH "^[^ ]+" Name "${Line}")
+  if(NOT Name STREQUAL "")
+    list(APPEND Listed "${Name}")
+    if(NOT EXISTS "${GOLDEN_DIR}/${Name}.golden")
+      message(SEND_ERROR "benchmark '${Name}' has no golden file "
+              "(expected ${GOLDEN_DIR}/${Name}.golden)")
+    endif()
+  endif()
+endforeach()
+
+if(Listed STREQUAL "")
+  message(FATAL_ERROR "ids-verify --list printed no benchmarks")
+endif()
+
+file(GLOB Goldens "${GOLDEN_DIR}/*.golden")
+foreach(Golden ${Goldens})
+  get_filename_component(Name "${Golden}" NAME_WE)
+  list(FIND Listed "${Name}" Idx)
+  if(Idx EQUAL -1)
+    message(SEND_ERROR "stale golden file '${Golden}': no benchmark "
+            "named '${Name}' in --list output")
+  endif()
+endforeach()

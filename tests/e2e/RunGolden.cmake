@@ -1,0 +1,46 @@
+# Golden-file runner for one embedded benchmark. Invoked by ctest as
+#   cmake -DIDS_VERIFY=<exe> -DBENCH=<name> -DGOLDEN=<file> -P RunGolden.cmake
+# Runs `ids-verify --benchmark <name>`, normalizes the output (timings are
+# nondeterministic) and diffs it against the checked-in golden file.
+#
+# Regenerate a golden after an intended output change with:
+#   cmake -DIDS_VERIFY=<exe> -DBENCH=<name> -DGOLDEN=<file> -DREGEN=1 \
+#         -P RunGolden.cmake
+
+if(NOT DEFINED IDS_VERIFY OR NOT DEFINED BENCH OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR "usage: cmake -DIDS_VERIFY=... -DBENCH=... -DGOLDEN=... -P RunGolden.cmake")
+endif()
+
+# EXTRA_ARGS is a comma-separated list of additional ids-verify flags
+# (e.g. a deterministic --budget for benchmarks with slow procedures).
+set(Extra "")
+if(DEFINED EXTRA_ARGS AND NOT EXTRA_ARGS STREQUAL "")
+  string(REPLACE "," ";" Extra "${EXTRA_ARGS}")
+endif()
+
+execute_process(
+  COMMAND "${IDS_VERIFY}" --benchmark "${BENCH}" ${Extra}
+  OUTPUT_VARIABLE RawOut
+  ERROR_VARIABLE RawErr
+  RESULT_VARIABLE ExitCode)
+
+# Normalize: timings like `0.03s` or `(1.27s)` vary run to run, and the
+# fixed-width columns around them collapse; squeeze runs of spaces too.
+string(REGEX REPLACE "[0-9]+\\.[0-9]+s" "<time>" Out "${RawOut}")
+string(REGEX REPLACE "  +" " " Out "${Out}")
+set(Out "exit: ${ExitCode}\n${Out}")
+
+if(DEFINED REGEN)
+  file(WRITE "${GOLDEN}" "${Out}")
+  message(STATUS "wrote ${GOLDEN}")
+  return()
+endif()
+
+file(READ "${GOLDEN}" Expected)
+if(NOT Out STREQUAL Expected)
+  message(FATAL_ERROR "golden mismatch for benchmark '${BENCH}'\n"
+          "--- expected (${GOLDEN}) ---\n${Expected}\n"
+          "--- actual (normalized) ---\n${Out}\n"
+          "--- stderr ---\n${RawErr}\n"
+          "Regenerate with -DREGEN=1 if the change is intended.")
+endif()
