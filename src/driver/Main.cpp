@@ -13,7 +13,12 @@
 ///
 /// Options: --quant (Dafny-style quantified encoding, RQ3), --splits N,
 /// --proc NAME, --no-frames, --no-impacts, --budget N (theory-check
-/// budget per solver query; exhaustion reports "unknown").
+/// budget per solver query; exhaustion reports "unknown"), --timeout S
+/// (wall-clock budget per query), and the VC pipeline controls:
+/// --jobs N (parallel obligation dispatch), --no-simp (disable the
+/// simplifier), --no-slice (disable cone-of-influence slicing),
+/// --no-cache (disable the structural query cache), --stats (print
+/// per-procedure pipeline statistics).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,7 +32,18 @@
 
 using namespace ids;
 
-static void printResult(const driver::ModuleResult &R) {
+static void printPipelineStats(const pipeline::Stats &St) {
+  printf("    pipeline: %u obligations (%u simplified away), "
+         "%u/%u guard conjuncts sliced, %u queries (%u cache hits, "
+         "%u slice fallbacks, %u escalated), max %u atoms / %u array "
+         "lemmas\n",
+         St.Obligations, St.ProvedBySimplify, St.ConjunctsSliced,
+         St.ConjunctsBeforeSlice, St.Queries, St.CacheHits,
+         St.SliceFallbacks, St.EscalatedQueries, St.MaxAtoms,
+         St.MaxArrayLemmas);
+}
+
+static void printResult(const driver::ModuleResult &R, bool ShowStats) {
   printf("structure %s  (LC size: %u conjuncts)\n", R.StructureName.c_str(),
          R.LcSize);
   if (!R.Impacts.empty()) {
@@ -37,6 +53,12 @@ static void printResult(const driver::ModuleResult &R) {
         ++Bad;
     printf("impact sets: %zu checked, %u failed (%.2fs)\n",
            R.Impacts.size(), Bad, R.ImpactSeconds);
+    if (ShowStats) {
+      pipeline::Stats Agg;
+      for (const driver::ImpactResult &I : R.Impacts)
+        Agg.merge(I.Pipeline);
+      printPipelineStats(Agg);
+    }
     for (const driver::ImpactResult &I : R.Impacts)
       if (!I.Ok)
         printf("  FAILED impact %s [%s]\n", I.Field.c_str(),
@@ -49,6 +71,8 @@ static void printResult(const driver::ModuleResult &R) {
     printf("  %-24s %3u+%u+%-3u  %3u obligations  %7.2fs  %s\n",
            P.Name.c_str(), P.Metrics.CodeLines, P.Metrics.SpecLines,
            P.Metrics.AnnotLines, P.NumObligations, P.Seconds, St);
+    if (ShowStats)
+      printPipelineStats(P.Pipeline);
     if (P.St != driver::Status::Verified) {
       printf("    obligation: %s\n", P.FailedObligation.c_str());
       if (!P.Counterexample.empty()) {
@@ -66,6 +90,7 @@ int main(int Argc, char **Argv) {
   driver::VerifyOptions Opts;
   std::string File, BenchName;
   bool List = false;
+  bool ShowStats = false;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--quant") {
@@ -74,12 +99,24 @@ int main(int Argc, char **Argv) {
       Opts.CheckFrames = false;
     } else if (A == "--no-impacts") {
       Opts.CheckImpacts = false;
+    } else if (A == "--no-simp") {
+      Opts.SimplifyVc = false;
+    } else if (A == "--no-slice") {
+      Opts.SliceVc = false;
+    } else if (A == "--no-cache") {
+      Opts.CacheQueries = false;
+    } else if (A == "--stats") {
+      ShowStats = true;
+    } else if (A == "--jobs" && I + 1 < Argc) {
+      Opts.Jobs = static_cast<unsigned>(atoi(Argv[++I]));
     } else if (A == "--splits" && I + 1 < Argc) {
       Opts.VcSplits = static_cast<unsigned>(atoi(Argv[++I]));
     } else if (A == "--proc" && I + 1 < Argc) {
       Opts.OnlyProc = Argv[++I];
     } else if (A == "--budget" && I + 1 < Argc) {
       Opts.MaxTheoryChecks = static_cast<uint64_t>(atoll(Argv[++I]));
+    } else if (A == "--timeout" && I + 1 < Argc) {
+      Opts.QueryTimeoutSeconds = atof(Argv[++I]);
     } else if (A == "--benchmark" && I + 1 < Argc) {
       BenchName = Argv[++I];
     } else if (A == "--list") {
@@ -119,7 +156,16 @@ int main(int Argc, char **Argv) {
             "usage: ids-verify [options] (FILE | --benchmark NAME | "
             "--list)\n"
             "options: --quant --splits N --proc NAME --no-frames "
-            "--no-impacts --budget N\n");
+            "--no-impacts --budget N --timeout S\n"
+            "VC pipeline: --jobs N (parallel obligation dispatch, "
+            "default 1)\n"
+            "             --no-simp (disable the VC simplifier)\n"
+            "             --no-slice (disable cone-of-influence "
+            "slicing)\n"
+            "             --no-cache (disable the structural query "
+            "cache)\n"
+            "             --stats (print per-procedure pipeline "
+            "statistics)\n");
     return 2;
   }
 
@@ -129,6 +175,6 @@ int main(int Argc, char **Argv) {
     fprintf(stderr, "%s", Diags.toString().c_str());
     return 2;
   }
-  printResult(R);
+  printResult(R, ShowStats);
   return R.allVerified() ? 0 : 1;
 }

@@ -8,7 +8,7 @@
 
 #include "lang/Parser.h"
 #include "lang/TypeCheck.h"
-#include "smt/Solver.h"
+#include "pipeline/Pipeline.h"
 #include "vcgen/VcGen.h"
 
 #include <chrono>
@@ -36,60 +36,30 @@ double seconds(std::chrono::steady_clock::time_point Start) {
   return std::chrono::duration<double>(End - Start).count();
 }
 
-/// Refutes the negation of each obligation group; returns per-module
-/// status. On failure, identifies the first failing obligation and its
-/// countermodel.
-Status solveObligations(smt::TermManager &TM,
-                        const std::vector<vcgen::Obligation> &Obls,
-                        const VerifyOptions &Opts, std::string &FailedDesc,
-                        std::string &Counterexample) {
-  if (Obls.empty())
+pipeline::Options pipelineOptions(const VerifyOptions &Opts) {
+  pipeline::Options P;
+  P.Simplify = Opts.SimplifyVc;
+  P.Slice = Opts.SliceVc;
+  P.Cache = Opts.CacheQueries;
+  P.Jobs = Opts.Jobs;
+  P.VcSplits = Opts.VcSplits;
+  P.AllowQuantifiers = Opts.QuantifiedMode;
+  P.CrossCheckQf = Opts.CrossCheckQf;
+  P.MaxTheoryChecks = Opts.MaxTheoryChecks;
+  P.QueryTimeoutSeconds = Opts.QueryTimeoutSeconds;
+  return P;
+}
+
+Status statusOf(pipeline::Verdict V) {
+  switch (V) {
+  case pipeline::Verdict::Proved:
     return Status::Verified;
-  unsigned NumGroups = std::max(1u, std::min<unsigned>(
-                                        Opts.VcSplits,
-                                        static_cast<unsigned>(Obls.size())));
-  // Round-robin partition into NumGroups queries.
-  for (unsigned G = 0; G < NumGroups; ++G) {
-    std::vector<smt::TermRef> Negated;
-    for (size_t I = G; I < Obls.size(); I += NumGroups)
-      Negated.push_back(
-          TM.mkAnd(Obls[I].Guard, TM.mkNot(Obls[I].Claim)));
-    smt::TermRef Query = TM.mkOr(std::move(Negated));
-    if (Opts.CrossCheckQf && !Opts.QuantifiedMode &&
-        TM.containsQuantifier(Query)) {
-      FailedDesc = "internal: quantifier leaked into a QF-mode VC";
-      return Status::Unknown;
-    }
-    smt::Solver::Options SOpts;
-    SOpts.AllowQuantifiers = Opts.QuantifiedMode;
-    SOpts.MaxTheoryChecks = Opts.MaxTheoryChecks;
-    SOpts.TimeoutSeconds = Opts.QueryTimeoutSeconds;
-    smt::Solver S(TM, SOpts);
-    smt::Solver::Result R = S.checkSat(Query);
-    if (R == smt::Solver::Result::Unsat)
-      continue;
-    if (R == smt::Solver::Result::Unknown) {
-      FailedDesc = Opts.QuantifiedMode
-                       ? "quantified encoding: instantiation was incomplete"
-                       : "solver resource budget exhausted";
-      return Status::Unknown;
-    }
-    // Some obligation in this group fails: find which one.
-    for (size_t I = G; I < Obls.size(); I += NumGroups) {
-      smt::Solver SI(TM, SOpts);
-      smt::TermRef Q =
-          TM.mkAnd(Obls[I].Guard, TM.mkNot(Obls[I].Claim));
-      if (SI.checkSat(Q) == smt::Solver::Result::Sat) {
-        FailedDesc = Obls[I].Description + " (at " +
-                     Obls[I].Loc.toString() + ")";
-        Counterexample = SI.model().toString();
-        return Status::Failed;
-      }
-    }
-    FailedDesc = "obligation group failed but no single witness found";
+  case pipeline::Verdict::Failed:
     return Status::Failed;
+  case pipeline::Verdict::Unknown:
+    break;
   }
-  return Status::Verified;
+  return Status::Unknown;
 }
 } // namespace
 
@@ -104,6 +74,11 @@ ModuleResult driver::verifySource(const std::string &Source,
   Result.StructureName = M->Structure.Name;
   Result.LcSize = lang::localConditionSize(M->Structure);
 
+  pipeline::Options POpts = pipelineOptions(Opts);
+  // One cache for the whole module: identical obligations across
+  // procedures and impact checks solve once.
+  pipeline::QueryCache Cache;
+
   // Impact-set correctness (Appendix C; Section 5.3 reports this <3s per
   // structure).
   if (Opts.CheckImpacts) {
@@ -115,9 +90,10 @@ ModuleResult driver::verifySource(const std::string &Source,
       auto IStart = std::chrono::steady_clock::now();
       smt::TermManager TM;
       vcgen::ProcVc Vc = vcgen::generateImpactVc(TM, *M, I);
-      std::string Desc, Cex;
-      IR.Ok = solveObligations(TM, Vc.Obligations, Opts, Desc, Cex) ==
-              Status::Verified;
+      pipeline::Result PR =
+          pipeline::solveObligations(TM, Vc.Obligations, POpts, &Cache);
+      IR.Ok = PR.V == pipeline::Verdict::Proved;
+      IR.Pipeline = PR.St;
       IR.Seconds = seconds(IStart);
       Result.Impacts.push_back(std::move(IR));
     }
@@ -137,8 +113,12 @@ ModuleResult driver::verifySource(const std::string &Source,
     VOpts.CheckFrames = Opts.CheckFrames;
     vcgen::ProcVc Vc = vcgen::generateVc(TM, *M, P, VOpts);
     PR.NumObligations = static_cast<unsigned>(Vc.Obligations.size());
-    PR.St = solveObligations(TM, Vc.Obligations, Opts, PR.FailedObligation,
-                             PR.Counterexample);
+    pipeline::Result R =
+        pipeline::solveObligations(TM, Vc.Obligations, POpts, &Cache);
+    PR.St = statusOf(R.V);
+    PR.FailedObligation = R.FailedDescription;
+    PR.Counterexample = R.Counterexample;
+    PR.Pipeline = R.St;
     PR.Seconds = seconds(Start);
     Result.Procs.push_back(std::move(PR));
   }

@@ -18,6 +18,7 @@
 
 #include "lang/Ast.h"
 #include "lang/Checks.h"
+#include "pipeline/Pipeline.h"
 
 #include <memory>
 #include <string>
@@ -36,6 +37,7 @@ struct ProcResult {
   std::string FailedObligation; ///< description + location when Failed
   std::string Counterexample;   ///< model text when Failed
   lang::ProcMetrics Metrics;
+  pipeline::Stats Pipeline; ///< per-procedure VC pipeline statistics
 };
 
 struct ImpactResult {
@@ -43,6 +45,7 @@ struct ImpactResult {
   std::string Group;
   bool Ok = true;
   double Seconds = 0.0;
+  pipeline::Stats Pipeline;
 };
 
 struct ModuleResult {
@@ -74,8 +77,18 @@ struct VerifyOptions {
   bool CheckFrames = true;
   /// Prove the declared impact sets correct before verifying procedures.
   bool CheckImpacts = true;
-  /// Split the VC into this many solver queries (paper uses max 8).
-  unsigned VcSplits = 1;
+  /// Legacy VC splitting: partition obligations into this many
+  /// disjunctive solver queries (the paper's Boogie configuration uses
+  /// max 8). 0, the default, is the pipeline's native mode — one query
+  /// per obligation, the independently decidable unit the methodology is
+  /// built on.
+  unsigned VcSplits = 0;
+  /// VC pipeline stages (each independently disableable for differential
+  /// testing) and the solver dispatch width.
+  bool SimplifyVc = true;  ///< --no-simp
+  bool SliceVc = true;     ///< --no-slice
+  bool CacheQueries = true; ///< --no-cache
+  unsigned Jobs = 1;        ///< --jobs N
   /// Restrict verification to this procedure (empty = all).
   std::string OnlyProc;
   /// Cross-check that generated VCs are quantifier-free (Section 5.1);

@@ -1,0 +1,327 @@
+//===- pipeline/Pipeline.cpp - VC pipeline facade --------------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+
+#include "pipeline/Scheduler.h"
+#include "pipeline/Simplify.h"
+#include "pipeline/Slice.h"
+#include "smt/Solver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+using namespace ids;
+using namespace ids::pipeline;
+using namespace ids::smt;
+
+void Stats::merge(const Stats &O) {
+  Obligations += O.Obligations;
+  ProvedBySimplify += O.ProvedBySimplify;
+  ConjunctsBeforeSlice += O.ConjunctsBeforeSlice;
+  ConjunctsSliced += O.ConjunctsSliced;
+  Queries += O.Queries;
+  CacheHits += O.CacheHits;
+  SliceFallbacks += O.SliceFallbacks;
+  EscalatedQueries += O.EscalatedQueries;
+  MaxAtoms = std::max(MaxAtoms, O.MaxAtoms);
+  MaxArrayLemmas = std::max(MaxArrayLemmas, O.MaxArrayLemmas);
+  TotalAtoms += O.TotalAtoms;
+  TotalArrayLemmas += O.TotalArrayLemmas;
+}
+
+namespace {
+
+/// Solves batches of queries with dedup, caching and parallel dispatch.
+/// Queries are terms of the caller's manager; every solve happens in a
+/// private per-task manager populated via TermManager::import.
+class BatchSolver {
+public:
+  BatchSolver(const Options &Opts, QueryCache *Cache, Stats &St)
+      : Opts(Opts), Cache(Opts.Cache ? Cache : nullptr), St(St) {}
+
+  std::vector<QueryCache::Outcome> solve(const std::vector<TermRef> &Queries) {
+    size_t N = Queries.size();
+    std::vector<QueryCache::Outcome> Out(N);
+    std::vector<size_t> RunList;
+    std::vector<std::pair<size_t, size_t>> Dups; // (dup index, owner index)
+    std::vector<std::string> Keys(N);
+    if (Opts.Cache) {
+      std::unordered_map<std::string, size_t> Owner;
+      for (size_t I = 0; I < N; ++I) {
+        Keys[I] = QueryCache::keyFor(Queries[I]);
+        if (Cache && Cache->lookup(Keys[I], Out[I])) {
+          ++St.CacheHits;
+          Keys[I].clear(); // already resolved
+          continue;
+        }
+        auto [It, Inserted] = Owner.emplace(Keys[I], I);
+        if (!Inserted) {
+          Dups.emplace_back(I, It->second);
+          ++St.CacheHits;
+        } else {
+          RunList.push_back(I);
+        }
+      }
+    } else {
+      for (size_t I = 0; I < N; ++I)
+        RunList.push_back(I);
+    }
+
+    std::vector<std::function<void()>> Tasks;
+    Tasks.reserve(RunList.size());
+    for (size_t Idx : RunList)
+      Tasks.push_back([this, &Queries, &Out, Idx] {
+        Out[Idx] = runQuery(Queries[Idx]);
+      });
+    Scheduler(Opts.Jobs).run(Tasks);
+
+    St.Queries += static_cast<unsigned>(RunList.size());
+    St.EscalatedQueries += Escalations.exchange(0, std::memory_order_relaxed);
+    for (size_t Idx : RunList) {
+      St.TotalAtoms += Out[Idx].NumAtoms;
+      St.TotalArrayLemmas += Out[Idx].NumArrayLemmas;
+      if (Cache)
+        Cache->insert(Keys[Idx], Out[Idx]);
+    }
+    for (auto [Dup, OwnerIdx] : Dups)
+      Out[Dup] = Out[OwnerIdx];
+    for (const QueryCache::Outcome &O : Out) {
+      St.MaxAtoms = std::max(St.MaxAtoms, O.NumAtoms);
+      St.MaxArrayLemmas = std::max(St.MaxArrayLemmas, O.NumArrayLemmas);
+    }
+    return Out;
+  }
+
+private:
+  QueryCache::Outcome attempt(TermRef Query, bool Eager, bool &GaveUp) {
+    TermManager Local;
+    Solver::Options SOpts;
+    SOpts.AllowQuantifiers = Opts.AllowQuantifiers;
+    SOpts.MaxTheoryChecks = Opts.MaxTheoryChecks;
+    SOpts.TimeoutSeconds = Opts.QueryTimeoutSeconds;
+    SOpts.EagerArrayInstantiation = Eager;
+    TermRef Q = Local.import(Query);
+    Solver S(Local, SOpts);
+    QueryCache::Outcome O;
+    O.R = S.checkSat(Q);
+    O.NumAtoms = S.stats().NumAtoms;
+    O.NumArrayLemmas = S.stats().ArrayStats.NumLemmas;
+    GaveUp = S.stats().ModelGiveUps > 0;
+    if (O.R == Solver::Result::Sat)
+      O.ModelText = S.model().toString();
+    return O;
+  }
+
+  QueryCache::Outcome runQuery(TermRef Query) {
+    bool GaveUp = false;
+    QueryCache::Outcome O = attempt(Query, /*Eager=*/false, GaveUp);
+    if (O.R != Solver::Result::Unknown || !GaveUp)
+      return O;
+    // Escalation: the relevancy-driven array instantiation gives up on a
+    // few query shapes (its model builder leaves extensional gaps). The
+    // blind product is quadratically bigger but decides them; Unknown is
+    // only reported once both attempts fail. Escalate only on a model
+    // give-up — a budget or timeout Unknown would just exhaust again on
+    // the larger query. The atom counters report the max of both
+    // attempts.
+    QueryCache::Outcome O2 = attempt(Query, /*Eager=*/true, GaveUp);
+    O2.NumAtoms = std::max(O.NumAtoms, O2.NumAtoms);
+    O2.NumArrayLemmas = std::max(O.NumArrayLemmas, O2.NumArrayLemmas);
+    Escalations.fetch_add(1, std::memory_order_relaxed);
+    return O2;
+  }
+
+  const Options &Opts;
+  QueryCache *Cache;
+  Stats &St;
+  std::atomic<unsigned> Escalations{0};
+};
+
+} // namespace
+
+pipeline::Result pipeline::solveObligations(
+    TermManager &TM, const std::vector<vcgen::Obligation> &Obls,
+    const Options &Opts, QueryCache *Cache) {
+  Result R;
+  R.St.Obligations = static_cast<unsigned>(Obls.size());
+  if (Obls.empty())
+    return R;
+
+  // ---- Stage 1: simplify + slice each obligation. ----
+  struct Prepared {
+    TermRef Query = nullptr; ///< negated obligation, simplified + sliced
+    TermRef Orig = nullptr;  ///< the untransformed negated obligation
+    bool Sliced = false;
+    bool Proved = false; ///< discharged by the simplifier
+  };
+  std::vector<Prepared> Prep(Obls.size());
+  Simplifier Simp(TM);
+  SimplifyStats SimpStats;
+  for (size_t I = 0; I < Obls.size(); ++I) {
+    TermRef Guard = Obls[I].Guard;
+    TermRef Claim = Obls[I].Claim;
+    Prep[I].Orig = TM.mkAnd(Guard, TM.mkNot(Claim));
+    // The QF cross-check must see the obligation BEFORE slicing or
+    // simplification — a quantifier in a sliced-away conjunct is still a
+    // vcgen invariant break.
+    if (Opts.CrossCheckQf && !Opts.AllowQuantifiers &&
+        TM.containsQuantifier(Prep[I].Orig)) {
+      R.V = Verdict::Unknown;
+      R.FailedDescription = "internal: quantifier leaked into a QF-mode VC";
+      return R;
+    }
+    if (Opts.Simplify && Simp.simplifyObligation(Guard, Claim, &SimpStats)) {
+      Prep[I].Proved = true;
+      continue;
+    }
+    Prep[I].Query = TM.mkAnd(Guard, TM.mkNot(Claim));
+    if (Opts.Slice) {
+      std::vector<TermRef> Conjuncts = guardConjuncts(Guard);
+      R.St.ConjunctsBeforeSlice += static_cast<unsigned>(Conjuncts.size());
+      SliceStats SS;
+      std::vector<TermRef> Kept = sliceGuard(Conjuncts, Claim, &SS);
+      R.St.ConjunctsSliced += SS.ConjunctsDropped;
+      if (Kept.size() != Conjuncts.size()) {
+        Prep[I].Query = TM.mkAnd(TM.mkAnd(std::move(Kept)), TM.mkNot(Claim));
+        Prep[I].Sliced = true;
+      }
+    }
+  }
+  R.St.ProvedBySimplify = SimpStats.ProvedTrivially;
+
+  // ---- Stage 2: form query units (per obligation, or legacy groups). ----
+  struct Unit {
+    TermRef MainQuery;
+    std::vector<size_t> Members;
+  };
+  std::vector<Unit> Units;
+  std::vector<size_t> Unproved;
+  for (size_t I = 0; I < Obls.size(); ++I)
+    if (!Prep[I].Proved)
+      Unproved.push_back(I);
+  if (Opts.VcSplits == 0) {
+    for (size_t I : Unproved)
+      Units.push_back({Prep[I].Query, {I}});
+  } else if (!Unproved.empty()) {
+    unsigned NumGroups = std::max(
+        1u, std::min<unsigned>(Opts.VcSplits,
+                               static_cast<unsigned>(Unproved.size())));
+    for (unsigned G = 0; G < NumGroups; ++G) {
+      Unit U;
+      std::vector<TermRef> Disjuncts;
+      for (size_t I = G; I < Unproved.size(); I += NumGroups) {
+        U.Members.push_back(Unproved[I]);
+        Disjuncts.push_back(Prep[Unproved[I]].Query);
+      }
+      U.MainQuery = TM.mkOr(std::move(Disjuncts));
+      Units.push_back(std::move(U));
+    }
+  }
+
+  // ---- Stage 3: solve the main queries. ----
+  BatchSolver Batch(Opts, Cache, R.St);
+  std::vector<TermRef> MainQueries;
+  MainQueries.reserve(Units.size());
+  for (const Unit &U : Units)
+    MainQueries.push_back(U.MainQuery);
+  std::vector<QueryCache::Outcome> MainOut = Batch.solve(MainQueries);
+
+  // ---- Stage 4: resolve Sat units against the original obligations. ----
+  // A Sat answer is definitive only for a single-obligation query that
+  // is still the original: slicing can manufacture spurious models (the
+  // dropped conjuncts may be infeasible), a group model does not name
+  // the failing member, and a model of a simplified query lacks the
+  // equality-substituted variables a user needs in a counterexample.
+  // Re-checking the untransformed obligation settles all three.
+  std::vector<TermRef> ResQueries;
+  std::unordered_map<size_t, size_t> ResIdx; // obligation -> res query index
+  for (size_t U = 0; U < Units.size(); ++U) {
+    if (MainOut[U].R != Solver::Result::Sat)
+      continue;
+    const Unit &Un = Units[U];
+    if (Un.Members.size() == 1 &&
+        Prep[Un.Members[0]].Query == Prep[Un.Members[0]].Orig)
+      continue; // untransformed single query: Sat is a real counterexample
+    for (size_t M : Un.Members) {
+      ResIdx.emplace(M, ResQueries.size());
+      ResQueries.push_back(Prep[M].Orig);
+      if (Prep[M].Sliced)
+        ++R.St.SliceFallbacks;
+    }
+  }
+  std::vector<QueryCache::Outcome> ResOut = Batch.solve(ResQueries);
+
+  // ---- Stage 5: per-obligation verdicts, first failure reported. ----
+  enum class OV { Proved, Failed, Unknown };
+  std::vector<OV> V(Obls.size(), OV::Proved);
+  std::unordered_map<size_t, std::string> Models;
+  bool GroupNoWitness = false;
+  for (size_t U = 0; U < Units.size(); ++U) {
+    const Unit &Un = Units[U];
+    const QueryCache::Outcome &O1 = MainOut[U];
+    if (O1.R == Solver::Result::Unsat)
+      continue;
+    if (O1.R == Solver::Result::Unknown) {
+      for (size_t M : Un.Members)
+        V[M] = OV::Unknown;
+      continue;
+    }
+    if (Un.Members.size() == 1 &&
+        Prep[Un.Members[0]].Query == Prep[Un.Members[0]].Orig) {
+      V[Un.Members[0]] = OV::Failed;
+      Models[Un.Members[0]] = O1.ModelText;
+      continue;
+    }
+    bool AnySat = false, AnyUnknown = false, AnyTransformed = false;
+    for (size_t M : Un.Members) {
+      const QueryCache::Outcome &O2 = ResOut[ResIdx[M]];
+      AnyTransformed |= Prep[M].Query != Prep[M].Orig;
+      if (O2.R == Solver::Result::Sat) {
+        V[M] = OV::Failed;
+        Models[M] = O2.ModelText;
+        AnySat = true;
+      } else if (O2.R == Solver::Result::Unknown) {
+        V[M] = OV::Unknown;
+        AnyUnknown = true;
+      }
+    }
+    // Every member refuted on its original form: the unit's model came
+    // from a pipeline transform (fine — all proved). With no transform
+    // in play that state is an internal inconsistency; preserve the
+    // legacy diagnosis.
+    if (!AnySat && !AnyUnknown && !AnyTransformed)
+      GroupNoWitness = true;
+  }
+
+  for (size_t I = 0; I < Obls.size(); ++I) {
+    if (V[I] != OV::Failed)
+      continue;
+    R.V = Verdict::Failed;
+    R.FailedDescription =
+        Obls[I].Description + " (at " + Obls[I].Loc.toString() + ")";
+    R.Counterexample = Models[I];
+    return R;
+  }
+  if (GroupNoWitness) {
+    R.V = Verdict::Failed;
+    R.FailedDescription = "obligation group failed but no single witness found";
+    return R;
+  }
+  for (size_t I = 0; I < Obls.size(); ++I) {
+    if (V[I] != OV::Unknown)
+      continue;
+    R.V = Verdict::Unknown;
+    R.FailedDescription =
+        Obls[I].Description + " (at " + Obls[I].Loc.toString() + "): " +
+        (Opts.AllowQuantifiers
+             ? "quantified encoding: instantiation was incomplete"
+             : "solver resource budget exhausted");
+    return R;
+  }
+  return R;
+}

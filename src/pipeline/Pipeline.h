@@ -1,0 +1,103 @@
+//===- pipeline/Pipeline.h - VC pipeline facade ----------------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VC pipeline sits between vcgen and the SMT solver: each proof
+/// obligation is simplified (Simplify.h), sliced to the claim's cone of
+/// influence (Slice.h), deduplicated against a structural query cache
+/// (QueryCache.h), and the surviving queries are dispatched across a
+/// worker pool (Scheduler.h) — each worker solving in a private
+/// TermManager populated via TermManager::import. Every stage is
+/// independently disableable (`--no-simp`, `--no-slice`, `--no-cache`,
+/// `--jobs 1`) so the transforms can be tested differentially.
+///
+/// This replaces the driver's former monolithic conjoin-and-refute loop:
+/// per-obligation queries are exactly the independently decidable units
+/// the paper's predictability argument rests on, and they are what makes
+/// caching, slicing and parallel dispatch effective.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_PIPELINE_PIPELINE_H
+#define IDS_PIPELINE_PIPELINE_H
+
+#include "pipeline/QueryCache.h"
+#include "smt/Term.h"
+#include "vcgen/VcGen.h"
+
+#include <string>
+#include <vector>
+
+namespace ids {
+namespace pipeline {
+
+struct Options {
+  /// Run the simplifier pass (--no-simp disables).
+  bool Simplify = true;
+  /// Run the cone-of-influence slicer (--no-slice disables).
+  bool Slice = true;
+  /// Consult/populate the structural query cache (--no-cache disables).
+  bool Cache = true;
+  /// Worker threads for solver dispatch (--jobs N); 1 = serial.
+  unsigned Jobs = 1;
+  /// Legacy grouping: partition obligations round-robin into this many
+  /// disjunctive queries (the paper's Boogie-style VC splitting). 0, the
+  /// default, solves one query per obligation.
+  unsigned VcSplits = 0;
+  /// Forwarded solver options.
+  bool AllowQuantifiers = false;
+  bool CrossCheckQf = true;
+  uint64_t MaxTheoryChecks = 0;
+  double QueryTimeoutSeconds = 0;
+};
+
+struct Stats {
+  unsigned Obligations = 0;
+  /// Discharged by the simplifier alone, no solver query.
+  unsigned ProvedBySimplify = 0;
+  /// Guard conjuncts before/dropped-by slicing, summed over obligations.
+  unsigned ConjunctsBeforeSlice = 0;
+  unsigned ConjunctsSliced = 0;
+  /// Solver queries actually run (after dedup/caching).
+  unsigned Queries = 0;
+  unsigned CacheHits = 0;
+  /// Sat answers on sliced queries re-checked against the full guard.
+  unsigned SliceFallbacks = 0;
+  /// Unknown answers retried with eager (blind) array instantiation.
+  unsigned EscalatedQueries = 0;
+  /// Largest query the solver saw (post-pipeline), and totals.
+  unsigned MaxAtoms = 0;
+  unsigned MaxArrayLemmas = 0;
+  uint64_t TotalAtoms = 0;
+  uint64_t TotalArrayLemmas = 0;
+
+  void merge(const Stats &O);
+};
+
+enum class Verdict { Proved, Failed, Unknown };
+
+struct Result {
+  Verdict V = Verdict::Proved;
+  /// Description + location of the first failing (or undecided)
+  /// obligation.
+  std::string FailedDescription;
+  std::string Counterexample;
+  Stats St;
+};
+
+/// Discharges every obligation (all obligations are checked; the first
+/// failure in obligation order is reported). \p Cache may be null
+/// (equivalent to Options::Cache = false) and may be shared across calls
+/// — entries are keyed structurally, so identical obligations from
+/// different procedures or impact checks solve once.
+Result solveObligations(smt::TermManager &TM,
+                        const std::vector<vcgen::Obligation> &Obls,
+                        const Options &Opts, QueryCache *Cache);
+
+} // namespace pipeline
+} // namespace ids
+
+#endif // IDS_PIPELINE_PIPELINE_H

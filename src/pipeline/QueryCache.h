@@ -1,0 +1,58 @@
+//===- pipeline/QueryCache.h - Structural query result cache ---*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Caches solver outcomes per query formula across procedures and
+/// impact checks, keyed by a canonical, manager-independent
+/// serialization of the term DAG (two queries built in different
+/// TermManagers hit the same entry iff they are structurally
+/// identical). The cache stores the raw solver outcome — Sat with model
+/// text, Unsat, or Unknown — never an obligation verdict, so entries
+/// stay valid regardless of which obligation (sliced or not) produced
+/// the query. Thread-safe; shared by all scheduler workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_PIPELINE_QUERYCACHE_H
+#define IDS_PIPELINE_QUERYCACHE_H
+
+#include "smt/Solver.h"
+#include "smt/Term.h"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace ids {
+namespace pipeline {
+
+class QueryCache {
+public:
+  struct Outcome {
+    smt::Solver::Result R = smt::Solver::Result::Unknown;
+    std::string ModelText; ///< countermodel when R == Sat
+    unsigned NumAtoms = 0;
+    unsigned NumArrayLemmas = 0;
+  };
+
+  /// Canonical serialization of the query DAG: linear in DAG size, equal
+  /// strings exactly for structurally identical DAGs, independent of the
+  /// owning TermManager's interning order.
+  static std::string keyFor(smt::TermRef Query);
+
+  bool lookup(const std::string &Key, Outcome &Out) const;
+  void insert(const std::string &Key, Outcome O);
+  size_t size() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::unordered_map<std::string, Outcome> Map;
+};
+
+} // namespace pipeline
+} // namespace ids
+
+#endif // IDS_PIPELINE_QUERYCACHE_H

@@ -1,0 +1,54 @@
+//===- pipeline/Scheduler.cpp - Parallel obligation scheduler --------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+using namespace ids;
+using namespace ids::pipeline;
+
+void Scheduler::run(const std::vector<std::function<void()>> &Tasks) const {
+  if (Jobs <= 1 || Tasks.size() <= 1) {
+    for (const auto &Task : Tasks)
+      Task();
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  // An exception escaping a std::thread body is std::terminate; capture
+  // the first one and rethrow on the caller's thread after join so
+  // --jobs N fails the same way --jobs 1 does.
+  std::exception_ptr FirstError;
+  std::mutex ErrorMutex;
+  auto Worker = [&] {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Tasks.size())
+        return;
+      try {
+        Tasks[I]();
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(ErrorMutex);
+        if (!FirstError)
+          FirstError = std::current_exception();
+      }
+    }
+  };
+  unsigned NumThreads =
+      static_cast<unsigned>(std::min<size_t>(Jobs, Tasks.size()));
+  std::vector<std::thread> Pool;
+  Pool.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+  if (FirstError)
+    std::rethrow_exception(FirstError);
+}

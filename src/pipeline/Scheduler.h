@@ -1,0 +1,45 @@
+//===- pipeline/Scheduler.h - Parallel obligation scheduler ----*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dispatches independent solver tasks across a bounded worker pool
+/// (`--jobs N`). Every task clones its obligation into a private
+/// TermManager via TermManager::import, so no manager is ever shared
+/// across threads — the source manager's interned terms are immutable
+/// and safe to read concurrently. With Jobs <= 1 tasks run inline on
+/// the calling thread, making the serial and parallel paths produce
+/// byte-identical results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_PIPELINE_SCHEDULER_H
+#define IDS_PIPELINE_SCHEDULER_H
+
+#include <functional>
+#include <vector>
+
+namespace ids {
+namespace pipeline {
+
+class Scheduler {
+public:
+  explicit Scheduler(unsigned Jobs) : Jobs(Jobs == 0 ? 1 : Jobs) {}
+
+  /// Runs every task and blocks until all complete. Tasks must be
+  /// mutually independent; any state they share must do its own locking
+  /// (the QueryCache does).
+  void run(const std::vector<std::function<void()>> &Tasks) const;
+
+  unsigned jobs() const { return Jobs; }
+
+private:
+  unsigned Jobs;
+};
+
+} // namespace pipeline
+} // namespace ids
+
+#endif // IDS_PIPELINE_SCHEDULER_H

@@ -1,0 +1,93 @@
+//===- pipeline/Slice.cpp - Cone-of-influence obligation slicing -----------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Slice.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace ids;
+using namespace ids::pipeline;
+using namespace ids::smt;
+
+namespace {
+
+/// A symbol is a free variable (the Var term, interned so pointer
+/// identity works) or an uninterpreted function declaration.
+using Symbol = const void *;
+
+void collectSymbols(TermRef T, std::unordered_set<Symbol> &Out) {
+  std::vector<TermRef> Work = {T};
+  std::unordered_set<TermRef> Seen;
+  while (!Work.empty()) {
+    TermRef Cur = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Cur).second)
+      continue;
+    if (Cur->getKind() == TermKind::Var)
+      Out.insert(Cur);
+    else if (Cur->getKind() == TermKind::Apply)
+      Out.insert(Cur->getDecl());
+    for (TermRef Arg : Cur->getArgs())
+      Work.push_back(Arg);
+  }
+}
+
+} // namespace
+
+std::vector<TermRef>
+pipeline::sliceGuard(const std::vector<TermRef> &Conjuncts, TermRef Claim,
+                     SliceStats *St) {
+  std::unordered_set<Symbol> Relevant;
+  collectSymbols(Claim, Relevant);
+  if (Relevant.empty()) {
+    // Constant claim: every conjunct matters (the obligation reduces to
+    // guard infeasibility).
+    if (St)
+      St->ConjunctsKept += static_cast<unsigned>(Conjuncts.size());
+    return Conjuncts;
+  }
+
+  std::vector<std::unordered_set<Symbol>> SymsOf(Conjuncts.size());
+  std::unordered_map<Symbol, std::vector<size_t>> Occurrences;
+  for (size_t I = 0; I < Conjuncts.size(); ++I) {
+    collectSymbols(Conjuncts[I], SymsOf[I]);
+    for (Symbol S : SymsOf[I])
+      Occurrences[S].push_back(I);
+  }
+
+  // Fixpoint: keep any conjunct sharing a symbol with the relevant set;
+  // kept conjuncts contribute their symbols.
+  std::vector<bool> Kept(Conjuncts.size(), false);
+  std::vector<Symbol> Work(Relevant.begin(), Relevant.end());
+  while (!Work.empty()) {
+    Symbol S = Work.back();
+    Work.pop_back();
+    auto It = Occurrences.find(S);
+    if (It == Occurrences.end())
+      continue;
+    for (size_t I : It->second) {
+      if (Kept[I])
+        continue;
+      Kept[I] = true;
+      for (Symbol NS : SymsOf[I])
+        if (Relevant.insert(NS).second)
+          Work.push_back(NS);
+    }
+  }
+
+  std::vector<TermRef> Result;
+  Result.reserve(Conjuncts.size());
+  for (size_t I = 0; I < Conjuncts.size(); ++I)
+    if (Kept[I])
+      Result.push_back(Conjuncts[I]);
+  if (St) {
+    St->ConjunctsKept += static_cast<unsigned>(Result.size());
+    St->ConjunctsDropped +=
+        static_cast<unsigned>(Conjuncts.size() - Result.size());
+  }
+  return Result;
+}

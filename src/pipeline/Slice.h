@@ -1,0 +1,48 @@
+//===- pipeline/Slice.h - Cone-of-influence obligation slicing -*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-obligation cone-of-influence slicing: a guard conjunct can only
+/// affect the claim if its symbols (free variables and uninterpreted
+/// function symbols) reach the claim's symbols through a chain of shared
+/// symbols. Conjuncts outside that cone are dropped before solving.
+///
+/// Slicing weakens the guard, so an Unsat answer on the sliced query
+/// (obligation proved) carries over to the original; a Sat answer does
+/// not — the dropped conjuncts might themselves be infeasible (a
+/// contradictory path condition over unrelated symbols). The pipeline
+/// therefore re-checks the unsliced obligation before reporting a
+/// failure, keeping the transform verdict-preserving end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_PIPELINE_SLICE_H
+#define IDS_PIPELINE_SLICE_H
+
+#include "smt/Term.h"
+
+#include <vector>
+
+namespace ids {
+namespace pipeline {
+
+struct SliceStats {
+  unsigned ConjunctsKept = 0;
+  unsigned ConjunctsDropped = 0;
+};
+
+/// Returns the subset of \p Conjuncts inside the claim's cone of
+/// influence (in the original order). When the claim has no symbols
+/// (a constant claim) no slicing is attempted and all conjuncts are
+/// returned.
+std::vector<smt::TermRef> sliceGuard(const std::vector<smt::TermRef> &Conjuncts,
+                                     smt::TermRef Claim,
+                                     SliceStats *St = nullptr);
+
+} // namespace pipeline
+} // namespace ids
+
+#endif // IDS_PIPELINE_SLICE_H

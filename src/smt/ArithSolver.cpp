@@ -7,6 +7,7 @@
 #include "smt/ArithSolver.h"
 
 #include <cassert>
+#include <tuple>
 
 using namespace ids;
 using namespace ids::smt;
@@ -396,12 +397,53 @@ constexpr int CutTagBase = -1000;
 constexpr int cutTagFor(int Depth) { return CutTagBase - Depth; }
 } // namespace
 
+template <typename LoFn, typename HiFn>
+ArithSolver::Result ArithSolver::splitOnCuts(int Depth, int ExtraTag,
+                                             const LoFn &AssertLo,
+                                             const HiFn &AssertHi,
+                                             std::set<int> &ConflictOut) {
+  const int CutTag = cutTagFor(Depth);
+  ++Branches;
+  Snapshot S = save();
+  std::set<int> Core1, Core2;
+  bool Feasible1 = AssertLo(CutTag, Core1);
+  Result R1 = Feasible1 ? search(Core1, Depth + 1) : Result::Unsat;
+  if (R1 == Result::Sat)
+    return Result::Sat;
+  restore(S);
+  if (R1 == Result::Unsat && !Core1.count(CutTag)) {
+    ConflictOut = Core1; // cut unused: core refutes the input alone
+    ConflictOut.erase(CutTag);
+    return Result::Unsat;
+  }
+  bool Feasible2 = AssertHi(CutTag, Core2);
+  Result R2 = Feasible2 ? search(Core2, Depth + 1) : Result::Unsat;
+  if (R2 == Result::Sat)
+    return Result::Sat;
+  restore(S);
+  // A branch-2 core that never used the cut refutes the input
+  // constraints on its own, independent of branch 1's outcome.
+  if (R2 == Result::Unsat && !Core2.count(CutTag)) {
+    ConflictOut = Core2;
+    ConflictOut.erase(CutTag);
+    return Result::Unsat;
+  }
+  // Unsat needs both branches refuted; an Unknown branch forfeits that.
+  if (R1 == Result::Unknown || R2 == Result::Unknown)
+    return Result::Unknown;
+  Core1.insert(Core2.begin(), Core2.end());
+  Core1.erase(CutTag);
+  if (ExtraTag != -1)
+    Core1.insert(ExtraTag);
+  ConflictOut = Core1;
+  return Result::Unsat;
+}
+
 ArithSolver::Result ArithSolver::search(std::set<int> &ConflictOut,
                                         int Depth) {
   Result R = simplexCheck(ConflictOut);
   if (R == Result::Unsat)
     return R;
-  const int CutTag = cutTagFor(Depth);
 
   // Integer branching.
   for (int V = 0; V < numVars(); ++V) {
@@ -415,87 +457,47 @@ ArithSolver::Result ArithSolver::search(std::set<int> &ConflictOut,
     // forfeited to Unknown.
     if (Depth >= MaxSearchDepth)
       return Result::Unknown;
-    ++Branches;
     Rational FloorV(Beta[V].R.floor());
-    Snapshot S = save();
-    std::set<int> Core1, Core2;
-    bool Feasible1 = assertUpper(V, DeltaRat(FloorV), CutTag, &Core1);
-    Result R1 = Feasible1 ? search(Core1, Depth + 1) : Result::Unsat;
-    if (R1 == Result::Sat)
-      return Result::Sat;
-    restore(S);
-    if (R1 == Result::Unsat && !Core1.count(CutTag)) {
-      ConflictOut = Core1; // branch cut unused: core stands on its own
-      ConflictOut.erase(CutTag);
-      return Result::Unsat;
-    }
-    bool Feasible2 =
-        assertLower(V, DeltaRat(FloorV + Rational(1)), CutTag, &Core2);
-    Result R2 = Feasible2 ? search(Core2, Depth + 1) : Result::Unsat;
-    if (R2 == Result::Sat)
-      return Result::Sat;
-    restore(S);
-    // A branch-2 core that never used the cut refutes the input
-    // constraints on its own, independent of branch 1's outcome.
-    if (R2 == Result::Unsat && !Core2.count(CutTag)) {
-      ConflictOut = Core2;
-      ConflictOut.erase(CutTag);
-      return Result::Unsat;
-    }
-    // Unsat needs both branches refuted; an Unknown branch forfeits that.
-    if (R1 == Result::Unknown || R2 == Result::Unknown)
-      return Result::Unknown;
-    Core1.insert(Core2.begin(), Core2.end());
-    Core1.erase(CutTag);
-    ConflictOut = Core1;
-    return Result::Unsat;
+    return splitOnCuts(
+        Depth, /*ExtraTag=*/-1,
+        [&](int CutTag, std::set<int> &Core) {
+          return assertUpper(V, DeltaRat(FloorV), CutTag, &Core);
+        },
+        [&](int CutTag, std::set<int> &Core) {
+          return assertLower(V, DeltaRat(FloorV + Rational(1)), CutTag,
+                             &Core);
+        },
+        ConflictOut);
   }
 
   // Disequality splitting.
   for (size_t I = 0; I < Diseqs.size(); ++I) {
-    auto [V, C, Tag] = Diseqs[I];
+    // Not a structured binding: the split lambdas below must capture
+    // these, which C++17 forbids for binding names.
+    const int V = std::get<0>(Diseqs[I]);
+    const Rational C = std::get<1>(Diseqs[I]);
+    const int Tag = std::get<2>(Diseqs[I]);
     if (Beta[V] != DeltaRat(C))
       continue;
     if (Depth >= MaxSearchDepth)
       return Result::Unknown;
-    ++Branches;
-    Snapshot S = save();
-    std::set<int> Core1, Core2;
-    bool Feasible1;
-    if (IsInt[V])
-      Feasible1 = assertUpper(V, DeltaRat(C - Rational(1)), CutTag, &Core1);
-    else
-      Feasible1 = assertUpper(V, DeltaRat(C, Rational(-1)), CutTag, &Core1);
-    Result R1 = Feasible1 ? search(Core1, Depth + 1) : Result::Unsat;
-    if (R1 == Result::Sat)
-      return Result::Sat;
-    restore(S);
-    if (R1 == Result::Unsat && !Core1.count(CutTag)) {
-      ConflictOut = Core1; // cut unused: core refutes the input alone
-      ConflictOut.erase(CutTag);
-      return Result::Unsat;
-    }
-    bool Feasible2;
-    if (IsInt[V])
-      Feasible2 = assertLower(V, DeltaRat(C + Rational(1)), CutTag, &Core2);
-    else
-      Feasible2 = assertLower(V, DeltaRat(C, Rational(1)), CutTag, &Core2);
-    Result R2 = Feasible2 ? search(Core2, Depth + 1) : Result::Unsat;
-    if (R2 == Result::Sat)
-      return Result::Sat;
-    restore(S);
-    if (R2 == Result::Unsat && !Core2.count(CutTag)) {
-      ConflictOut = Core2;
-      ConflictOut.erase(CutTag);
-      return Result::Unsat;
-    }
-    if (R1 == Result::Unknown || R2 == Result::Unknown)
-      return Result::Unknown;
-    Core1.insert(Core2.begin(), Core2.end());
-    Core1.erase(CutTag);
-    Core1.insert(Tag);
-    ConflictOut = Core1;
-    return Result::Unsat;
+    return splitOnCuts(
+        Depth, /*ExtraTag=*/Tag,
+        [&](int CutTag, std::set<int> &Core) {
+          return IsInt[V]
+                     ? assertUpper(V, DeltaRat(C - Rational(1)), CutTag,
+                                   &Core)
+                     : assertUpper(V, DeltaRat(C, Rational(-1)), CutTag,
+                                   &Core);
+        },
+        [&](int CutTag, std::set<int> &Core) {
+          return IsInt[V]
+                     ? assertLower(V, DeltaRat(C + Rational(1)), CutTag,
+                                   &Core)
+                     : assertLower(V, DeltaRat(C, Rational(1)), CutTag,
+                                   &Core);
+        },
+        ConflictOut);
   }
 
   return Result::Sat;

@@ -139,6 +139,19 @@ private:
   Result simplexCheck(std::set<int> &ConflictOut);
   /// Full search: simplex + integer branching + disequality splits.
   Result search(std::set<int> &ConflictOut, int Depth);
+  /// Shared driver for the two-way case splits (integer branch & bound
+  /// and disequality splitting): snapshots the tableau, explores the two
+  /// complementary cuts asserted by \p AssertLo / \p AssertHi (each gets
+  /// the depth's cut tag and a core to fill), and combines the sub-cores
+  /// under the "cut unused" rules. \p ExtraTag (-1 for none) is the input
+  /// tag both sub-refutations jointly depend on — the split disequality —
+  /// and is added to a combined Unsat core. Templated over the two
+  /// callables (signature bool(int CutTag, std::set<int> &Core)) so the
+  /// search inner loop never allocates a std::function; instantiated
+  /// only inside ArithSolver.cpp.
+  template <typename LoFn, typename HiFn>
+  Result splitOnCuts(int Depth, int ExtraTag, const LoFn &AssertLo,
+                     const HiFn &AssertHi, std::set<int> &ConflictOut);
   Snapshot save() const;
   void restore(const Snapshot &S);
 

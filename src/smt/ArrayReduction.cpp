@@ -6,6 +6,7 @@
 
 #include "smt/ArrayReduction.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <unordered_map>
@@ -177,7 +178,7 @@ TermRef smt::liftItes(TermManager &TM, TermRef Formula) {
 }
 
 TermRef smt::reduceArrays(TermManager &TM, TermRef Formula,
-                          ArrayReductionStats *Stats) {
+                          ArrayReductionStats *Stats, bool Eager) {
   std::vector<TermRef> Lemmas;
 
   // Step 1: witnesses for array equalities that occur negatively.
@@ -199,19 +200,41 @@ TermRef smt::reduceArrays(TermManager &TM, TermRef Formula,
   }
 
   // Step 2: gather array terms and index terms (from the formula and the
-  // witness lemmas).
-  std::unordered_set<TermRef> All;
-  collectSubterms(Formula, All);
+  // witness lemmas). Iteration over the unordered subterm set is made
+  // deterministic by sorting on term ids — lemma instantiation order
+  // must not depend on pointer hashing, or budgeted runs flake.
+  std::unordered_set<TermRef> AllSet;
+  collectSubterms(Formula, AllSet);
   for (TermRef L : Lemmas)
-    collectSubterms(L, All);
+    collectSubterms(L, AllSet);
+  std::vector<TermRef> All(AllSet.begin(), AllSet.end());
+  std::sort(All.begin(), All.end(),
+            [](TermRef A, TermRef B) { return A->getId() < B->getId(); });
 
+  // Relevancy-driven instantiation (replaces blind per-sort or
+  // per-component products): a read-over-composite axiom for (A, I) is
+  // needed only when some select actually demands A at I. Demands seed
+  // from every select in the formula/witness lemmas and propagate
+  //   - down through structure: peeling a store demands its base, the
+  //     pointwise combinators demand their operands (and the pwIte its
+  //     guard), each at the same index, exactly mirroring the select
+  //     terms their axioms introduce, and
+  //   - across array equality atoms: congruence makes select(B, I)
+  //     relevant whenever A == B occurs and select(A, I) is demanded.
+  // The demand closure is a unique fixpoint, so the emitted lemma SET is
+  // deterministic (emission iterates it in term-id order). Demanding
+  // fewer pairs than the old blind product can only under-approximate
+  // toward Sat, and Sat answers are validated against the original
+  // formula by the model evaluator — failures surface as Unknown, never
+  // as a wrong verdict; the pipeline differential fuzzer and the
+  // e2e-nopipe suite guard exactly this.
   std::map<const Sort *, std::vector<TermRef>> IndexTerms;
-  std::vector<TermRef> ArrayTerms;
   {
     std::set<std::pair<const Sort *, TermRef>> IndexSeen;
+    unsigned NumArrayTerms = 0;
     for (TermRef T : All) {
       if (T->getSort()->isArray())
-        ArrayTerms.push_back(T);
+        ++NumArrayTerms;
       if (T->getKind() == TermKind::Select ||
           T->getKind() == TermKind::Store) {
         TermRef Index = T->getArg(1);
@@ -220,23 +243,134 @@ TermRef smt::reduceArrays(TermManager &TM, TermRef Formula,
           IndexTerms[KeySort].push_back(Index);
       }
     }
-  }
-  if (Stats) {
-    Stats->NumArrayTerms = static_cast<unsigned>(ArrayTerms.size());
-    for (const auto &[S, V] : IndexTerms)
-      Stats->NumIndexTerms += static_cast<unsigned>(V.size());
+    if (Stats) {
+      Stats->NumArrayTerms = NumArrayTerms;
+      for (const auto &[S, V] : IndexTerms)
+        Stats->NumIndexTerms += static_cast<unsigned>(V.size());
+    }
   }
 
-  // Step 3: instantiate read-over-composite axioms for every composite
-  // array term and every index term of its key sort.
-  for (TermRef A : ArrayTerms) {
-    if (!isCompositeArray(A))
-      continue;
-    const Sort *KeySort = A->getSort()->getKey();
-    auto It = IndexTerms.find(KeySort);
-    if (It == IndexTerms.end())
-      continue;
-    for (TermRef I : It->second) {
+  std::unordered_map<TermRef, std::vector<TermRef>> EqAdj;
+  for (TermRef T : All)
+    if (T->getKind() == TermKind::Eq && T->getArg(0)->getSort()->isArray()) {
+      EqAdj[T->getArg(0)].push_back(T->getArg(1));
+      EqAdj[T->getArg(1)].push_back(T->getArg(0));
+    }
+
+  // Upward demand edges. An array equality pins the VALUE of its sides,
+  // so an index demanded anywhere below a side (on an operand of its
+  // combinator tree) must also be demanded on the enclosing combinators
+  // — `mapAnd(single, S2) == empty` with `x in S2` asserted needs the
+  // mapAnd instantiated at x, although no select reads the mapAnd there.
+  // Restricting the upward flow to the operand closure of equality-atom
+  // sides keeps it from degenerating into the blind product.
+  std::unordered_map<TermRef, std::vector<TermRef>> UpEdges;
+  {
+    std::unordered_set<TermRef> UpSet;
+    std::vector<TermRef> UpWork;
+    auto MarkUp = [&](TermRef T) {
+      if (T->getSort()->isArray() && UpSet.insert(T).second)
+        UpWork.push_back(T);
+    };
+    for (TermRef T : All)
+      if (T->getKind() == TermKind::Eq &&
+          T->getArg(0)->getSort()->isArray()) {
+        MarkUp(T->getArg(0));
+        MarkUp(T->getArg(1));
+      }
+    while (!UpWork.empty()) {
+      TermRef C = UpWork.back();
+      UpWork.pop_back();
+      switch (C->getKind()) {
+      case TermKind::Store:
+      case TermKind::MapOr:
+      case TermKind::MapAnd:
+      case TermKind::MapDiff:
+      case TermKind::PwIte:
+        for (TermRef O : C->getArgs())
+          if (O->getSort()->isArray()) {
+            UpEdges[O].push_back(C);
+            MarkUp(O);
+          }
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  std::set<std::pair<TermRef, TermRef>> Need; // (array term, index)
+  std::vector<std::pair<TermRef, TermRef>> NeedWork;
+  auto Demand = [&](TermRef A, TermRef I) {
+    if (!A->getSort()->isArray() || A->getSort()->getKey() != I->getSort())
+      return;
+    if (Need.insert({A, I}).second)
+      NeedWork.push_back({A, I});
+  };
+  for (TermRef T : All)
+    if (T->getKind() == TermKind::Select)
+      Demand(T->getArg(0), T->getArg(1));
+  if (Eager) {
+    // Blind product: every array term is demanded at every index term of
+    // its key sort (the demand closure below then only adds more).
+    for (TermRef T : All) {
+      if (!T->getSort()->isArray())
+        continue;
+      auto It = IndexTerms.find(T->getSort()->getKey());
+      if (It == IndexTerms.end())
+        continue;
+      for (TermRef I : It->second)
+        Demand(T, I);
+    }
+  }
+  while (!NeedWork.empty()) {
+    auto [A, I] = NeedWork.back();
+    NeedWork.pop_back();
+    switch (A->getKind()) {
+    case TermKind::Store:
+      Demand(A->getArg(0), I);
+      break;
+    case TermKind::MapOr:
+    case TermKind::MapAnd:
+    case TermKind::MapDiff:
+      Demand(A->getArg(0), I);
+      Demand(A->getArg(1), I);
+      break;
+    case TermKind::PwIte:
+      Demand(A->getArg(0), I);
+      Demand(A->getArg(1), I);
+      Demand(A->getArg(2), I);
+      break;
+    default:
+      break;
+    }
+    auto AdjIt = EqAdj.find(A);
+    if (AdjIt != EqAdj.end())
+      for (TermRef B : AdjIt->second)
+        Demand(B, I);
+    auto UpIt = UpEdges.find(A);
+    if (UpIt != UpEdges.end())
+      for (TermRef C : UpIt->second)
+        Demand(C, I);
+  }
+
+  // Per-array demanded index lists (term-id order) for the equality step.
+  std::unordered_map<TermRef, std::vector<TermRef>> DemandedIndices;
+  {
+    std::vector<std::pair<TermRef, TermRef>> Ordered(Need.begin(),
+                                                     Need.end());
+    std::sort(Ordered.begin(), Ordered.end(),
+              [](const auto &L, const auto &R) {
+                return std::make_pair(L.first->getId(), L.second->getId()) <
+                       std::make_pair(R.first->getId(), R.second->getId());
+              });
+    for (const auto &[A, I] : Ordered)
+      DemandedIndices[A].push_back(I);
+
+    // Step 3: read-over-composite axioms for every demanded pair.
+    for (const auto &[A, I] : Ordered) {
+      if (!isCompositeArray(A))
+        continue;
       TermRef SelAI = TM.mkSelect(A, I);
       switch (A->getKind()) {
       case TermKind::Store: {
@@ -286,9 +420,9 @@ TermRef smt::reduceArrays(TermManager &TM, TermRef Formula,
   // composite right-hand side whose select folds at construction (constant
   // arrays, store at the same index). Instantiate
   //     Eq(A,B) => select(A,i) == select(B,i)
-  // for every array-equality atom and every relevant index. New equalities
-  // between nested (set-valued) selects are processed transitively; the
-  // loop terminates because sort nesting is finite.
+  // for every array-equality atom and the relevant (demanded) indices.
+  // New equalities between nested (set-valued) selects are processed
+  // transitively; the loop terminates because sort nesting is finite.
   {
     std::set<TermRef> EqAtoms;
     std::vector<TermRef> Work;
@@ -303,7 +437,6 @@ TermRef smt::reduceArrays(TermManager &TM, TermRef Formula,
       TermRef EqT = Work.back();
       Work.pop_back();
       TermRef A = EqT->getArg(0), B = EqT->getArg(1);
-      const Sort *KeySort = A->getSort()->getKey();
       // Only selects that FOLD at construction need this: const arrays
       // (every index folds) and stores (their own index folds). Selects
       // over the other combinators materialise as terms, so the merged
@@ -318,8 +451,11 @@ TermRef smt::reduceArrays(TermManager &TM, TermRef Formula,
       bool ConstInvolved = A->getKind() == TermKind::ConstArray ||
                            B->getKind() == TermKind::ConstArray;
       if (ConstInvolved) {
-        auto It = IndexTerms.find(KeySort);
-        if (It != IndexTerms.end())
+        // Indices demanded on the non-constant side (constant arrays
+        // deliberately carry no demands of their own).
+        TermRef NonConst = A->getKind() == TermKind::ConstArray ? B : A;
+        auto It = DemandedIndices.find(NonConst);
+        if (It != DemandedIndices.end())
           for (TermRef I : It->second)
             Emit(I);
         continue;

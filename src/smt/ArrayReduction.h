@@ -35,8 +35,17 @@ struct ArrayReductionStats {
 
 /// Returns \p Formula conjoined with the reduction lemmas. \p Formula must
 /// be ite-lifted (no non-boolean ite nodes) and quantifier-free.
+///
+/// By default instantiation is relevancy-driven: axioms are emitted only
+/// for (array, index) pairs demanded by an actual select, closed under
+/// structural peeling and equality congruence. \p Eager restores the
+/// blind composite-times-every-same-sort-index product — quadratically
+/// larger, but it forces the model builder's extensional array values
+/// consistent everywhere, which decides a few query shapes the demanded
+/// set alone leaves Unknown (the solver escalates to it on demand).
 TermRef reduceArrays(TermManager &TM, TermRef Formula,
-                     ArrayReductionStats *Stats = nullptr);
+                     ArrayReductionStats *Stats = nullptr,
+                     bool Eager = false);
 
 /// Replaces every non-boolean ite subterm by a fresh constant constrained
 /// by `(cond => v = then) && (!cond => v = else)` hoisted to the top level.

@@ -150,11 +150,11 @@ private:
   void expandTags(const std::set<int> &In, std::set<int> &Out) const;
   void clauseFromTags(const std::set<int> &Tags,
                       std::vector<sat::Lit> &Out) const;
-  void blockingClause(std::vector<sat::Lit> &Out) const;
 
   bool assertAtoms(std::vector<sat::Lit> &ConflictOut);
   bool equalityFixpoint(std::vector<sat::Lit> &ConflictOut);
   void computeInterfaceTerms();
+  bool separateCollisions();
   void buildModel();
   Value valueOfTerm(TermRef T);
   Value buildClassArray(TermRef Root);
@@ -166,6 +166,10 @@ private:
   std::unordered_map<TermRef, int> ArithVars;
   std::vector<TermRef> OpaqueNumeric;
   std::unordered_set<TermRef> InterfaceTerms;
+  /// Constant index terms (value keyed by sort): an opaque index whose
+  /// model value collides with one of these must be separated too, or
+  /// the model builder merges their array entries with no repair.
+  std::map<std::pair<const Sort *, Rational>, TermRef> ConstIndexValues;
   std::vector<std::vector<int>> CompositeExpl;
   std::set<std::pair<TermRef, TermRef>> AssertedCCEqualities;
   // Model scratch.
@@ -259,12 +263,6 @@ void TheoryCheck::clauseFromTags(const std::set<int> &Tags,
     // The clause negates the current assignment of this atom.
     Out.push_back(sat::Lit(S.AtomVar[T], /*Negated=*/V));
   }
-}
-
-void TheoryCheck::blockingClause(std::vector<sat::Lit> &Out) const {
-  Out.clear();
-  for (size_t I = 0; I < S.Atoms.size(); ++I)
-    Out.push_back(sat::Lit(S.AtomVar[I], atomValue(static_cast<int>(I))));
 }
 
 bool TheoryCheck::assertAtoms(std::vector<sat::Lit> &ConflictOut) {
@@ -373,13 +371,15 @@ bool TheoryCheck::equalityFixpoint(std::vector<sat::Lit> &ConflictOut) {
         // The contradiction leans on an artificial model-repair
         // separation (x != y asserted under SeparationTag), which
         // expandTags would silently drop — the resulting lemma over the
-        // real atoms alone would be stronger than justified. Block the
-        // current assignment instead; that is always sound.
-        ++S.St.BlockingClauses;
-        blockingClause(ConflictOut);
-      } else {
-        clauseFromTags(Core, ConflictOut);
+        // real atoms alone would be stronger than justified. A blocking
+        // clause is no better: it would claim the whole assignment has
+        // no theory model when only our separation was at fault. Give up
+        // on this query explicitly.
+        ++S.St.ModelGiveUps;
+        S.BudgetExhausted = true;
+        return true;
       }
+      clauseFromTags(Core, ConflictOut);
       return false;
     }
     if (AR == ArithSolver::Result::Unknown) {
@@ -436,17 +436,40 @@ bool TheoryCheck::equalityFixpoint(std::vector<sat::Lit> &ConflictOut) {
 
 void TheoryCheck::computeInterfaceTerms() {
   InterfaceTerms.clear();
+  ConstIndexValues.clear();
+  auto Consider = [&](TermRef A) {
+    if (!A->getSort()->isNumeric())
+      return;
+    if (A->getKind() == TermKind::IntConst)
+      ConstIndexValues.emplace(
+          std::make_pair(A->getSort(), Rational(A->getIntValue())), A);
+    else if (A->getKind() == TermKind::RatConst)
+      ConstIndexValues.emplace(std::make_pair(A->getSort(), A->getRatValue()),
+                               A);
+    else {
+      // Interface terms must exist as arithmetic opaques even when no
+      // atom mentions them directly (a nested index like `a[a[x]]`'s
+      // inner select): the model builder keys array entries by their
+      // values, and collision repair can only separate terms the
+      // simplex knows. Composite linear indices (x + 1) stay composite,
+      // but their opaque leaves get variables so separation can reach
+      // them.
+      if (A->getKind() == TermKind::Add || A->getKind() == TermKind::Mul)
+        (void)polyOf(A);
+      else
+        arithVarFor(A);
+      InterfaceTerms.insert(A);
+    }
+  };
   for (TermRef T : CC->terms()) {
     switch (T->getKind()) {
     case TermKind::Select:
     case TermKind::Store:
-      if (T->getArg(1)->getSort()->isNumeric())
-        InterfaceTerms.insert(T->getArg(1));
+      Consider(T->getArg(1));
       break;
     case TermKind::Apply:
       for (TermRef A : T->getArgs())
-        if (A->getSort()->isNumeric())
-          InterfaceTerms.insert(A);
+        Consider(A);
       break;
     default:
       break;
@@ -604,11 +627,11 @@ bool TheoryCheck::onFullModel(std::vector<sat::Lit> &ConflictOut) {
   }
   if (getenv("IDS_SMT_DEBUG") && S.St.TheoryChecks % 25 == 1)
     fprintf(stderr,
-            "[smt] theory check #%llu (conflicts %llu, blocking %llu, "
+            "[smt] theory check #%llu (conflicts %llu, give-ups %llu, "
             "repairs %llu)\n",
             (unsigned long long)S.St.TheoryChecks,
             (unsigned long long)S.Sat.numConflicts(),
-            (unsigned long long)S.St.BlockingClauses,
+            (unsigned long long)S.St.ModelGiveUps,
             (unsigned long long)S.St.ModelRepairs);
   CC = std::make_unique<CongruenceClosure>(TM);
   Arith = std::make_unique<ArithSolver>();
@@ -651,33 +674,12 @@ bool TheoryCheck::onFullModel(std::vector<sat::Lit> &ConflictOut) {
       if (Shown == 0)
         fprintf(stderr, "[smt] eval failed but all atoms agree\n");
     }
-    // Separate every colliding pair of numeric index terms at once; if
-    // none exist the mismatch has another cause and we fall back to a
-    // blocking clause.
-    bool Repaired = false;
-    computeInterfaceTerms();
-    std::map<std::pair<const Sort *, Rational>, std::vector<TermRef>>
-        Buckets;
-    for (TermRef T : OpaqueNumeric)
-      if (InterfaceTerms.count(T))
-        Buckets[{T->getSort(), Arith->modelValue(ArithVars[T])}]
-            .push_back(T);
-    for (auto &[Key, Members] : Buckets) {
-      for (size_t I = 0; I < Members.size(); ++I) {
-        for (size_t J = I + 1; J < Members.size(); ++J) {
-          TermRef X = Members[I], Y = Members[J];
-          if (CC->areEqual(X, Y))
-            continue;
-          LinTerm P;
-          P.add(ArithVars[X], Rational(1));
-          P.add(ArithVars[Y], Rational(-1));
-          Arith->assertAtom(P, ArithSolver::Op::Ne, SeparationTag);
-          Repaired = true;
-        }
-      }
-    }
-    if (!Repaired)
-      break;
+    // Separate every colliding pair of numeric index terms at once —
+    // including collisions with a constant index value, which have no
+    // second opaque member to separate but corrupt the entry map just
+    // the same.
+    if (!separateCollisions())
+      break; // nothing to repair: the mismatch has another cause
     std::set<int> Core;
     ArithSolver::Result AR = Arith->check(Core);
     if (AR == ArithSolver::Result::Unknown) {
@@ -688,15 +690,61 @@ bool TheoryCheck::onFullModel(std::vector<sat::Lit> &ConflictOut) {
       return true;
     }
     if (AR == ArithSolver::Result::Unsat)
-      break; // separation infeasible; fall through to blocking
+      break; // separation infeasible (some pair is forced equal)
     if (!equalityFixpoint(ConflictOut))
       return false;
     if (S.BudgetExhausted)
       return true;
   }
-  ++S.St.BlockingClauses;
-  blockingClause(ConflictOut);
-  return false;
+  // The model builder could not produce a witness, and no sound
+  // explanation clause is available: a blocking clause here would assert
+  // "this assignment has no theory model" without proof, and on formulas
+  // whose models all funnel through such assignments that manufactures a
+  // wrong Unsat (found by the pipeline differential fuzzer). Give up
+  // explicitly instead.
+  ++S.St.ModelGiveUps;
+  S.BudgetExhausted = true;
+  return true;
+}
+
+/// Asserts an artificial disequality (under SeparationTag) between every
+/// pair of distinct-in-CC index terms that share a model value, and
+/// between every opaque index term whose value collides with a constant
+/// index. Returns false when no collision was found.
+bool TheoryCheck::separateCollisions() {
+  bool Repaired = false;
+  computeInterfaceTerms();
+  std::map<std::pair<const Sort *, Rational>, std::vector<TermRef>> Buckets;
+  for (TermRef T : OpaqueNumeric)
+    if (InterfaceTerms.count(T))
+      Buckets[{T->getSort(), Arith->modelValue(ArithVars[T])}].push_back(T);
+  for (auto &[Key, Members] : Buckets) {
+    for (size_t I = 0; I < Members.size(); ++I) {
+      for (size_t J = I + 1; J < Members.size(); ++J) {
+        TermRef X = Members[I], Y = Members[J];
+        if (CC->areEqual(X, Y))
+          continue;
+        LinTerm P;
+        P.add(ArithVars[X], Rational(1));
+        P.add(ArithVars[Y], Rational(-1));
+        Arith->assertAtom(P, ArithSolver::Op::Ne, SeparationTag);
+        Repaired = true;
+      }
+    }
+    auto CIt = ConstIndexValues.find(Key);
+    if (CIt == ConstIndexValues.end())
+      continue;
+    for (TermRef X : Members) {
+      if (CC->isRegistered(CIt->second) && CC->areEqual(X, CIt->second))
+        continue;
+      LinTerm P;
+      P.add(ArithVars[X], Rational(1));
+      P.Const = -Key.second;
+      Arith->assertAtom(P, ArithSolver::Op::Ne, SeparationTag);
+      Repaired = true;
+    }
+  }
+  return Repaired;
 }
 
 Solver::Result Solver::checkSat(TermRef Formula) {
@@ -714,7 +762,8 @@ Solver::Result Solver::checkSat(TermRef Formula) {
   EvalFormula = Formula; // pre-lift: evaluator handles ite directly
   TermRef Lifted = liftItes(TM, Formula);
   EvalFormula = Lifted; // lifted vars are assigned by the model builder
-  TermRef Reduced = reduceArrays(TM, Lifted, &St.ArrayStats);
+  TermRef Reduced = reduceArrays(TM, Lifted, &St.ArrayStats,
+                                 Opts.EagerArrayInstantiation);
 
   if (Reduced == TM.mkTrue())
     return HadQuantifiers && !CompleteInst ? Result::Unknown : Result::Sat;

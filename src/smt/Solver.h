@@ -50,7 +50,7 @@ public:
     unsigned QuantRounds = 2;
     unsigned MaxInstPerQuant = 2048;
     /// Iterations of model repair (index-collision separation) before
-    /// falling back to a blocking clause.
+    /// giving up on the query (Result::Unknown).
     unsigned MaxModelRepairIters = 8;
     /// Resource budget: give up (Result::Unknown) after this many theory
     /// checks. 0 means unlimited. Exhaustion is reported explicitly —
@@ -58,6 +58,10 @@ public:
     uint64_t MaxTheoryChecks = 0;
     /// Wall-clock budget per checkSat call in seconds (0 = unlimited).
     double TimeoutSeconds = 0;
+    /// Use the blind (quadratic) array instantiation instead of the
+    /// relevancy-driven one. The VC pipeline escalates to this when the
+    /// relevancy-driven attempt reports Unknown.
+    bool EagerArrayInstantiation = false;
   };
 
   struct Stats {
@@ -67,7 +71,10 @@ public:
     uint64_t TheoryConflicts = 0;
     uint64_t EqualitiesPropagated = 0;
     uint64_t ModelRepairs = 0;
-    uint64_t BlockingClauses = 0;
+    /// Queries abandoned (Unknown) because model construction failed with
+    /// no sound explanation clause available. Formerly these emitted an
+    /// unjustified blocking clause, which could manufacture a wrong Unsat.
+    uint64_t ModelGiveUps = 0;
     uint64_t Instantiations = 0;
     unsigned NumAtoms = 0;
     ArrayReductionStats ArrayStats;

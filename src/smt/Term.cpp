@@ -700,6 +700,152 @@ TermRef TermManager::substitute(
   return S.visit(T);
 }
 
+const Sort *TermManager::importSort(const Sort *Foreign) {
+  switch (Foreign->getKind()) {
+  case SortKind::Bool:
+    return BoolSort;
+  case SortKind::Int:
+    return IntSort;
+  case SortKind::Rat:
+    return RatSort;
+  case SortKind::Uninterpreted:
+    return getUninterpretedSort(Foreign->getName());
+  case SortKind::Array:
+    return getArraySort(importSort(Foreign->getKey()),
+                        importSort(Foreign->getValue()));
+  }
+  assert(false && "unhandled sort kind");
+  return BoolSort;
+}
+
+TermRef TermManager::import(TermRef Foreign) {
+  // Iterative post-order: VC terms can be deep (long store chains), so
+  // recursion is not an option.
+  std::vector<TermRef> Stack = {Foreign};
+  while (!Stack.empty()) {
+    TermRef T = Stack.back();
+    if (ImportCache.count(T)) {
+      Stack.pop_back();
+      continue;
+    }
+    bool Ready = true;
+    for (TermRef Arg : T->getArgs())
+      if (!ImportCache.count(Arg)) {
+        Stack.push_back(Arg);
+        Ready = false;
+      }
+    if (T->getKind() == TermKind::Forall)
+      for (TermRef BV : T->getBoundVars())
+        if (!ImportCache.count(BV)) {
+          Stack.push_back(BV);
+          Ready = false;
+        }
+    if (!Ready)
+      continue;
+    Stack.pop_back();
+
+    std::vector<TermRef> Args;
+    Args.reserve(T->getNumArgs());
+    for (TermRef Arg : T->getArgs())
+      Args.push_back(ImportCache[Arg]);
+
+    TermRef Local = nullptr;
+    switch (T->getKind()) {
+    case TermKind::True:
+      Local = TrueTerm;
+      break;
+    case TermKind::False:
+      Local = FalseTerm;
+      break;
+    case TermKind::IntConst:
+      Local = mkIntConst(T->getIntValue());
+      break;
+    case TermKind::RatConst:
+      Local = mkRatConst(T->getRatValue());
+      break;
+    case TermKind::Var:
+      Local = mkVar(T->getName(), importSort(T->getSort()));
+      break;
+    case TermKind::Not:
+      Local = mkNot(Args[0]);
+      break;
+    case TermKind::And:
+      Local = mkAnd(std::move(Args));
+      break;
+    case TermKind::Or:
+      Local = mkOr(std::move(Args));
+      break;
+    case TermKind::Implies:
+      Local = mkImplies(Args[0], Args[1]);
+      break;
+    case TermKind::Ite:
+      Local = mkIte(Args[0], Args[1], Args[2]);
+      break;
+    case TermKind::Eq:
+      Local = mkEq(Args[0], Args[1]);
+      break;
+    case TermKind::Add:
+      Local = mkAdd(std::move(Args));
+      break;
+    case TermKind::Mul:
+      Local = mkMulConst(Args[0]->getKind() == TermKind::IntConst
+                             ? Rational(Args[0]->getIntValue())
+                             : Args[0]->getRatValue(),
+                         Args[1]);
+      break;
+    case TermKind::Le:
+      Local = mkLe(Args[0], Args[1]);
+      break;
+    case TermKind::Lt:
+      Local = mkLt(Args[0], Args[1]);
+      break;
+    case TermKind::Select:
+      Local = mkSelect(Args[0], Args[1]);
+      break;
+    case TermKind::Store:
+      Local = mkStore(Args[0], Args[1], Args[2]);
+      break;
+    case TermKind::ConstArray:
+      Local = mkConstArray(importSort(T->getSort()), Args[0]);
+      break;
+    case TermKind::MapOr:
+      Local = mkMapOr(Args[0], Args[1]);
+      break;
+    case TermKind::MapAnd:
+      Local = mkMapAnd(Args[0], Args[1]);
+      break;
+    case TermKind::MapDiff:
+      Local = mkMapDiff(Args[0], Args[1]);
+      break;
+    case TermKind::PwIte:
+      Local = mkPwIte(Args[0], Args[1], Args[2]);
+      break;
+    case TermKind::Apply: {
+      const FuncDecl *D = T->getDecl();
+      std::vector<const Sort *> ArgSorts;
+      ArgSorts.reserve(D->getArgSorts().size());
+      for (const Sort *S : D->getArgSorts())
+        ArgSorts.push_back(importSort(S));
+      Local = mkApply(getFuncDecl(D->getName(), std::move(ArgSorts),
+                                  importSort(D->getRetSort())),
+                      std::move(Args));
+      break;
+    }
+    case TermKind::Forall: {
+      std::vector<TermRef> Bound;
+      Bound.reserve(T->getBoundVars().size());
+      for (TermRef BV : T->getBoundVars())
+        Bound.push_back(ImportCache[BV]);
+      Local = mkForall(std::move(Bound), Args[0]);
+      break;
+    }
+    }
+    assert(Local && "unhandled term kind in import");
+    ImportCache.emplace(T, Local);
+  }
+  return ImportCache[Foreign];
+}
+
 bool TermManager::containsQuantifier(TermRef T) const {
   std::vector<TermRef> Work = {T};
   std::unordered_map<TermRef, bool> Seen;

@@ -247,6 +247,19 @@ public:
   /// True if the term contains a Forall node (QF cross-check, Section 5.1).
   bool containsQuantifier(TermRef T) const;
 
+  /// Translates a sort owned by another manager into this manager
+  /// (uninterpreted sorts match by name, array sorts structurally).
+  const Sort *importSort(const Sort *Foreign);
+
+  /// Rebuilds a term owned by another manager in this manager, translating
+  /// sorts, variables and function declarations by name. Terms are
+  /// immutable, so the foreign manager is only read — this is what lets
+  /// the VC pipeline hand obligations to per-worker managers without
+  /// sharing a (single-threaded) manager across threads. Translations are
+  /// memoised for the lifetime of this manager; the foreign terms must
+  /// outlive it.
+  TermRef import(TermRef Foreign);
+
   unsigned numTerms() const { return NextId; }
 
 private:
@@ -261,6 +274,7 @@ private:
   std::unordered_map<std::string, const Sort *> NamedSorts;
   std::unordered_map<std::string, TermRef> NamedVars;
   std::unordered_map<std::string, const FuncDecl *> NamedDecls;
+  std::unordered_map<TermRef, TermRef> ImportCache;
 
   const Sort *BoolSort;
   const Sort *IntSort;

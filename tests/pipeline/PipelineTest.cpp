@@ -1,0 +1,210 @@
+//===- tests/pipeline/PipelineTest.cpp - Pipeline facade tests -------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the pipeline facade: term import across managers, the
+/// structural query cache (intra-batch dedup and cross-call sharing),
+/// parallel dispatch determinism (--jobs), legacy VC split grouping,
+/// and verdict reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+#include "smt/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace ids;
+using namespace ids::pipeline;
+using namespace ids::smt;
+
+namespace {
+
+vcgen::Obligation obligation(TermRef Guard, TermRef Claim,
+                             const char *Desc) {
+  vcgen::Obligation O;
+  O.Guard = Guard;
+  O.Claim = Claim;
+  O.Description = Desc;
+  return O;
+}
+
+TEST(TermImportTest, RoundTripsAcrossManagers) {
+  TermManager Src;
+  TermRef X = Src.mkVar("x", Src.intSort());
+  TermRef A = Src.mkVar("a", Src.getArraySort(Src.intSort(), Src.intSort()));
+  const FuncDecl *F = Src.getFuncDecl("f", {Src.locSort()}, Src.intSort());
+  TermRef N = Src.mkApply(F, {Src.mkNil()});
+  TermRef Formula = Src.mkAnd(
+      {Src.mkLe(Src.mkSelect(Src.mkStore(A, X, N), Src.mkIntConst(3)), X),
+       Src.mkEq(X, Src.mkAdd(N, Src.mkIntConst(1)))});
+
+  TermManager Dst;
+  TermRef Imported = Dst.import(Formula);
+  ASSERT_NE(Imported, nullptr);
+  // Import is deterministic: two fresh managers agree term for term
+  // (this is what makes cached outcomes valid for every later import of
+  // a structurally identical query).
+  TermManager Dst2;
+  EXPECT_EQ(QueryCache::keyFor(Imported),
+            QueryCache::keyFor(Dst2.import(Formula)));
+  // Importing twice is stable (memoised).
+  EXPECT_EQ(Dst.import(Formula), Imported);
+  // And the import is solvable in its new home.
+  Solver S(Dst);
+  EXPECT_EQ(S.checkSat(Imported), Solver::Result::Sat);
+}
+
+TEST(QueryCacheTest, KeyDistinguishesStructure) {
+  TermManager TM;
+  TermRef X = TM.mkVar("x", TM.intSort());
+  TermRef Y = TM.mkVar("y", TM.intSort());
+  EXPECT_NE(QueryCache::keyFor(TM.mkLe(X, Y)),
+            QueryCache::keyFor(TM.mkLe(Y, X)));
+  EXPECT_NE(QueryCache::keyFor(X), QueryCache::keyFor(Y));
+  EXPECT_EQ(QueryCache::keyFor(TM.mkLe(X, Y)),
+            QueryCache::keyFor(TM.mkLe(X, Y)));
+}
+
+TEST(QueryCacheTest, IdenticalObligationsSolveOnce) {
+  TermManager TM;
+  TermRef X = TM.mkVar("x", TM.intSort());
+  TermRef Y = TM.mkVar("y", TM.intSort());
+  TermRef Guard = TM.mkLe(X, Y);
+  TermRef Claim = TM.mkLe(X, TM.mkAdd(Y, TM.mkIntConst(1)));
+  std::vector<vcgen::Obligation> Obls = {obligation(Guard, Claim, "one"),
+                                         obligation(Guard, Claim, "two")};
+  Options Opts;
+  Opts.Simplify = false; // keep both obligations solver-bound
+  QueryCache Cache;
+  Result R = solveObligations(TM, Obls, Opts, &Cache);
+  EXPECT_EQ(R.V, Verdict::Proved);
+  EXPECT_EQ(R.St.Queries, 1u);
+  EXPECT_EQ(R.St.CacheHits, 1u);
+}
+
+TEST(QueryCacheTest, SharedAcrossCallsAndManagers) {
+  Options Opts;
+  Opts.Simplify = false;
+  QueryCache Cache;
+  Stats FirstStats;
+  // The same structural obligation built in two independent managers
+  // (as different procedures would) must hit across calls.
+  for (int Call = 0; Call < 2; ++Call) {
+    TermManager TM;
+    TermRef X = TM.mkVar("x", TM.intSort());
+    TermRef Guard = TM.mkLe(X, TM.mkIntConst(7));
+    TermRef Claim = TM.mkLe(X, TM.mkIntConst(9));
+    std::vector<vcgen::Obligation> Obls = {
+        obligation(Guard, Claim, "cross-proc")};
+    Result R = solveObligations(TM, Obls, Opts, &Cache);
+    EXPECT_EQ(R.V, Verdict::Proved);
+    if (Call == 0) {
+      EXPECT_EQ(R.St.Queries, 1u);
+      EXPECT_EQ(R.St.CacheHits, 0u);
+    } else {
+      EXPECT_EQ(R.St.Queries, 0u);
+      EXPECT_EQ(R.St.CacheHits, 1u);
+    }
+  }
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(QueryCacheTest, DisabledCacheRunsEveryQuery) {
+  TermManager TM;
+  TermRef X = TM.mkVar("x", TM.intSort());
+  TermRef Guard = TM.mkLe(X, TM.mkIntConst(7));
+  TermRef Claim = TM.mkLe(X, TM.mkIntConst(9));
+  std::vector<vcgen::Obligation> Obls = {obligation(Guard, Claim, "a"),
+                                         obligation(Guard, Claim, "b")};
+  Options Opts;
+  Opts.Simplify = false;
+  Opts.Cache = false;
+  Result R = solveObligations(TM, Obls, Opts, nullptr);
+  EXPECT_EQ(R.V, Verdict::Proved);
+  EXPECT_EQ(R.St.Queries, 2u);
+  EXPECT_EQ(R.St.CacheHits, 0u);
+}
+
+class PipelineVerdictTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PipelineVerdictTest, JobsAndSplitsPreserveVerdicts) {
+  // A mixed batch: provable, failing, and trivially provable
+  // obligations. Every (jobs, splits) combination must agree.
+  TermManager TM;
+  TermRef X = TM.mkVar("x", TM.intSort());
+  TermRef Y = TM.mkVar("y", TM.intSort());
+  TermRef Z = TM.mkVar("z", TM.intSort());
+  std::vector<vcgen::Obligation> Obls = {
+      obligation(TM.mkAnd(TM.mkLe(X, Y), TM.mkLe(Y, Z)), TM.mkLe(X, Z),
+                 "transitivity"),
+      obligation(TM.mkLe(X, TM.mkIntConst(3)), TM.mkLe(X, TM.mkIntConst(5)),
+                 "weaken"),
+      obligation(TM.mkLe(X, Y), TM.mkEq(X, Y), "wrong-eq"),
+      obligation(TM.mkTrue(), TM.mkEq(X, X), "reflexive")};
+  for (unsigned Splits : {0u, 1u, 2u, 8u}) {
+    Options Opts;
+    Opts.Jobs = GetParam();
+    Opts.VcSplits = Splits;
+    Result R = solveObligations(TM, Obls, Opts, nullptr);
+    EXPECT_EQ(R.V, Verdict::Failed)
+        << "jobs=" << GetParam() << " splits=" << Splits;
+    EXPECT_NE(R.FailedDescription.find("wrong-eq"), std::string::npos)
+        << "jobs=" << GetParam() << " splits=" << Splits;
+    EXPECT_FALSE(R.Counterexample.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, PipelineVerdictTest,
+                         ::testing::Values(1u, 2u, 4u));
+
+TEST(PipelineTest, EmptyObligationsProve) {
+  TermManager TM;
+  Options Opts;
+  Result R = solveObligations(TM, {}, Opts, nullptr);
+  EXPECT_EQ(R.V, Verdict::Proved);
+}
+
+TEST(PipelineTest, UnknownOnBudgetExhaustion) {
+  // A genuinely hard integer query under a tiny theory-check budget.
+  TermManager TM;
+  std::vector<TermRef> Conjs;
+  TermRef Prev = nullptr;
+  for (int I = 0; I < 6; ++I) {
+    TermRef V = TM.mkVar("v" + std::to_string(I), TM.intSort());
+    TermRef W = TM.mkVar("w" + std::to_string(I), TM.intSort());
+    Conjs.push_back(TM.mkEq(TM.mkAdd(TM.mkMulConst(Rational(2), V),
+                                     TM.mkMulConst(Rational(2), W)),
+                            TM.mkIntConst(2 * I + 1)));
+    Prev = V;
+  }
+  (void)Prev;
+  std::vector<vcgen::Obligation> Obls = {
+      obligation(TM.mkAnd(Conjs), TM.mkFalse(), "parity")};
+  Options Opts;
+  Opts.Simplify = false;
+  Opts.Slice = false;
+  Opts.MaxTheoryChecks = 1;
+  Result R = solveObligations(TM, Obls, Opts, nullptr);
+  // Either the solver decides it within one theory check (it is Unsat:
+  // 2v+2w is even) or reports Unknown; it must never claim Failed.
+  EXPECT_NE(R.V, Verdict::Failed);
+}
+
+TEST(PipelineTest, ProvedBySimplifyskipsSolver) {
+  TermManager TM;
+  TermRef X = TM.mkVar("x", TM.intSort());
+  std::vector<vcgen::Obligation> Obls = {
+      obligation(TM.mkEq(X, TM.mkIntConst(4)),
+                 TM.mkLe(X, TM.mkIntConst(4)), "const-fold")};
+  Options Opts;
+  Result R = solveObligations(TM, Obls, Opts, nullptr);
+  EXPECT_EQ(R.V, Verdict::Proved);
+  EXPECT_EQ(R.St.ProvedBySimplify, 1u);
+  EXPECT_EQ(R.St.Queries, 0u);
+}
+
+} // namespace
