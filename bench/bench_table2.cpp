@@ -82,11 +82,15 @@ void emitJsonResult(FILE *F, const structures::Benchmark &B,
             "\"seconds\": %.3f, \"obligations\": %u, "
             "\"proved_by_simplify\": %u, \"conjuncts_sliced\": %u, "
             "\"queries\": %u, \"cache_hits\": %u, "
+            "\"prefix_groups\": %u, \"context_reuses\": %u, "
+            "\"lemmas_retained\": %llu, "
             "\"max_atoms\": %u, \"max_array_lemmas\": %u, "
             "\"total_atoms\": %llu, \"total_array_lemmas\": %llu}",
             FirstProc ? "" : ",", P.Name.c_str(), statusName(P.St),
             P.Seconds, P.NumObligations, St.ProvedBySimplify,
-            St.ConjunctsSliced, St.Queries, St.CacheHits, St.MaxAtoms,
+            St.ConjunctsSliced, St.Queries, St.CacheHits,
+            St.PrefixGroups, St.ContextReuses,
+            (unsigned long long)St.LemmasRetained, St.MaxAtoms,
             St.MaxArrayLemmas, (unsigned long long)St.TotalAtoms,
             (unsigned long long)St.TotalArrayLemmas);
     FirstProc = false;

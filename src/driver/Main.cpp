@@ -41,6 +41,11 @@ static void printPipelineStats(const pipeline::Stats &St) {
          St.ConjunctsBeforeSlice, St.Queries, St.CacheHits,
          St.SliceFallbacks, St.EscalatedQueries, St.MaxAtoms,
          St.MaxArrayLemmas);
+  if (St.PrefixGroups > 0)
+    printf("    incremental: %u prefix groups, %u context reuses, "
+           "%llu lemmas retained, %u sat rechecks\n",
+           St.PrefixGroups, St.ContextReuses,
+           (unsigned long long)St.LemmasRetained, St.IncrSatRechecks);
 }
 
 static void printResult(const driver::ModuleResult &R, bool ShowStats) {
@@ -105,6 +110,8 @@ int main(int Argc, char **Argv) {
       Opts.SliceVc = false;
     } else if (A == "--no-cache") {
       Opts.CacheQueries = false;
+    } else if (A == "--no-incremental") {
+      Opts.Incremental = false;
     } else if (A == "--stats") {
       ShowStats = true;
     } else if (A == "--jobs" && I + 1 < Argc) {
@@ -157,13 +164,19 @@ int main(int Argc, char **Argv) {
             "--list)\n"
             "options: --quant --splits N --proc NAME --no-frames "
             "--no-impacts --budget N --timeout S\n"
-            "VC pipeline: --jobs N (parallel obligation dispatch, "
-            "default 1)\n"
+            "VC pipeline: --jobs N (parallel obligation dispatch; "
+            "default 0 = auto-detect\n"
+            "                      from hardware concurrency)\n"
             "             --no-simp (disable the VC simplifier)\n"
             "             --no-slice (disable cone-of-influence "
             "slicing)\n"
             "             --no-cache (disable the structural query "
             "cache)\n"
+            "             --no-incremental (disable shared-prefix "
+            "batching on\n"
+            "                      incremental solver contexts; every "
+            "query then\n"
+            "                      gets a fresh one-shot solve)\n"
             "             --stats (print per-procedure pipeline "
             "statistics)\n");
     return 2;

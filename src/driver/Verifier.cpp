@@ -41,6 +41,7 @@ pipeline::Options pipelineOptions(const VerifyOptions &Opts) {
   P.Simplify = Opts.SimplifyVc;
   P.Slice = Opts.SliceVc;
   P.Cache = Opts.CacheQueries;
+  P.Incremental = Opts.Incremental;
   P.Jobs = Opts.Jobs;
   P.VcSplits = Opts.VcSplits;
   P.AllowQuantifiers = Opts.QuantifiedMode;

@@ -88,7 +88,10 @@ struct VerifyOptions {
   bool SimplifyVc = true;  ///< --no-simp
   bool SliceVc = true;     ///< --no-slice
   bool CacheQueries = true; ///< --no-cache
-  unsigned Jobs = 1;        ///< --jobs N
+  /// Shared-prefix obligation batching on incremental solver contexts;
+  /// --no-incremental falls back to a fresh one-shot solve per query.
+  bool Incremental = true;
+  unsigned Jobs = 0;        ///< --jobs N; 0 auto-detects hardware threads
   /// Restrict verification to this procedure (empty = all).
   std::string OnlyProc;
   /// Cross-check that generated VCs are quantifier-free (Section 5.1);

@@ -10,9 +10,11 @@
 #include "pipeline/Simplify.h"
 #include "pipeline/Slice.h"
 #include "smt/Solver.h"
+#include "smt/SolverContext.h"
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <unordered_map>
 
 using namespace ids;
@@ -28,6 +30,10 @@ void Stats::merge(const Stats &O) {
   CacheHits += O.CacheHits;
   SliceFallbacks += O.SliceFallbacks;
   EscalatedQueries += O.EscalatedQueries;
+  PrefixGroups += O.PrefixGroups;
+  ContextReuses += O.ContextReuses;
+  LemmasRetained += O.LemmasRetained;
+  IncrSatRechecks += O.IncrSatRechecks;
   MaxAtoms = std::max(MaxAtoms, O.MaxAtoms);
   MaxArrayLemmas = std::max(MaxArrayLemmas, O.MaxArrayLemmas);
   TotalAtoms += O.TotalAtoms;
@@ -49,14 +55,13 @@ public:
     std::vector<QueryCache::Outcome> Out(N);
     std::vector<size_t> RunList;
     std::vector<std::pair<size_t, size_t>> Dups; // (dup index, owner index)
-    std::vector<std::string> Keys(N);
+    std::vector<QueryCache::Key> Keys(N);
     if (Opts.Cache) {
-      std::unordered_map<std::string, size_t> Owner;
+      std::unordered_map<QueryCache::Key, size_t, QueryCache::KeyHash> Owner;
       for (size_t I = 0; I < N; ++I) {
         Keys[I] = QueryCache::keyFor(Queries[I]);
         if (Cache && Cache->lookup(Keys[I], Out[I])) {
           ++St.CacheHits;
-          Keys[I].clear(); // already resolved
           continue;
         }
         auto [It, Inserted] = Owner.emplace(Keys[I], I);
@@ -72,16 +77,43 @@ public:
         RunList.push_back(I);
     }
 
+    // Shared-prefix batching: obligations of one procedure share most of
+    // their guard (the passified program encoding), so their negated-claim
+    // queries share a long conjunct prefix. Each batch is solved by ONE
+    // worker on ONE incremental context — prefix asserted once at level 0,
+    // every member push/checked/popped on top of it.
+    std::vector<std::vector<size_t>> Groups =
+        Opts.Incremental && !Opts.AllowQuantifiers
+            ? groupBySharedPrefix(Queries, RunList)
+            : std::vector<std::vector<size_t>>();
+    std::vector<char> InGroup(N, 0);
+    for (const auto &G : Groups)
+      for (size_t Idx : G)
+        InGroup[Idx] = 1;
+
     std::vector<std::function<void()>> Tasks;
     Tasks.reserve(RunList.size());
-    for (size_t Idx : RunList)
+    for (size_t Idx : RunList) {
+      if (InGroup[Idx])
+        continue;
       Tasks.push_back([this, &Queries, &Out, Idx] {
         Out[Idx] = runQuery(Queries[Idx]);
+      });
+    }
+    for (const std::vector<size_t> &G : Groups)
+      Tasks.push_back([this, &Queries, &Out, &G] {
+        runGroup(Queries, G, Out);
       });
     Scheduler(Opts.Jobs).run(Tasks);
 
     St.Queries += static_cast<unsigned>(RunList.size());
     St.EscalatedQueries += Escalations.exchange(0, std::memory_order_relaxed);
+    St.PrefixGroups += static_cast<unsigned>(Groups.size());
+    for (const auto &G : Groups)
+      St.ContextReuses += static_cast<unsigned>(G.size() - 1);
+    St.LemmasRetained += GroupLemmasRetained.exchange(0,
+                                                      std::memory_order_relaxed);
+    St.IncrSatRechecks += SatRechecks.exchange(0, std::memory_order_relaxed);
     for (size_t Idx : RunList) {
       St.TotalAtoms += Out[Idx].NumAtoms;
       St.TotalArrayLemmas += Out[Idx].NumArrayLemmas;
@@ -117,6 +149,126 @@ private:
     return O;
   }
 
+  /// Splits a query into its top-level conjuncts (a non-And query is its
+  /// own single conjunct).
+  static std::vector<TermRef> conjunctsOf(TermRef Query) {
+    if (Query->getKind() == TermKind::And)
+      return Query->getArgs();
+    return {Query};
+  }
+
+  /// Greedy grouping of the run list by shared conjunct prefix, in query
+  /// order (obligations of one procedure arrive together, so adjacency is
+  /// the right clustering signal). A query joins the open group when the
+  /// longest common prefix with the group's prefix stays substantial —
+  /// at least MinSharedConjuncts and at least half of the query's own
+  /// conjuncts. Only groups of two or more queries are returned;
+  /// singletons keep the one-shot path.
+  std::vector<std::vector<size_t>>
+  groupBySharedPrefix(const std::vector<TermRef> &Queries,
+                      const std::vector<size_t> &RunList) const {
+    constexpr size_t MinSharedConjuncts = 3;
+    std::vector<std::vector<size_t>> Groups;
+    std::vector<size_t> Open;
+    std::vector<TermRef> OpenPrefix;
+    auto Close = [&]() {
+      if (Open.size() >= 2)
+        Groups.push_back(std::move(Open));
+      Open.clear();
+    };
+    for (size_t Idx : RunList) {
+      std::vector<TermRef> Conj = conjunctsOf(Queries[Idx]);
+      if (Open.empty()) {
+        Open.push_back(Idx);
+        OpenPrefix = std::move(Conj);
+        continue;
+      }
+      size_t Lcp = 0;
+      while (Lcp < OpenPrefix.size() && Lcp < Conj.size() &&
+             OpenPrefix[Lcp] == Conj[Lcp])
+        ++Lcp;
+      if (Lcp >= MinSharedConjuncts && Lcp * 2 >= Conj.size()) {
+        Open.push_back(Idx);
+        OpenPrefix.resize(Lcp);
+      } else {
+        Close();
+        Open.push_back(Idx);
+        OpenPrefix = std::move(Conj);
+      }
+    }
+    Close();
+    return Groups;
+  }
+
+  /// Solves one shared-prefix batch on a single incremental context in a
+  /// private TermManager: prefix at level 0, one push/check/pop round per
+  /// member. Sat answers are re-confirmed one-shot (clean countermodel);
+  /// model give-ups escalate to the eager instantiation exactly like the
+  /// one-shot path.
+  void runGroup(const std::vector<TermRef> &Queries,
+                const std::vector<size_t> &Members,
+                std::vector<QueryCache::Outcome> &Out) {
+    std::vector<std::vector<TermRef>> Conj;
+    Conj.reserve(Members.size());
+    size_t Lcp = SIZE_MAX;
+    for (size_t Idx : Members)
+      Conj.push_back(conjunctsOf(Queries[Idx]));
+    for (const auto &C : Conj) {
+      size_t L = 0;
+      while (L < Conj[0].size() && L < C.size() && Conj[0][L] == C[L])
+        ++L;
+      Lcp = std::min(Lcp, L);
+    }
+
+    TermManager Local;
+    Solver::Options SOpts;
+    SOpts.AllowQuantifiers = false;
+    SOpts.MaxTheoryChecks = Opts.MaxTheoryChecks;
+    SOpts.TimeoutSeconds = Opts.QueryTimeoutSeconds;
+    SolverContext Ctx(Local, SOpts);
+    {
+      std::vector<TermRef> Prefix;
+      Prefix.reserve(Lcp);
+      for (size_t K = 0; K < Lcp; ++K)
+        Prefix.push_back(Local.import(Conj[0][K]));
+      Ctx.assertTerm(Local.mkAnd(std::move(Prefix)));
+    }
+
+    for (size_t M = 0; M < Members.size(); ++M) {
+      size_t Idx = Members[M];
+      Ctx.push();
+      for (size_t K = Lcp; K < Conj[M].size(); ++K)
+        Ctx.assertTerm(Local.import(Conj[M][K]));
+      Solver::Result R = Ctx.checkSat();
+      const SolverContext::CheckStats &CS = Ctx.lastCheckStats();
+      Ctx.pop();
+      if (R == Solver::Result::Unsat) {
+        Out[Idx].R = R;
+        Out[Idx].NumAtoms = CS.NumAtoms;
+        Out[Idx].NumArrayLemmas = CS.NumArrayLemmas;
+      } else if (R == Solver::Result::Unknown && CS.ModelGiveUps > 0) {
+        // Same escalation rule as the one-shot path: a model give-up is
+        // worth the quadratic eager instantiation; a budget or timeout
+        // Unknown would just exhaust again.
+        bool GaveUp = false;
+        Out[Idx] = attempt(Queries[Idx], /*Eager=*/true, GaveUp);
+        Escalations.fetch_add(1, std::memory_order_relaxed);
+      } else if (R == Solver::Result::Sat) {
+        // A batch-context model ranges over every atom the context has
+        // ever seen (stale claims included); re-solve fresh for a clean,
+        // independently validated countermodel.
+        Out[Idx] = runQuery(Queries[Idx]);
+        SatRechecks.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        Out[Idx].R = Solver::Result::Unknown;
+        Out[Idx].NumAtoms = CS.NumAtoms;
+        Out[Idx].NumArrayLemmas = CS.NumArrayLemmas;
+      }
+    }
+    GroupLemmasRetained.fetch_add(Ctx.stats().LemmasRetained,
+                                  std::memory_order_relaxed);
+  }
+
   QueryCache::Outcome runQuery(TermRef Query) {
     bool GaveUp = false;
     QueryCache::Outcome O = attempt(Query, /*Eager=*/false, GaveUp);
@@ -140,6 +292,8 @@ private:
   QueryCache *Cache;
   Stats &St;
   std::atomic<unsigned> Escalations{0};
+  std::atomic<unsigned> SatRechecks{0};
+  std::atomic<uint64_t> GroupLemmasRetained{0};
 };
 
 } // namespace

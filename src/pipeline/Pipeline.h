@@ -41,8 +41,16 @@ struct Options {
   bool Slice = true;
   /// Consult/populate the structural query cache (--no-cache disables).
   bool Cache = true;
-  /// Worker threads for solver dispatch (--jobs N); 1 = serial.
-  unsigned Jobs = 1;
+  /// Batch obligations by shared VC prefix and solve each batch on one
+  /// incremental SolverContext: the common conjunct prefix is asserted
+  /// once at level 0, then each negated claim is push/checked/popped,
+  /// reusing the prefix CNF, its array instantiations and every theory
+  /// lemma learned along the way (--no-incremental falls back to a fresh
+  /// one-shot solve per query).
+  bool Incremental = true;
+  /// Worker threads for solver dispatch (--jobs N); 1 = serial, 0 =
+  /// auto-detect from hardware concurrency.
+  unsigned Jobs = 0;
   /// Legacy grouping: partition obligations round-robin into this many
   /// disjunctive queries (the paper's Boogie-style VC splitting). 0, the
   /// default, solves one query per obligation.
@@ -68,6 +76,17 @@ struct Stats {
   unsigned SliceFallbacks = 0;
   /// Unknown answers retried with eager (blind) array instantiation.
   unsigned EscalatedQueries = 0;
+  /// Shared-prefix batches formed (incremental mode; singleton batches
+  /// fall back to one-shot solving and are not counted).
+  unsigned PrefixGroups = 0;
+  /// Checks that reused an already-asserted shared prefix (every batch
+  /// member after the first).
+  unsigned ContextReuses = 0;
+  /// Learned theory lemmas retained across pops inside batch contexts.
+  uint64_t LemmasRetained = 0;
+  /// Sat answers from an incremental batch re-confirmed on a fresh
+  /// one-shot solver (clean countermodel, independent of context state).
+  unsigned IncrSatRechecks = 0;
   /// Largest query the solver saw (post-pipeline), and totals.
   unsigned MaxAtoms = 0;
   unsigned MaxArrayLemmas = 0;

@@ -8,101 +8,19 @@
 
 using namespace ids;
 using namespace ids::pipeline;
-using namespace ids::smt;
 
-std::string QueryCache::keyFor(TermRef Query) {
-  // Post-order DFS assigning dense indices; each node serializes its kind,
-  // payload, and argument indices. First-visit order is determined by the
-  // DAG structure alone, so identical DAGs in different managers produce
-  // identical keys.
-  std::string Key;
-  std::unordered_map<TermRef, unsigned> Index;
-  std::vector<TermRef> Stack = {Query};
-  while (!Stack.empty()) {
-    TermRef T = Stack.back();
-    if (Index.count(T)) {
-      Stack.pop_back();
-      continue;
-    }
-    bool Ready = true;
-    // Push in reverse so children are visited in argument order.
-    for (auto It = T->getArgs().rbegin(); It != T->getArgs().rend(); ++It)
-      if (!Index.count(*It)) {
-        Stack.push_back(*It);
-        Ready = false;
-      }
-    if (T->getKind() == TermKind::Forall)
-      for (auto It = T->getBoundVars().rbegin();
-           It != T->getBoundVars().rend(); ++It)
-        if (!Index.count(*It)) {
-          Stack.push_back(*It);
-          Ready = false;
-        }
-    if (!Ready)
-      continue;
-    Stack.pop_back();
-
-    Key += 'k';
-    Key += std::to_string(static_cast<unsigned>(T->getKind()));
-    switch (T->getKind()) {
-    case TermKind::Var:
-      Key += 'v';
-      Key += T->getName();
-      Key += ':';
-      Key += T->getSort()->toString();
-      break;
-    case TermKind::IntConst:
-      Key += 'i';
-      Key += T->getIntValue().toString();
-      break;
-    case TermKind::RatConst:
-      Key += 'r';
-      Key += T->getRatValue().toString();
-      break;
-    case TermKind::Apply:
-      Key += 'f';
-      Key += T->getDecl()->getName();
-      Key += ':';
-      Key += T->getDecl()->getRetSort()->toString();
-      break;
-    case TermKind::ConstArray:
-      Key += 'c';
-      Key += T->getSort()->toString();
-      break;
-    case TermKind::Forall:
-      Key += 'q';
-      for (TermRef BV : T->getBoundVars()) {
-        Key += std::to_string(Index[BV]);
-        Key += '.';
-      }
-      break;
-    default:
-      break;
-    }
-    Key += '(';
-    for (TermRef Arg : T->getArgs()) {
-      Key += std::to_string(Index[Arg]);
-      Key += ',';
-    }
-    Key += ')';
-    Index.emplace(T, static_cast<unsigned>(Index.size()));
-    Key += ';';
-  }
-  return Key;
-}
-
-bool QueryCache::lookup(const std::string &Key, Outcome &Out) const {
+bool QueryCache::lookup(const Key &K, Outcome &Out) const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Map.find(Key);
+  auto It = Map.find(K);
   if (It == Map.end())
     return false;
   Out = It->second;
   return true;
 }
 
-void QueryCache::insert(const std::string &Key, Outcome O) {
+void QueryCache::insert(const Key &K, Outcome O) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Map.emplace(Key, std::move(O));
+  Map.emplace(K, std::move(O));
 }
 
 size_t QueryCache::size() const {

@@ -6,13 +6,17 @@
 ///
 /// \file
 /// Caches solver outcomes per query formula across procedures and
-/// impact checks, keyed by a canonical, manager-independent
-/// serialization of the term DAG (two queries built in different
-/// TermManagers hit the same entry iff they are structurally
-/// identical). The cache stores the raw solver outcome — Sat with model
-/// text, Unsat, or Unknown — never an obligation verdict, so entries
-/// stay valid regardless of which obligation (sliced or not) produced
-/// the query. Thread-safe; shared by all scheduler workers.
+/// impact checks, keyed by the interned terms' structural DAG hash
+/// (128-bit, manager-independent: two queries built in different
+/// TermManagers hit the same entry iff they are structurally identical,
+/// up to the negligible 2^-128 collision odds of the hash pair). The
+/// hash is computed incrementally at term-interning time, so keying a
+/// query is O(1) — this replaced a canonical-string serialization that
+/// rebuilt an O(formula-size) key on every lookup. The cache stores the
+/// raw solver outcome — Sat with model text, Unsat, or Unknown — never
+/// an obligation verdict, so entries stay valid regardless of which
+/// obligation (sliced or not) produced the query. Thread-safe; shared by
+/// all scheduler workers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +26,7 @@
 #include "smt/Solver.h"
 #include "smt/Term.h"
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -38,18 +43,31 @@ public:
     unsigned NumArrayLemmas = 0;
   };
 
-  /// Canonical serialization of the query DAG: linear in DAG size, equal
-  /// strings exactly for structurally identical DAGs, independent of the
-  /// owning TermManager's interning order.
-  static std::string keyFor(smt::TermRef Query);
+  /// 128-bit structural key of a query DAG.
+  struct Key {
+    uint64_t Lo = 0;
+    uint64_t Hi = 0;
+    bool operator==(const Key &O) const { return Lo == O.Lo && Hi == O.Hi; }
+    bool operator!=(const Key &O) const { return !(*this == O); }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      return static_cast<size_t>(K.Lo ^ (K.Hi * 0x9e3779b97f4a7c15ull));
+    }
+  };
 
-  bool lookup(const std::string &Key, Outcome &Out) const;
-  void insert(const std::string &Key, Outcome O);
+  /// O(1): reads the structural hash computed when the term was interned.
+  static Key keyFor(smt::TermRef Query) {
+    return {Query->getStructHashLo(), Query->getStructHashHi()};
+  }
+
+  bool lookup(const Key &K, Outcome &Out) const;
+  void insert(const Key &K, Outcome O);
   size_t size() const;
 
 private:
   mutable std::mutex Mutex;
-  std::unordered_map<std::string, Outcome> Map;
+  std::unordered_map<Key, Outcome, KeyHash> Map;
 };
 
 } // namespace pipeline

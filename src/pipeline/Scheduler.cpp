@@ -15,6 +15,13 @@
 using namespace ids;
 using namespace ids::pipeline;
 
+unsigned Scheduler::resolveJobs(unsigned Jobs) {
+  if (Jobs != 0)
+    return Jobs;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW == 0 ? 1 : HW;
+}
+
 void Scheduler::run(const std::vector<std::function<void()>> &Tasks) const {
   if (Jobs <= 1 || Tasks.size() <= 1) {
     for (const auto &Task : Tasks)

@@ -26,7 +26,12 @@ namespace pipeline {
 
 class Scheduler {
 public:
-  explicit Scheduler(unsigned Jobs) : Jobs(Jobs == 0 ? 1 : Jobs) {}
+  /// \p Jobs == 0 (the CLI default) auto-detects the worker count from
+  /// std::thread::hardware_concurrency(); an explicit N pins it.
+  explicit Scheduler(unsigned Jobs) : Jobs(resolveJobs(Jobs)) {}
+
+  /// 0 -> hardware_concurrency() (min 1: the detection may report 0).
+  static unsigned resolveJobs(unsigned Jobs);
 
   /// Runs every task and blocks until all complete. Tasks must be
   /// mutually independent; any state they share must do its own locking

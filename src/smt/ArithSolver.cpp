@@ -132,6 +132,8 @@ bool ArithSolver::assertLower(int Var, DeltaRat Value, int Tag,
     }
     return false;
   }
+  if (!Marks.empty())
+    BoundTrail.push_back({Var, /*IsLower=*/true, Lower[Var]});
   Lower[Var] = {Value, Tag, true};
   if (!IsBasic[Var] && Beta[Var] < Value)
     updateNonbasic(Var, Value);
@@ -155,6 +157,8 @@ bool ArithSolver::assertUpper(int Var, DeltaRat Value, int Tag,
     }
     return false;
   }
+  if (!Marks.empty())
+    BoundTrail.push_back({Var, /*IsLower=*/false, Upper[Var]});
   Upper[Var] = {Value, Tag, true};
   if (!IsBasic[Var] && Value < Beta[Var])
     updateNonbasic(Var, Value);
@@ -501,6 +505,33 @@ ArithSolver::Result ArithSolver::search(std::set<int> &ConflictOut,
   }
 
   return Result::Sat;
+}
+
+void ArithSolver::push() {
+  Marks.push_back({BoundTrail.size(), Diseqs.size(), TriviallyUnsat});
+}
+
+void ArithSolver::pop() {
+  assert(!Marks.empty() && "pop without matching push");
+  LevelMark M = Marks.back();
+  Marks.pop_back();
+  // Undo bound strengthenings in reverse. Weakening bounds preserves the
+  // simplex invariant (nonbasic variables remain inside looser bounds and
+  // basic values are row combinations of unchanged nonbasic values), so
+  // beta needs no repair here. Variables created above the mark (slack
+  // definitions) persist with whatever bounds the trail restores — for
+  // them that is the unbounded default, since every strengthening above
+  // the mark is on the trail.
+  while (BoundTrail.size() > M.BoundTrailSize) {
+    const BoundUndo &U = BoundTrail.back();
+    (U.IsLower ? Lower : Upper)[U.Var] = U.Old;
+    BoundTrail.pop_back();
+  }
+  Diseqs.resize(M.NumDiseqs);
+  if (!M.TriviallyUnsat) {
+    TriviallyUnsat = false;
+    TrivialConflict.clear();
+  }
 }
 
 ArithSolver::Result ArithSolver::check(std::set<int> &ConflictOut) {

@@ -75,8 +75,15 @@ struct LinTerm {
 
 /// Simplex-based solver for conjunctions of linear atoms.
 ///
-/// Not backtrackable externally; the SMT driver builds one per theory
-/// check. Internal push/pop supports branch & bound and probing.
+/// Externally backtrackable: push() opens a level and pop() retracts the
+/// bounds and disequalities asserted above it via a bound-restoration
+/// trail. Variables, slack definitions and the tableau basis persist
+/// across pops — pivoting preserves the row space, and weakening bounds
+/// never invalidates the simplex invariant (nonbasic variables stay
+/// inside bounds that only got looser), so no O(tableau) repair is needed
+/// at pop time. The persistent theory engine opens one level per synced
+/// SAT-trail literal. Internal snapshots still drive branch & bound and
+/// probing.
 class ArithSolver {
 public:
   enum class Op { Le, Lt, Eq, Ne };
@@ -93,6 +100,13 @@ public:
   /// integer comparisons into weak ones (x < y becomes x - y + 1 <= 0)
   /// before asserting. Returns false on an immediate trivial conflict.
   bool assertAtom(const LinTerm &Poly, Op O, int Tag);
+
+  /// Opens a backtracking level.
+  void push();
+  /// Retracts every bound strengthening and disequality asserted above the
+  /// matching push (a trivial-conflict state entered above it included).
+  void pop();
+  unsigned numLevels() const { return static_cast<unsigned>(Marks.size()); }
 
   /// Decides the asserted conjunction. On Unsat, \p ConflictOut holds the
   /// core (input tags only).
@@ -124,6 +138,18 @@ private:
     std::vector<Bound> Lower, Upper;
     std::vector<DeltaRat> Beta;
     size_t NumDiseqs;
+  };
+  /// Bound-restoration trail entry: the bound \p Var carried before an
+  /// overwrite above the current level mark.
+  struct BoundUndo {
+    int Var;
+    bool IsLower;
+    Bound Old;
+  };
+  struct LevelMark {
+    size_t BoundTrailSize;
+    size_t NumDiseqs;
+    bool TriviallyUnsat;
   };
 
   /// Returns the slack variable representing \p Poly's variable part
@@ -163,6 +189,8 @@ private:
   std::vector<DeltaRat> Beta;
   std::map<std::vector<std::pair<int, Rational>>, int> SlackTable;
   std::vector<std::tuple<int, Rational, int>> Diseqs; // (var, value, tag)
+  std::vector<BoundUndo> BoundTrail;
+  std::vector<LevelMark> Marks;
   bool TriviallyUnsat = false;
   std::set<int> TrivialConflict;
   uint64_t Pivots = 0;

@@ -120,37 +120,47 @@ void collectSubterms(TermRef T, std::unordered_set<TermRef> &Out) {
 }
 
 /// Marks the polarities under which each Eq-over-arrays atom occurs.
-/// Bit 1 = positive, bit 2 = negative.
+/// Bit 1 = positive, bit 2 = negative. \p NegOrderOut receives each atom
+/// once, in traversal order, when it first gains the negative bit —
+/// witness emission iterates it instead of the unordered map, so the
+/// fresh witness variables are minted in a deterministic order.
 void markPolarities(TermRef T, int Pol,
                     std::unordered_map<TermRef, int> &Out,
-                    std::set<std::pair<TermRef, int>> &Seen) {
+                    std::set<std::pair<TermRef, int>> &Seen,
+                    std::vector<TermRef> &NegOrderOut) {
   if (!Seen.insert({T, Pol}).second)
     return;
   switch (T->getKind()) {
   case TermKind::Not:
-    markPolarities(T->getArg(0), Pol ^ 3, Out, Seen);
+    // Both-polarity stays both-polarity under negation (3 ^ 3 would
+    // wrongly drop to "neither").
+    markPolarities(T->getArg(0), Pol == 3 ? 3 : Pol ^ 3, Out, Seen,
+                   NegOrderOut);
     return;
   case TermKind::And:
   case TermKind::Or:
     for (TermRef A : T->getArgs())
-      markPolarities(A, Pol, Out, Seen);
+      markPolarities(A, Pol, Out, Seen, NegOrderOut);
     return;
   case TermKind::Ite:
     // Boolean ite only (non-boolean are lifted). Condition sees both
     // polarities, the branches keep the current one.
-    markPolarities(T->getArg(0), 3, Out, Seen);
-    markPolarities(T->getArg(1), Pol, Out, Seen);
-    markPolarities(T->getArg(2), Pol, Out, Seen);
+    markPolarities(T->getArg(0), 3, Out, Seen, NegOrderOut);
+    markPolarities(T->getArg(1), Pol, Out, Seen, NegOrderOut);
+    markPolarities(T->getArg(2), Pol, Out, Seen, NegOrderOut);
     return;
   case TermKind::Eq:
     if (T->getArg(0)->getSort()->isBool()) {
       // Iff: sub-atoms occur in both polarities.
-      markPolarities(T->getArg(0), 3, Out, Seen);
-      markPolarities(T->getArg(1), 3, Out, Seen);
+      markPolarities(T->getArg(0), 3, Out, Seen, NegOrderOut);
+      markPolarities(T->getArg(1), 3, Out, Seen, NegOrderOut);
       return;
     }
-    if (T->getArg(0)->getSort()->isArray())
+    if (T->getArg(0)->getSort()->isArray()) {
+      if ((Pol & 2) && !(Out[T] & 2))
+        NegOrderOut.push_back(T);
       Out[T] |= Pol;
+    }
     return;
   default:
     return;
@@ -185,10 +195,9 @@ TermRef smt::reduceArrays(TermManager &TM, TermRef Formula,
   {
     std::unordered_map<TermRef, int> Polarities;
     std::set<std::pair<TermRef, int>> Seen;
-    markPolarities(Formula, 1, Polarities, Seen);
-    for (const auto &[EqTerm, Pol] : Polarities) {
-      if (!(Pol & 2))
-        continue;
+    std::vector<TermRef> NegEqs;
+    markPolarities(Formula, 1, Polarities, Seen, NegEqs);
+    for (TermRef EqTerm : NegEqs) {
       TermRef A = EqTerm->getArg(0), B = EqTerm->getArg(1);
       TermRef W = TM.mkFreshVar("extw", A->getSort()->getKey());
       // a == b  \/  a[w] != b[w]
@@ -472,4 +481,328 @@ TermRef smt::reduceArrays(TermManager &TM, TermRef Formula,
     return Formula;
   Lemmas.push_back(Formula);
   return TM.mkAnd(std::move(Lemmas));
+}
+
+//===----------------------------------------------------------------------===//
+// ArrayReducer: incremental, level-aware demand closure.
+//===----------------------------------------------------------------------===//
+
+void ArrayReducer::collectNewSubterms(TermRef T, std::vector<TermRef> &Out) {
+  if (!KnownTerms.insert(T).second)
+    return;
+  Trail.push_back({Undo::KnownTerm, T});
+  Out.push_back(T);
+  for (TermRef A : T->getArgs())
+    collectNewSubterms(A, Out);
+}
+
+void ArrayReducer::demand(TermRef A, TermRef I) {
+  if (!A->getSort()->isArray() || A->getSort()->getKey() != I->getSort())
+    return;
+  if (!Need.insert({A, I}).second)
+    return;
+  Trail.push_back({Undo::NeedAdd, A, I});
+  DemandedIndices[A].push_back(I);
+  Work.push_back({A, I});
+}
+
+void ArrayReducer::markUp(TermRef T) {
+  if (!T->getSort()->isArray() || !UpSet.insert(T).second)
+    return;
+  Trail.push_back({Undo::UpSetAdd, T});
+  switch (T->getKind()) {
+  case TermKind::Store:
+  case TermKind::MapOr:
+  case TermKind::MapAnd:
+  case TermKind::MapDiff:
+  case TermKind::PwIte:
+    for (TermRef O : T->getArgs())
+      if (O->getSort()->isArray()) {
+        UpEdges[O].push_back(T);
+        Trail.push_back({Undo::UpEdgePush, O});
+        // A new upward edge must carry the operand's existing demands.
+        auto It = DemandedIndices.find(O);
+        if (It != DemandedIndices.end()) {
+          std::vector<TermRef> Existing = It->second;
+          for (TermRef I : Existing)
+            demand(T, I);
+        }
+        markUp(O);
+      }
+    break;
+  default:
+    break;
+  }
+}
+
+void ArrayReducer::emitLemma(TermRef L) {
+  if (!EmittedLemmas.insert(L).second)
+    return;
+  Trail.push_back({Undo::LemmaAdd, L});
+  NewLemmas.push_back(L);
+  ++Stats.NumLemmas;
+}
+
+void ArrayReducer::emitReadOverComposite(TermRef A, TermRef I) {
+  TermRef SelAI = TM.mkSelect(A, I);
+  switch (A->getKind()) {
+  case TermKind::Store: {
+    TermRef Base = A->getArg(0), J = A->getArg(1), V = A->getArg(2);
+    TermRef Same = TM.mkEq(I, J);
+    emitLemma(TM.mkImplies(Same, TM.mkEq(SelAI, V)));
+    emitLemma(TM.mkImplies(TM.mkNot(Same),
+                           TM.mkEq(SelAI, TM.mkSelect(Base, I))));
+    break;
+  }
+  case TermKind::ConstArray:
+    emitLemma(TM.mkEq(SelAI, A->getArg(0)));
+    break;
+  case TermKind::MapOr:
+    emitLemma(TM.mkEq(SelAI, TM.mkOr(TM.mkSelect(A->getArg(0), I),
+                                     TM.mkSelect(A->getArg(1), I))));
+    break;
+  case TermKind::MapAnd:
+    emitLemma(TM.mkEq(SelAI, TM.mkAnd(TM.mkSelect(A->getArg(0), I),
+                                      TM.mkSelect(A->getArg(1), I))));
+    break;
+  case TermKind::MapDiff:
+    emitLemma(TM.mkEq(SelAI,
+                      TM.mkAnd(TM.mkSelect(A->getArg(0), I),
+                               TM.mkNot(TM.mkSelect(A->getArg(1), I)))));
+    break;
+  case TermKind::PwIte: {
+    TermRef Guard = TM.mkSelect(A->getArg(0), I);
+    emitLemma(TM.mkImplies(Guard,
+                           TM.mkEq(SelAI, TM.mkSelect(A->getArg(1), I))));
+    emitLemma(TM.mkImplies(TM.mkNot(Guard),
+                           TM.mkEq(SelAI, TM.mkSelect(A->getArg(2), I))));
+    break;
+  }
+  default:
+    break;
+  }
+}
+
+void ArrayReducer::emitEqLemma(TermRef EqT, TermRef I) {
+  TermRef A = EqT->getArg(0), B = EqT->getArg(1);
+  TermRef SelEq = TM.mkEq(TM.mkSelect(A, I), TM.mkSelect(B, I));
+  if (SelEq == TM.mkTrue())
+    return;
+  emitLemma(TM.mkImplies(EqT, SelEq));
+  // Equalities between nested (set-valued) selects chain transitively;
+  // sort nesting is finite, so this terminates.
+  if (SelEq->getKind() == TermKind::Eq &&
+      SelEq->getArg(0)->getSort()->isArray())
+    considerEqAtom(SelEq);
+}
+
+void ArrayReducer::considerEqAtom(TermRef EqT) {
+  if (!EqAtoms.insert(EqT).second)
+    return;
+  Trail.push_back({Undo::EqAtomAdd, EqT});
+  TermRef A = EqT->getArg(0), B = EqT->getArg(1);
+  // Only selects that FOLD at construction need read-over-equality: const
+  // arrays (every index folds) and stores (their own index folds). Selects
+  // over the other combinators materialise as terms, so the merged
+  // equivalence class already carries their constraints.
+  bool ConstInvolved = A->getKind() == TermKind::ConstArray ||
+                       B->getKind() == TermKind::ConstArray;
+  if (ConstInvolved) {
+    TermRef NonConst = A->getKind() == TermKind::ConstArray ? B : A;
+    ConstEqIndex[NonConst].push_back(EqT);
+    Trail.push_back({Undo::ConstEqPush, NonConst});
+    auto It = DemandedIndices.find(NonConst);
+    if (It != DemandedIndices.end()) {
+      std::vector<TermRef> Existing = It->second;
+      for (TermRef I : Existing)
+        emitEqLemma(EqT, I);
+    }
+    return;
+  }
+  for (TermRef Side : {A, B})
+    if (Side->getKind() == TermKind::Store)
+      emitEqLemma(EqT, Side->getArg(1));
+}
+
+void ArrayReducer::processWork() {
+  while (!Work.empty()) {
+    auto [A, I] = Work.back();
+    Work.pop_back();
+    switch (A->getKind()) {
+    case TermKind::Store:
+      demand(A->getArg(0), I);
+      break;
+    case TermKind::MapOr:
+    case TermKind::MapAnd:
+    case TermKind::MapDiff:
+      demand(A->getArg(0), I);
+      demand(A->getArg(1), I);
+      break;
+    case TermKind::PwIte:
+      demand(A->getArg(0), I);
+      demand(A->getArg(1), I);
+      demand(A->getArg(2), I);
+      break;
+    default:
+      break;
+    }
+    if (auto It = EqAdj.find(A); It != EqAdj.end()) {
+      std::vector<TermRef> Adj = It->second;
+      for (TermRef B : Adj)
+        demand(B, I);
+    }
+    if (auto It = UpEdges.find(A); It != UpEdges.end()) {
+      std::vector<TermRef> Ups = It->second;
+      for (TermRef Up : Ups)
+        demand(Up, I);
+    }
+    if (isCompositeArray(A))
+      emitReadOverComposite(A, I);
+    if (auto It = ConstEqIndex.find(A); It != ConstEqIndex.end()) {
+      std::vector<TermRef> Eqs = It->second;
+      for (TermRef EqT : Eqs)
+        emitEqLemma(EqT, I);
+    }
+  }
+}
+
+std::vector<TermRef> ArrayReducer::assertFormula(TermRef F) {
+  assert(Work.empty() && "reentrant assertFormula");
+  NewLemmas.clear();
+  std::vector<TermRef> Inputs;
+  collectNewSubterms(F, Inputs);
+
+  // Extensionality witnesses for array equalities occurring negatively
+  // (once per equality per active level; popped witnesses re-emit with a
+  // fresh witness variable on re-assertion).
+  {
+    std::unordered_map<TermRef, int> Polarities;
+    std::set<std::pair<TermRef, int>> Seen;
+    std::vector<TermRef> NegEqs;
+    markPolarities(F, 1, Polarities, Seen, NegEqs);
+    for (TermRef EqTerm : NegEqs) {
+      if (!WitnessedNegEqs.insert(EqTerm).second)
+        continue;
+      Trail.push_back({Undo::WitnessAdd, EqTerm});
+      TermRef A = EqTerm->getArg(0), B = EqTerm->getArg(1);
+      TermRef W = TM.mkFreshVar("extw", A->getSort()->getKey());
+      // a == b  \/  a[w] != b[w]
+      TermRef L = TM.mkOr(
+          EqTerm, TM.mkNot(TM.mkEq(TM.mkSelect(A, W), TM.mkSelect(B, W))));
+      ++Stats.NumWitnesses;
+      NewLemmas.push_back(L);
+      // The witness lemma's selects seed demands like any input term.
+      collectNewSubterms(L, Inputs);
+    }
+  }
+
+  for (TermRef T : Inputs) {
+    const Sort *S = T->getSort();
+    if (S->isArray()) {
+      ++Stats.NumArrayTerms;
+      if (Eager) {
+        ArrayTermsBySort[S->getKey()].push_back(T);
+        Trail.push_back({Undo::ArrayTerm, T, nullptr, S->getKey()});
+        auto It = IndexTermsBySort.find(S->getKey());
+        if (It != IndexTermsBySort.end()) {
+          std::vector<TermRef> Idx = It->second;
+          for (TermRef I : Idx)
+            demand(T, I);
+        }
+      }
+    }
+    if (T->getKind() == TermKind::Select || T->getKind() == TermKind::Store) {
+      TermRef Index = T->getArg(1);
+      const Sort *KeySort = T->getArg(0)->getSort()->getKey();
+      if (IndexSeen.insert({KeySort, Index}).second) {
+        Trail.push_back({Undo::IndexTerm, Index, nullptr, KeySort});
+        IndexTermsBySort[KeySort].push_back(Index);
+        ++Stats.NumIndexTerms;
+        if (Eager) {
+          auto It = ArrayTermsBySort.find(KeySort);
+          if (It != ArrayTermsBySort.end()) {
+            std::vector<TermRef> Arrays = It->second;
+            for (TermRef A : Arrays)
+              demand(A, Index);
+          }
+        }
+      }
+    }
+    if (T->getKind() == TermKind::Select)
+      demand(T->getArg(0), T->getArg(1));
+    if (T->getKind() == TermKind::Eq && T->getArg(0)->getSort()->isArray()) {
+      TermRef A = T->getArg(0), B = T->getArg(1);
+      EqAdj[A].push_back(B);
+      Trail.push_back({Undo::EqAdjPush, A});
+      EqAdj[B].push_back(A);
+      Trail.push_back({Undo::EqAdjPush, B});
+      // A new equality edge carries existing demands across.
+      for (TermRef Side : {A, B}) {
+        TermRef Other = Side == A ? B : A;
+        auto It = DemandedIndices.find(Side);
+        if (It != DemandedIndices.end()) {
+          std::vector<TermRef> Idx = It->second;
+          for (TermRef I : Idx)
+            demand(Other, I);
+        }
+      }
+      markUp(A);
+      markUp(B);
+      considerEqAtom(T);
+    }
+  }
+  processWork();
+  return std::move(NewLemmas);
+}
+
+void ArrayReducer::push() {
+  assert(Work.empty() && "push mid-assertion");
+  Levels.push_back(Trail.size());
+}
+
+void ArrayReducer::pop() {
+  assert(!Levels.empty() && "pop without matching push");
+  size_t Mark = Levels.back();
+  Levels.pop_back();
+  while (Trail.size() > Mark) {
+    Undo U = Trail.back();
+    Trail.pop_back();
+    switch (U.K) {
+    case Undo::KnownTerm:
+      KnownTerms.erase(U.A);
+      break;
+    case Undo::IndexTerm:
+      IndexSeen.erase({U.S, U.A});
+      IndexTermsBySort[U.S].pop_back();
+      break;
+    case Undo::ArrayTerm:
+      ArrayTermsBySort[U.S].pop_back();
+      break;
+    case Undo::EqAdjPush:
+      EqAdj[U.A].pop_back();
+      break;
+    case Undo::UpEdgePush:
+      UpEdges[U.A].pop_back();
+      break;
+    case Undo::UpSetAdd:
+      UpSet.erase(U.A);
+      break;
+    case Undo::NeedAdd:
+      Need.erase({U.A, U.B});
+      DemandedIndices[U.A].pop_back();
+      break;
+    case Undo::EqAtomAdd:
+      EqAtoms.erase(U.A);
+      break;
+    case Undo::ConstEqPush:
+      ConstEqIndex[U.A].pop_back();
+      break;
+    case Undo::WitnessAdd:
+      WitnessedNegEqs.erase(U.A);
+      break;
+    case Undo::LemmaAdd:
+      EmittedLemmas.erase(U.A);
+      break;
+    }
+  }
 }

@@ -23,6 +23,12 @@
 
 #include "smt/Term.h"
 
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
 namespace ids {
 namespace smt {
 
@@ -50,6 +56,94 @@ TermRef reduceArrays(TermManager &TM, TermRef Formula,
 /// Replaces every non-boolean ite subterm by a fresh constant constrained
 /// by `(cond => v = then) && (!cond => v = else)` hoisted to the top level.
 TermRef liftItes(TermManager &TM, TermRef Formula);
+
+/// Incremental, level-aware variant of reduceArrays for the assertion-stack
+/// SolverContext: the demand closure (selects seed demands; demands peel
+/// through store/combinator structure, flow across array-equality atoms and
+/// up through the operand closure of equality sides) is maintained
+/// persistently across assertFormula calls, so instantiations triggered by
+/// the shared prefix are computed once and survive every query solved on
+/// top of it. push()/pop() bracket assertion levels: demands, equality
+/// edges and emitted-lemma records made above a popped level are retracted,
+/// so a later re-assertion re-derives exactly the lemmas it needs.
+///
+/// Produces the same lemma SET as the one-shot reduceArrays for the same
+/// total assertion set (the closure rules are monotone, so incremental
+/// evaluation reaches the same fixpoint); only the emission order differs.
+/// The one-shot path is kept intact as the `--no-incremental` differential
+/// baseline.
+class ArrayReducer {
+public:
+  ArrayReducer(TermManager &TM, bool Eager) : TM(TM), Eager(Eager) {}
+
+  /// Ingests an (ite-lifted, quantifier-free) assertion and returns the
+  /// reduction lemmas newly required by it, given everything asserted on
+  /// the active levels so far. The caller asserts them alongside the
+  /// formula at the current level.
+  std::vector<TermRef> assertFormula(TermRef F);
+
+  void push();
+  void pop();
+  unsigned numLevels() const { return static_cast<unsigned>(Levels.size()); }
+
+  const ArrayReductionStats &stats() const { return Stats; }
+
+private:
+  struct Undo {
+    enum Kind : uint8_t {
+      KnownTerm,
+      IndexTerm,
+      ArrayTerm,
+      EqAdjPush,
+      UpEdgePush,
+      UpSetAdd,
+      NeedAdd,
+      EqAtomAdd,
+      ConstEqPush,
+      WitnessAdd,
+      LemmaAdd,
+    };
+    Kind K;
+    TermRef A = nullptr;
+    TermRef B = nullptr;
+    const Sort *S = nullptr;
+  };
+
+  void collectNewSubterms(TermRef T, std::vector<TermRef> &Out);
+  void demand(TermRef A, TermRef I);
+  void markUp(TermRef T);
+  void considerEqAtom(TermRef EqT);
+  void emitReadOverComposite(TermRef A, TermRef I);
+  void emitEqLemma(TermRef EqT, TermRef I);
+  void emitLemma(TermRef L);
+  void processWork();
+
+  TermManager &TM;
+  const bool Eager;
+  ArrayReductionStats Stats;
+
+  std::unordered_set<TermRef> KnownTerms;
+  std::set<std::pair<const Sort *, TermRef>> IndexSeen;
+  std::map<const Sort *, std::vector<TermRef>> IndexTermsBySort;
+  std::map<const Sort *, std::vector<TermRef>> ArrayTermsBySort; // Eager
+  std::unordered_map<TermRef, std::vector<TermRef>> EqAdj;
+  std::unordered_map<TermRef, std::vector<TermRef>> UpEdges;
+  std::unordered_set<TermRef> UpSet;
+  std::set<std::pair<TermRef, TermRef>> Need;
+  std::unordered_map<TermRef, std::vector<TermRef>> DemandedIndices;
+  std::unordered_set<TermRef> EqAtoms;
+  /// Const-array equality atoms indexed by their non-constant side: a new
+  /// demand on that side must emit the read-over-equality lemma late.
+  std::unordered_map<TermRef, std::vector<TermRef>> ConstEqIndex;
+  std::unordered_set<TermRef> WitnessedNegEqs;
+  std::unordered_set<TermRef> EmittedLemmas;
+
+  std::vector<std::pair<TermRef, TermRef>> Work; // demand worklist
+  std::vector<TermRef> NewLemmas; // collected during the current assert
+
+  std::vector<Undo> Trail;
+  std::vector<size_t> Levels;
+};
 
 } // namespace smt
 } // namespace ids

@@ -27,12 +27,23 @@ int CongruenceClosure::getId(TermRef T) {
   ProofReason.push_back(Reason());
   UseLists.emplace_back();
   ValueNode.push_back(T->isValue() ? Id : -1);
+  if (!Levels.empty())
+    Trail.push_back({TrailEntry::Register, Id});
   if (!T->getArgs().empty()) {
     // Enter into the signature table and record use-lists.
-    for (TermRef Arg : T->getArgs())
-      UseLists[findRoot(Ids[Arg])].push_back(Id);
+    for (TermRef Arg : T->getArgs()) {
+      int Root = findRoot(Ids[Arg]);
+      UseLists[Root].push_back(Id);
+      if (!Levels.empty())
+        Trail.push_back({TrailEntry::UseListPush, Root});
+    }
     std::vector<int> Sig = signatureOf(Id);
-    auto [SigIt, Inserted] = SigTable.emplace(std::move(Sig), Id);
+    auto [SigIt, Inserted] = SigTable.emplace(Sig, Id);
+    if (Inserted && !Levels.empty()) {
+      Trail.push_back(
+          {TrailEntry::SigInsert, static_cast<int>(SigKeys.size())});
+      SigKeys.push_back(std::move(Sig));
+    }
     if (!Inserted && findRoot(SigIt->second) != Id) {
       Reason R;
       R.CongA = Id;
@@ -65,8 +76,14 @@ int CongruenceClosure::findRoot(int Node) {
   int Root = Node;
   while (UnionParent[Root] != Root)
     Root = UnionParent[Root];
+  bool Record = !Levels.empty();
   while (UnionParent[Node] != Root) {
     int Next = UnionParent[Node];
+    // Path compression mutates parent pointers, so under an active undo
+    // level every change is trailed (a compressed pointer may skip a root
+    // boundary that a pop re-establishes).
+    if (Record)
+      Trail.push_back({TrailEntry::Compress, Node, UnionParent[Node]});
     UnionParent[Node] = Root;
     Node = Next;
   }
@@ -101,6 +118,8 @@ bool CongruenceClosure::assertDisequal(TermRef T1, TermRef T2, int Tag) {
     return false;
   }
   Diseqs.emplace_back(A, B, Tag);
+  if (!Levels.empty())
+    Trail.push_back({TrailEntry::Diseq});
   return true;
 }
 
@@ -113,6 +132,25 @@ int CongruenceClosure::proofAncestorDepth(int Node) {
   return Depth;
 }
 
+void CongruenceClosure::rerootProofTree(int NewRoot) {
+  // Reverses every proof edge on the path from NewRoot to its current
+  // proof root, shifting the edge reasons along so each edge keeps its
+  // label. Involutive: rerooting back at the former root restores the
+  // original forest exactly (which is how Merge undo works).
+  int Prev = -1;
+  Reason PrevReason;
+  int Cur = NewRoot;
+  while (Cur != -1) {
+    int Next = ProofParent[Cur];
+    Reason NextReason = ProofReason[Cur];
+    ProofParent[Cur] = Prev;
+    ProofReason[Cur] = PrevReason;
+    Prev = Cur;
+    PrevReason = NextReason;
+    Cur = Next;
+  }
+}
+
 bool CongruenceClosure::mergeRoots(int A, int B) {
   // A and B are arbitrary nodes whose classes merge; the proof edge runs
   // between the original nodes, the union operates on the roots.
@@ -122,39 +160,24 @@ bool CongruenceClosure::mergeRoots(int A, int B) {
     std::swap(Ra, Rb);
     std::swap(A, B);
   }
-  // Reverse the proof path from A to its root so A can take B as parent.
-  {
-    int Prev = -1;
-    Reason PrevReason;
-    int Cur = A;
-    while (Cur != -1) {
-      int Next = ProofParent[Cur];
-      Reason NextReason = ProofReason[Cur];
-      ProofParent[Cur] = Prev;
-      ProofReason[Cur] = PrevReason;
-      Prev = Cur;
-      PrevReason = NextReason;
-      Cur = Next;
-    }
+  bool Record = !Levels.empty();
+  int OldProofRoot = -1;
+  if (Record) {
+    OldProofRoot = A;
+    while (ProofParent[OldProofRoot] != -1)
+      OldProofRoot = ProofParent[OldProofRoot];
   }
+  // Reverse the proof path from A to its root so A can take B as parent.
+  rerootProofTree(A);
   ProofParent[A] = B;
-  // Reason for this edge was staged by the caller in PendingReason.
+  // Reason for this edge was staged by the caller in StagedReason.
   ProofReason[A] = StagedReason;
 
   // Union: Ra (smaller) under Rb.
   UnionParent[Ra] = Rb;
   ClassSize[Rb] += ClassSize[Ra];
 
-  // Value clash detection.
-  if (ValueNode[Ra] != -1 && ValueNode[Rb] != -1 &&
-      NodeTerms[ValueNode[Ra]] != NodeTerms[ValueNode[Rb]]) {
-    Failed = true;
-    std::set<int> Tags;
-    std::set<std::pair<int, int>> Seen;
-    explainPair(ValueNode[Ra], ValueNode[Rb], Tags, Seen);
-    ConflictTags.assign(Tags.begin(), Tags.end());
-    return false;
-  }
+  int OldValueRb = ValueNode[Rb];
   if (ValueNode[Rb] == -1)
     ValueNode[Rb] = ValueNode[Ra];
 
@@ -163,7 +186,12 @@ bool CongruenceClosure::mergeRoots(int A, int B) {
   Moved.swap(UseLists[Ra]);
   for (int ParentNode : Moved) {
     std::vector<int> Sig = signatureOf(ParentNode);
-    auto [It, Inserted] = SigTable.emplace(std::move(Sig), ParentNode);
+    auto [It, Inserted] = SigTable.emplace(Sig, ParentNode);
+    if (Inserted && Record) {
+      Trail.push_back(
+          {TrailEntry::SigInsert, static_cast<int>(SigKeys.size())});
+      SigKeys.push_back(std::move(Sig));
+    }
     if (!Inserted && findRoot(It->second) != findRoot(ParentNode)) {
       Reason R;
       R.CongA = ParentNode;
@@ -171,6 +199,21 @@ bool CongruenceClosure::mergeRoots(int A, int B) {
       Pending.emplace_back(ParentNode, It->second, R);
     }
     UseLists[Rb].push_back(ParentNode);
+  }
+  if (Record)
+    Trail.push_back({TrailEntry::Merge, Ra, Rb, A, OldProofRoot, OldValueRb,
+                     static_cast<int>(Moved.size())});
+
+  // Value clash detection (after the state is fully applied, so undo sees
+  // one complete Merge entry regardless of the outcome).
+  if (ValueNode[Ra] != -1 && OldValueRb != -1 &&
+      NodeTerms[ValueNode[Ra]] != NodeTerms[OldValueRb]) {
+    Failed = true;
+    std::set<int> Tags;
+    std::set<std::pair<int, int>> Seen;
+    explainPair(ValueNode[Ra], OldValueRb, Tags, Seen);
+    ConflictTags.assign(Tags.begin(), Tags.end());
+    return false;
   }
 
   return checkDiseqsAndValues(Rb);
@@ -202,6 +245,73 @@ bool CongruenceClosure::processPending() {
       return false;
   }
   return !Failed;
+}
+
+void CongruenceClosure::push() {
+  assert(Pending.empty() && "push mid-assertion");
+  Levels.push_back({Trail.size(), SigKeys.size(), Failed, ConflictTags});
+}
+
+void CongruenceClosure::pop() {
+  assert(!Levels.empty() && "pop without matching push");
+  LevelMark M = std::move(Levels.back());
+  Levels.pop_back();
+  Pending.clear();
+  undoTo(M.TrailSize);
+  SigKeys.resize(M.SigKeysSize);
+  Failed = M.Failed;
+  ConflictTags = std::move(M.ConflictTags);
+}
+
+void CongruenceClosure::undoTo(size_t TrailSize) {
+  while (Trail.size() > TrailSize) {
+    TrailEntry E = Trail.back();
+    Trail.pop_back();
+    switch (E.K) {
+    case TrailEntry::Register: {
+      assert(E.A == static_cast<int>(NodeTerms.size()) - 1 &&
+             "registrations must unwind in stack order");
+      Ids.erase(NodeTerms[E.A]);
+      NodeTerms.pop_back();
+      UnionParent.pop_back();
+      ClassSize.pop_back();
+      ProofParent.pop_back();
+      ProofReason.pop_back();
+      UseLists.pop_back();
+      ValueNode.pop_back();
+      break;
+    }
+    case TrailEntry::UseListPush:
+      UseLists[E.A].pop_back();
+      break;
+    case TrailEntry::SigInsert:
+      SigTable.erase(SigKeys[E.A]);
+      break;
+    case TrailEntry::Merge: {
+      // Reverse of mergeRoots: restore use-lists, value node, union, and
+      // the proof forest orientation.
+      std::vector<int> &LB = UseLists[E.B];
+      std::vector<int> &LA = UseLists[E.A];
+      assert(LA.empty() && "absorbed root's use-list must still be empty");
+      LA.insert(LA.end(), LB.end() - E.F, LB.end());
+      LB.erase(LB.end() - E.F, LB.end());
+      ValueNode[E.B] = E.E;
+      ClassSize[E.B] -= ClassSize[E.A];
+      UnionParent[E.A] = E.A;
+      ProofParent[E.C] = -1;
+      ProofReason[E.C] = Reason();
+      if (E.D != E.C)
+        rerootProofTree(E.D);
+      break;
+    }
+    case TrailEntry::Diseq:
+      Diseqs.pop_back();
+      break;
+    case TrailEntry::Compress:
+      UnionParent[E.A] = E.B;
+      break;
+    }
+  }
 }
 
 bool CongruenceClosure::areEqual(TermRef T1, TermRef T2) {

@@ -31,11 +31,23 @@
 namespace ids {
 namespace smt {
 
-/// Congruence closure with explanations. Assert-only (no backtracking); the
-/// SMT driver builds a fresh instance per theory check.
+/// Congruence closure with explanations and a trail-based undo stack:
+/// push() opens a backtracking level, pop() undoes every registration,
+/// merge, disequality, signature entry and path compression performed
+/// above it (Failed state included). The persistent theory engine uses
+/// one level per synced SAT-trail literal so consecutive theory checks
+/// only re-assert the diverging suffix of the assignment instead of
+/// rebuilding the closure from scratch.
 class CongruenceClosure {
 public:
   explicit CongruenceClosure(TermManager &TM) : TM(TM) {}
+
+  /// Opens an undo level.
+  void push();
+  /// Undoes everything since the matching push (including a conflict
+  /// entered above it).
+  void pop();
+  unsigned numLevels() const { return static_cast<unsigned>(Levels.size()); }
 
   /// Registers \p T and all subterms. Idempotent.
   void registerTerm(TermRef T);
@@ -89,6 +101,31 @@ private:
     int CongB = -1;
   };
 
+  /// One undoable mutation. Entries are replayed in reverse on pop().
+  struct TrailEntry {
+    enum Kind : uint8_t {
+      Register, ///< node A was created
+      UseListPush, ///< a parent was pushed onto UseLists[A]
+      SigInsert,   ///< SigIdx names the inserted key (in SigKeys)
+      Merge,       ///< class of root A absorbed into root B; C is the
+                   ///< proof child, D its former proof root, E the former
+                   ///< ValueNode[B], F the number of use-list entries moved
+      Diseq,       ///< a disequality was appended
+      Compress,    ///< UnionParent[A] changed from B (path compression)
+    };
+    Kind K;
+    int A = -1, B = -1, C = -1, D = -1, E = -1, F = 0;
+  };
+  struct LevelMark {
+    size_t TrailSize;
+    size_t SigKeysSize;
+    bool Failed;
+    std::vector<int> ConflictTags;
+  };
+
+  void undoTo(size_t TrailSize);
+  void rerootProofTree(int NewRoot);
+
   TermManager &TM;
   std::unordered_map<TermRef, int> Ids;
   std::vector<TermRef> NodeTerms;
@@ -102,6 +139,12 @@ private:
   std::vector<std::tuple<int, int, int>> Diseqs; // (a, b, tag)
   std::vector<std::tuple<int, int, Reason>> Pending;
   Reason StagedReason; // reason of the merge currently being applied
+
+  std::vector<TrailEntry> Trail;
+  /// Keys of signature-table insertions, referenced by SigInsert entries
+  /// (kept separately so TrailEntry stays POD-sized).
+  std::vector<std::vector<int>> SigKeys;
+  std::vector<LevelMark> Levels;
 
   bool Failed = false;
   std::vector<int> ConflictTags;

@@ -18,6 +18,8 @@ Var SatSolver::newVar() {
   Assign.push_back(LBool::Undef);
   Level.push_back(0);
   ReasonIdx.push_back(-1);
+  RootAssertLevel.push_back(0);
+  VarOcc.push_back(0);
   Activity.push_back(0.0);
   SavedPhase.push_back(false);
   SeenBuffer.push_back(0);
@@ -35,15 +37,66 @@ void SatSolver::attachClause(int Idx) {
   Watches[C.Lits[1].Code].push_back({Idx, C.Lits[0]});
 }
 
+void SatSolver::detachClause(int Idx) {
+  Clause &C = Clauses[Idx];
+  for (int W = 0; W < 2; ++W) {
+    std::vector<Watcher> &List = Watches[C.Lits[W].Code];
+    for (size_t I = 0; I < List.size(); ++I)
+      if (List[I].ClauseIdx == Idx) {
+        List[I] = List.back();
+        List.pop_back();
+        break;
+      }
+  }
+}
+
+void SatSolver::bumpOcc(const std::vector<Lit> &Lits, int Delta) {
+  for (Lit L : Lits) {
+    Var V = L.var();
+    VarOcc[V] += Delta;
+    // A 0 -> 1 transition revives a variable that pickBranchLit may have
+    // discarded from the (lazy) heap while it was unconstrained.
+    if (Delta > 0 && VarOcc[V] == 1) {
+      Heap.push_back({Activity[V], V});
+      std::push_heap(Heap.begin(), Heap.end());
+    }
+  }
+}
+
+int SatSolver::allocClause(std::vector<Lit> Lits, bool Learned,
+                           unsigned AssertLevel) {
+  bumpOcc(Lits, +1);
+  int Idx;
+  if (!FreeClauseSlots.empty()) {
+    Idx = FreeClauseSlots.back();
+    FreeClauseSlots.pop_back();
+    Clauses[Idx] = {std::move(Lits), Learned, false, false, AssertLevel};
+  } else {
+    Idx = static_cast<int>(Clauses.size());
+    Clauses.push_back({std::move(Lits), Learned, false, false, AssertLevel});
+  }
+  ++NumLiveClauses;
+  return Idx;
+}
+
+void SatSolver::markUnsat(unsigned Level_) {
+  if (UnsatAssertLevel < 0 || static_cast<unsigned>(UnsatAssertLevel) > Level_)
+    UnsatAssertLevel = static_cast<int>(Level_);
+}
+
 bool SatSolver::addClause(std::vector<Lit> Lits) {
   assert(currentLevel() == 0 && "clauses must be added at level zero");
-  if (Unsat)
+  if (unsatAtCurrentLevel())
     return false;
-  // Simplify: drop duplicate/false literals, detect tautologies.
+  // Simplify: drop duplicate/false literals, detect tautologies. Root
+  // assignments consulted here were all derived at assertion levels at or
+  // below the current one (assertions only happen at the top level), so
+  // the simplified clause is valid exactly as long as its own level.
   std::sort(Lits.begin(), Lits.end(),
             [](Lit A, Lit B) { return A.Code < B.Code; });
   Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
   std::vector<Lit> Kept;
+  unsigned ClauseLevel = CurrentAssertLevel;
   for (size_t I = 0; I < Lits.size(); ++I) {
     if (I + 1 < Lits.size() && Lits[I + 1] == ~Lits[I])
       return true; // tautology
@@ -54,19 +107,24 @@ bool SatSolver::addClause(std::vector<Lit> Lits) {
       Kept.push_back(Lits[I]);
   }
   if (Kept.empty()) {
-    Unsat = true;
+    markUnsat(ClauseLevel);
     return false;
   }
   if (Kept.size() == 1) {
+    // The unit conclusion rests on the clause plus the dropped root-false
+    // literals; record that so a later pop can retract the assignment.
+    // (All contributing levels are <= ClauseLevel; being exact does not
+    // matter here, only soundness of retraction.)
     enqueue(Kept[0], -1);
+    RootAssertLevel[Kept[0].var()] = ClauseLevel;
     if (propagate() != -1) {
-      Unsat = true;
+      markUnsat(CurrentAssertLevel);
       return false;
     }
     return true;
   }
-  Clauses.push_back({std::move(Kept), false});
-  attachClause(static_cast<int>(Clauses.size()) - 1);
+  int Idx = allocClause(std::move(Kept), false, ClauseLevel);
+  attachClause(Idx);
   return true;
 }
 
@@ -76,6 +134,21 @@ void SatSolver::enqueue(Lit L, int Reason) {
   Assign[V] = L.negated() ? LBool::False : LBool::True;
   Level[V] = currentLevel();
   ReasonIdx[V] = Reason;
+  if (currentLevel() == 0) {
+    // Root assignment: track the assertion level it depends on so pops can
+    // retract exactly the assignments that lose their justification.
+    unsigned AL = 0;
+    if (Reason >= 0) {
+      const Clause &C = Clauses[Reason];
+      AL = C.AssertLevel;
+      for (Lit Q : C.Lits)
+        if (Q.var() != V)
+          AL = std::max(AL, RootAssertLevel[Q.var()]);
+    } else {
+      AL = CurrentAssertLevel;
+    }
+    RootAssertLevel[V] = AL;
+  }
   Trail.push_back(L);
 }
 
@@ -143,7 +216,7 @@ void SatSolver::bumpVar(Var V) {
 void SatSolver::decayActivities() { VarInc *= (1.0 / 0.95); }
 
 void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &LearnedOut,
-                        int &BacktrackLevel) {
+                        int &BacktrackLevel, unsigned &AssertLevelOut) {
   LearnedOut.clear();
   LearnedOut.push_back(Lit()); // slot for the asserting (1UIP) literal
   std::vector<char> &Seen = SeenBuffer;
@@ -153,16 +226,25 @@ void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &LearnedOut,
   bool HaveP = false;
   size_t TrailIdx = Trail.size();
   int Reason = ConflictIdx;
+  // The learned clause is derived by resolution from the conflicting
+  // clause, the reason clauses, and the root-false literals it drops; its
+  // assertion level is the max over all of them.
+  AssertLevelOut = 0;
 
   do {
     assert(Reason != -1 && "conflict analysis ran past a decision");
     Clause &C = Clauses[Reason];
+    AssertLevelOut = std::max(AssertLevelOut, C.AssertLevel);
     for (Lit Q : C.Lits) {
       if (HaveP && Q == P)
         continue;
       Var V = Q.var();
-      if (Seen[V] || Level[V] == 0)
+      if (Seen[V])
         continue;
+      if (Level[V] == 0) {
+        AssertLevelOut = std::max(AssertLevelOut, RootAssertLevel[V]);
+        continue;
+      }
       Seen[V] = 1;
       bumpVar(V);
       if (Level[V] == currentLevel())
@@ -217,7 +299,9 @@ Lit SatSolver::pickBranchLit() {
     auto [Act, V] = Heap.back();
     Heap.pop_back();
     (void)Act;
-    if (Assign[V] == LBool::Undef)
+    // Variables with no live clause are unconstrained: leaving them
+    // unassigned keeps popped levels' atoms out of the theory entirely.
+    if (Assign[V] == LBool::Undef && VarOcc[V] > 0)
       return Lit(V, !SavedPhase[V]);
   }
   return Lit();
@@ -225,15 +309,21 @@ Lit SatSolver::pickBranchLit() {
 
 bool SatSolver::learnConflict(std::vector<Lit> Lits) {
   ++TheoryConflicts;
-  // Literals false at level 0 are permanently false and cannot help.
+  // A theory conflict clause is theory-valid over its atoms: it depends on
+  // no input clause at all, so its base assertion level is 0 and it is
+  // retained across pops (lemma reuse). Dropping literals that are false
+  // at level 0 reintroduces a dependency on their root justification.
+  unsigned AssertLv = 0;
   std::vector<Lit> Final;
   for (Lit L : Lits) {
     assert(value(L) == LBool::False && "theory conflict literal not false");
     if (Level[L.var()] > 0)
       Final.push_back(L);
+    else
+      AssertLv = std::max(AssertLv, RootAssertLevel[L.var()]);
   }
   if (Final.empty()) {
-    Unsat = true;
+    markUnsat(AssertLv);
     return false;
   }
   // Find the two highest levels.
@@ -244,16 +334,15 @@ bool SatSolver::learnConflict(std::vector<Lit> Lits) {
   bool TopUnique = Final.size() == 1 || Level[Final[1].var()] < TopLevel;
   if (Final.size() == 1) {
     backtrack(0);
-    Clauses.push_back({Final, true});
     enqueue(Final[0], -1);
+    RootAssertLevel[Final[0].var()] = AssertLv;
     if (propagate() != -1) {
-      Unsat = true;
+      markUnsat(CurrentAssertLevel);
       return false;
     }
     return true;
   }
-  int ClauseIdx = static_cast<int>(Clauses.size());
-  Clauses.push_back({Final, true});
+  int ClauseIdx = allocClause(Final, true, AssertLv);
   attachClause(ClauseIdx);
   if (TopUnique) {
     // Asserting clause: jump to the second-highest level and propagate.
@@ -264,6 +353,67 @@ bool SatSolver::learnConflict(std::vector<Lit> Lits) {
     backtrack(TopLevel - 1);
   }
   return true;
+}
+
+unsigned SatSolver::pushAssertLevel() {
+  assert(currentLevel() == 0 && "push during search");
+  return ++CurrentAssertLevel;
+}
+
+void SatSolver::popAssertLevel() {
+  assert(CurrentAssertLevel > 0 && "pop without matching push");
+  backtrack(0);
+  unsigned NewLevel = --CurrentAssertLevel;
+
+  // Retract clauses above the new level; count retained learned clauses
+  // (the theory lemmas whose derivations survived).
+  for (size_t Idx = 0; Idx < Clauses.size(); ++Idx) {
+    Clause &C = Clauses[Idx];
+    if (C.Dead)
+      continue;
+    if (C.AssertLevel > NewLevel) {
+      if (C.Lits.size() >= 2)
+        detachClause(static_cast<int>(Idx));
+      bumpOcc(C.Lits, -1);
+      C.Dead = true;
+      C.Lits.clear();
+      C.Lits.shrink_to_fit();
+      --NumLiveClauses;
+      FreeClauseSlots.push_back(static_cast<int>(Idx));
+    } else if (C.Learned && !C.CountedRetained) {
+      ++LemmasRetained;
+      C.CountedRetained = true;
+    }
+  }
+
+  // Retract root assignments whose justification depended on a popped
+  // level. Surviving entries keep their order; propagation is replayed
+  // from scratch on the next solve (idempotent and cheap relative to a
+  // query).
+  std::vector<Lit> NewTrail;
+  NewTrail.reserve(Trail.size());
+  for (Lit L : Trail) {
+    Var V = L.var();
+    if (RootAssertLevel[V] <= NewLevel) {
+      // Reason clauses of surviving entries may have been freed and their
+      // slots reused; the reason is never consulted again at level 0, but
+      // scrub it so no stale index can ever be dereferenced.
+      ReasonIdx[V] = -1;
+      NewTrail.push_back(L);
+      continue;
+    }
+    SavedPhase[V] = Assign[V] == LBool::True;
+    Assign[V] = LBool::Undef;
+    ReasonIdx[V] = -1;
+    Heap.push_back({Activity[V], V});
+    std::push_heap(Heap.begin(), Heap.end());
+  }
+  Trail = std::move(NewTrail);
+  PropagateHead = 0;
+
+  if (UnsatAssertLevel >= 0 &&
+      static_cast<unsigned>(UnsatAssertLevel) > NewLevel)
+    UnsatAssertLevel = -1;
 }
 
 uint64_t SatSolver::luby(uint64_t I) {
@@ -283,8 +433,10 @@ uint64_t SatSolver::luby(uint64_t I) {
 }
 
 SatSolver::Result SatSolver::solve(TheoryCallback *Theory) {
-  if (Unsat)
+  if (unsatAtCurrentLevel())
     return Result::Unsat;
+  backtrack(0);
+  PropagateHead = 0; // replay root propagation (clauses may have changed)
   uint64_t RestartCount = 0;
   uint64_t ConflictBudget = 128 * luby(RestartCount);
   uint64_t ConflictsThisRestart = 0;
@@ -295,18 +447,20 @@ SatSolver::Result SatSolver::solve(TheoryCallback *Theory) {
       ++Conflicts;
       ++ConflictsThisRestart;
       if (currentLevel() == 0) {
-        Unsat = true;
+        markUnsat(CurrentAssertLevel);
         return Result::Unsat;
       }
       std::vector<Lit> Learned;
       int BtLevel = 0;
-      analyze(ConflictIdx, Learned, BtLevel);
+      unsigned AssertLv = 0;
+      analyze(ConflictIdx, Learned, BtLevel, AssertLv);
       backtrack(BtLevel);
       if (Learned.size() == 1) {
         enqueue(Learned[0], -1);
+        if (currentLevel() == 0)
+          RootAssertLevel[Learned[0].var()] = AssertLv;
       } else {
-        int Idx = static_cast<int>(Clauses.size());
-        Clauses.push_back({std::move(Learned), true});
+        int Idx = allocClause(std::move(Learned), true, AssertLv);
         attachClause(Idx);
         enqueue(Clauses[Idx].Lits[0], Idx);
       }

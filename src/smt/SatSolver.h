@@ -15,6 +15,15 @@
 /// theory stack) that is learned and search resumes. This is terminating:
 /// each theory clause removes at least one total assignment.
 ///
+/// The clause database is organized in assertion levels for incremental
+/// solving (pushAssertLevel / popAssertLevel): every clause carries the
+/// assertion level it depends on, and popping a level retracts exactly the
+/// clauses above it. Learned clauses record the maximum assertion level of
+/// their antecedents, so a lemma derived purely from theory reasoning and
+/// level-0 input (assertion level 0) survives every pop — this is what lets
+/// an incremental SolverContext reuse theory lemmas across queries that
+/// share an assertion-stack prefix.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IDS_SMT_SATSOLVER_H
@@ -62,8 +71,10 @@ public:
   virtual bool onFullModel(std::vector<Lit> &ConflictOut) = 0;
 };
 
-/// CDCL solver. Not reusable across solve() calls with removed clauses,
-/// but supports repeated solve() with monotonically added clauses.
+/// CDCL solver with an assertion-level clause database. One-shot callers
+/// ignore the level API entirely (everything lives at level 0 and behaves
+/// monotonically); incremental callers bracket clause additions with
+/// pushAssertLevel / popAssertLevel and may interleave solve() calls.
 class SatSolver {
 public:
   enum class Result { Sat, Unsat };
@@ -72,13 +83,35 @@ public:
   Var newVar();
   int numVars() const { return static_cast<int>(Assign.size()); }
 
-  /// Adds a clause; returns false if the solver is already unsatisfiable
-  /// at level zero. Must be called at decision level zero (fresh solver or
-  /// between solve() calls).
+  /// Adds a clause at the current assertion level; returns false if the
+  /// solver is unsatisfiable at the current level. Must be called at
+  /// decision level zero (fresh solver, between solve() calls, or after
+  /// resetToRoot()).
   bool addClause(std::vector<Lit> Lits);
 
-  /// Runs CDCL search. \p Theory may be null for pure SAT.
+  /// Runs CDCL search. \p Theory may be null for pure SAT. After a Sat
+  /// result the assignment is left in place for model reads; call
+  /// resetToRoot() before mutating the clause database again.
   Result solve(TheoryCallback *Theory = nullptr);
+
+  // ------------------------------------------------- Assertion levels --
+  /// Opens a new assertion level; clauses added from now on are retracted
+  /// by the matching popAssertLevel().
+  unsigned pushAssertLevel();
+  /// Retracts every clause (input and learned) whose derivation depends on
+  /// the top assertion level, unassigns root literals implied by them, and
+  /// clears an "unsat at level" verdict that rested on the popped level.
+  void popAssertLevel();
+  unsigned assertLevel() const { return CurrentAssertLevel; }
+  /// Undoes any in-progress search state (decision levels) so the clause
+  /// database can be mutated. Idempotent.
+  void resetToRoot() { backtrack(0); }
+  /// True when the instance is unsatisfiable at the current assertion
+  /// level (a refutation was derived from clauses at or below it).
+  bool unsatAtCurrentLevel() const {
+    return UnsatAssertLevel >= 0 &&
+           UnsatAssertLevel <= static_cast<int>(CurrentAssertLevel);
+  }
 
   /// Model access after Sat.
   bool modelValue(Var V) const {
@@ -93,16 +126,35 @@ public:
     return B ? LBool::True : LBool::False;
   }
 
+  /// The assignment trail (assigned literals in propagation order). The
+  /// persistent theory engine uses it to sync its backtrackable state to
+  /// the longest unchanged prefix between consecutive full models.
+  const std::vector<Lit> &trail() const { return Trail; }
+
   // Statistics (exposed for the micro-bench harness).
   uint64_t numConflicts() const { return Conflicts; }
   uint64_t numDecisions() const { return Decisions; }
   uint64_t numPropagations() const { return Propagations; }
   uint64_t numTheoryConflicts() const { return TheoryConflicts; }
+  /// Distinct learned clauses that survived at least one pop: the
+  /// measurable payoff of assertion-level-0 theory lemmas. Each lemma
+  /// counts once (at the first pop it outlives), so the metric reflects
+  /// reusable lemmas, not lemmas x pops.
+  uint64_t numLemmasRetained() const { return LemmasRetained; }
+  /// Live clauses in the database (dead slots excluded).
+  unsigned numClauses() const { return NumLiveClauses; }
 
 private:
   struct Clause {
     std::vector<Lit> Lits;
     bool Learned = false;
+    bool Dead = false;
+    /// Already counted toward LemmasRetained (each lemma counts once, at
+    /// the first pop it survives).
+    bool CountedRetained = false;
+    /// Maximum assertion level of the clauses this one was derived from
+    /// (== the level it was added at, for input clauses).
+    unsigned AssertLevel = 0;
   };
   struct Watcher {
     int ClauseIdx;
@@ -113,24 +165,39 @@ private:
   /// Returns the index of a conflicting clause, or -1.
   int propagate();
   void analyze(int ConflictIdx, std::vector<Lit> &LearnedOut,
-               int &BacktrackLevel);
+               int &BacktrackLevel, unsigned &AssertLevelOut);
   void backtrack(int Level);
   Lit pickBranchLit();
   void bumpVar(Var V);
   void decayActivities();
   void attachClause(int Idx);
+  void detachClause(int Idx);
+  int allocClause(std::vector<Lit> Lits, bool Learned, unsigned AssertLevel);
   int currentLevel() const { return static_cast<int>(TrailLim.size()); }
   /// Learns a clause whose literals are all currently false (theory
-  /// conflict), backjumping appropriately. Returns false on level-0
-  /// refutation.
+  /// conflict), backjumping appropriately. Returns false on a refutation
+  /// at the current assertion level.
   bool learnConflict(std::vector<Lit> Lits);
+  /// Records a refutation valid at assertion level \p Level.
+  void markUnsat(unsigned Level);
   static uint64_t luby(uint64_t I);
 
+  void bumpOcc(const std::vector<Lit> &Lits, int Delta);
+
   std::vector<Clause> Clauses;
+  std::vector<int> FreeClauseSlots;
+  /// Live-clause occurrence count per variable. A variable with no live
+  /// occurrence is unconstrained — the search never branches on it, so
+  /// atoms whose clauses all died with popped levels stay unassigned and
+  /// cost the theory engines nothing (stale-atom suppression).
+  std::vector<unsigned> VarOcc;
   std::vector<std::vector<Watcher>> Watches; // indexed by Lit.Code
   std::vector<LBool> Assign;
   std::vector<int> Level;
   std::vector<int> ReasonIdx; // clause index or -1
+  /// Assertion level a root (decision-level-0) assignment depends on;
+  /// meaningful only while Level[V] == 0 and V is assigned.
+  std::vector<unsigned> RootAssertLevel;
   std::vector<Lit> Trail;
   std::vector<int> TrailLim;
   size_t PropagateHead = 0;
@@ -140,11 +207,15 @@ private:
   std::vector<std::pair<double, Var>> Heap; // lazy max-heap with stale entries
   double VarInc = 1.0;
 
-  bool Unsat = false;
+  unsigned CurrentAssertLevel = 0;
+  /// Lowest assertion level at which a refutation was derived, or -1.
+  int UnsatAssertLevel = -1;
+  unsigned NumLiveClauses = 0;
   uint64_t Conflicts = 0;
   uint64_t Decisions = 0;
   uint64_t Propagations = 0;
   uint64_t TheoryConflicts = 0;
+  uint64_t LemmasRetained = 0;
 
   std::vector<char> SeenBuffer; // scratch for analyze()
 };

@@ -5,34 +5,32 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The SMT solver facade: decides quantifier-free formulas over the
-/// combination of EUF, linear Int/Rat arithmetic and the generalized array
-/// fragment — the decidable combination the paper's verification
+/// The one-shot SMT solver facade: decides quantifier-free formulas over
+/// the combination of EUF, linear Int/Rat arithmetic and the generalized
+/// array fragment — the decidable combination the paper's verification
 /// conditions live in (Section 3.7). Architecture:
 ///
 ///   formula --(quantifier instantiation; RQ3 mode only)-->
 ///           --(ite lifting)--> --(eager array reduction)-->
 ///           --(Tseitin CNF)--> CDCL SAT core
 ///
-/// and on every full propositional assignment, a theory check runs
-/// congruence closure and simplex to fixpoint with Nelson-Oppen style
-/// equality exchange; conflicts come back as small explanation clauses.
-/// Sat answers are validated by evaluating the original formula under the
-/// constructed model before being reported.
+/// and on every full propositional assignment, a theory check
+/// (TheoryEngine, one-shot mode) runs congruence closure and simplex to
+/// fixpoint with Nelson-Oppen style equality exchange; conflicts come
+/// back as small explanation clauses. Sat answers are validated by
+/// evaluating the original formula under the constructed model before
+/// being reported.
+///
+/// For incremental solving (push/pop/assert with shared-prefix reuse) see
+/// SolverContext.h; this class remains the fresh-solve baseline that
+/// `--no-incremental` falls back to.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef IDS_SMT_SOLVER_H
 #define IDS_SMT_SOLVER_H
 
-#include "smt/ArithSolver.h"
-#include "smt/ArrayReduction.h"
-#include "smt/CongruenceClosure.h"
-#include "smt/Model.h"
-#include "smt/SatSolver.h"
-#include "smt/Term.h"
-
-#include <memory>
+#include "smt/TheoryEngine.h"
 
 namespace ids {
 namespace smt {
@@ -40,77 +38,22 @@ namespace smt {
 /// One-shot SMT solver over a TermManager.
 class Solver {
 public:
-  enum class Result { Sat, Unsat, Unknown };
+  using Result = SolverResult;
+  using Options = SolverOptions;
+  using Stats = SolverStats;
 
-  struct Options {
-    /// Permit Forall terms and run ground instantiation first (the
-    /// "Dafny-style" encoding of RQ3). Off by default: QF-mode asserts
-    /// quantifier-freeness, mirroring the paper's cross-check.
-    bool AllowQuantifiers = false;
-    unsigned QuantRounds = 2;
-    unsigned MaxInstPerQuant = 2048;
-    /// Iterations of model repair (index-collision separation) before
-    /// giving up on the query (Result::Unknown).
-    unsigned MaxModelRepairIters = 8;
-    /// Resource budget: give up (Result::Unknown) after this many theory
-    /// checks. 0 means unlimited. Exhaustion is reported explicitly —
-    /// bounded resources, not unpredictable divergence.
-    uint64_t MaxTheoryChecks = 0;
-    /// Wall-clock budget per checkSat call in seconds (0 = unlimited).
-    double TimeoutSeconds = 0;
-    /// Use the blind (quadratic) array instantiation instead of the
-    /// relevancy-driven one. The VC pipeline escalates to this when the
-    /// relevancy-driven attempt reports Unknown.
-    bool EagerArrayInstantiation = false;
-  };
-
-  struct Stats {
-    uint64_t TheoryChecks = 0;
-    uint64_t SatConflicts = 0;
-    uint64_t SatDecisions = 0;
-    uint64_t TheoryConflicts = 0;
-    uint64_t EqualitiesPropagated = 0;
-    uint64_t ModelRepairs = 0;
-    /// Queries abandoned (Unknown) because model construction failed with
-    /// no sound explanation clause available. Formerly these emitted an
-    /// unjustified blocking clause, which could manufacture a wrong Unsat.
-    uint64_t ModelGiveUps = 0;
-    uint64_t Instantiations = 0;
-    unsigned NumAtoms = 0;
-    ArrayReductionStats ArrayStats;
-  };
-
-  explicit Solver(TermManager &TM, Options O);
+  explicit Solver(TermManager &TM, Options O) : Core(TM, std::move(O)) {}
   explicit Solver(TermManager &TM) : Solver(TM, Options()) {}
-  ~Solver();
 
   /// Decides satisfiability of \p Formula. One shot per Solver instance.
   Result checkSat(TermRef Formula);
 
   /// The model after a Sat result.
-  const Model &model() const { return CurrentModel; }
-  const Stats &stats() const { return St; }
+  const Model &model() const { return Core.CurrentModel; }
+  const Stats &stats() const { return Core.St; }
 
 private:
-  friend class TheoryCheck;
-
-  TermManager &TM;
-  Options Opts;
-  Stats St;
-  Model CurrentModel;
-
-  // CNF state.
-  sat::SatSolver Sat;
-  std::unordered_map<TermRef, int> LitCache; // term -> Lit.Code (positive)
-  std::vector<TermRef> Atoms;
-  std::unordered_map<TermRef, int> AtomIndex;
-  std::vector<sat::Var> AtomVar;
-  TermRef EvalFormula = nullptr; // pre-reduction formula for the safety net
-
-  sat::Lit litFor(TermRef T);
-  void buildCnf(TermRef F);
-  bool BudgetExhausted = false;
-  double SolveDeadline = 0; // monotonic seconds; 0 = none
+  SolverCore Core;
 };
 
 } // namespace smt

@@ -1,0 +1,146 @@
+//===- smt/SolverContext.cpp - Incremental SMT solving --------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SolverContext.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ids;
+using namespace ids::smt;
+
+SolverContext::SolverContext(TermManager &TM, SolverOptions O)
+    : Core(TM, std::move(O)),
+      Reducer(TM, Core.Opts.EagerArrayInstantiation),
+      Engine(Core, /*Persistent=*/true) {
+  assert(!Core.Opts.AllowQuantifiers &&
+         "SolverContext is quantifier-free only");
+  LevelAsserts.emplace_back();
+  Core.EncodingLog = &EncodingLog;
+}
+
+SolverContext::~SolverContext() = default;
+
+void SolverContext::push() {
+  if (NeedReset) {
+    Core.Sat.resetToRoot();
+    NeedReset = false;
+  }
+  Core.Sat.pushAssertLevel();
+  Reducer.push();
+  LevelAsserts.emplace_back();
+  EncodingMarks.push_back(EncodingLog.size());
+}
+
+void SolverContext::pop() {
+  assert(LevelAsserts.size() > 1 && "pop without matching push");
+  Core.Sat.resetToRoot();
+  NeedReset = false;
+  Core.Sat.popAssertLevel();
+  Reducer.pop();
+  LevelAsserts.pop_back();
+  // Invalidate Tseitin encodings whose defining clauses just died.
+  size_t Mark = EncodingMarks.back();
+  EncodingMarks.pop_back();
+  while (EncodingLog.size() > Mark) {
+    Core.LitCache.erase(EncodingLog.back());
+    EncodingLog.pop_back();
+  }
+}
+
+void SolverContext::assertTerm(TermRef F) {
+  assert(!Core.TM.containsQuantifier(F) &&
+         "quantifier asserted into a QF context");
+  if (NeedReset) {
+    Core.Sat.resetToRoot();
+    NeedReset = false;
+  }
+  TermRef Lifted = liftItes(Core.TM, F);
+  LevelAsserts.back().push_back(Lifted);
+  std::vector<TermRef> Lemmas = Reducer.assertFormula(Lifted);
+  sat::Lit Root = Core.litFor(Lifted);
+  Core.Sat.addClause({Root});
+  for (TermRef L : Lemmas) {
+    sat::Lit LL = Core.litFor(L);
+    Core.Sat.addClause({LL});
+  }
+}
+
+SolverContext::Result SolverContext::checkSat() {
+  if (NeedReset) {
+    Core.Sat.resetToRoot();
+    NeedReset = false;
+  }
+  // Per-check counter windows (level-safe stats: deltas, not cumulative
+  // bleed-through).
+  uint64_t ChecksBefore = Core.St.TheoryChecks;
+  uint64_t GiveUpsBefore = Core.St.ModelGiveUps;
+  uint64_t ReusedBefore = Core.St.TheoryAssertsReused;
+  uint64_t RetainedBefore = Core.Sat.numLemmasRetained();
+  Core.BudgetExhausted = false;
+  Core.TheoryCheckBase = Core.St.TheoryChecks;
+  Core.SolveDeadline =
+      Core.Opts.TimeoutSeconds == 0
+          ? 0
+          : std::chrono::duration<double>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                    .count() +
+                Core.Opts.TimeoutSeconds;
+
+  // The evaluation safety net sees exactly the active assertions.
+  std::vector<TermRef> Active;
+  for (const std::vector<TermRef> &Lvl : LevelAsserts)
+    for (TermRef T : Lvl)
+      Active.push_back(T);
+  Core.EvalFormula = Core.TM.mkAnd(std::move(Active));
+  Core.St.NumAtoms = static_cast<unsigned>(Core.Atoms.size());
+
+  Result R;
+  if (Core.EvalFormula == Core.TM.mkFalse()) {
+    R = Result::Unsat;
+  } else if (Core.Sat.unsatAtCurrentLevel()) {
+    R = Result::Unsat;
+  } else if (Core.EvalFormula == Core.TM.mkTrue()) {
+    R = Result::Sat;
+    Core.CurrentModel = Model();
+  } else {
+    if (getenv("IDS_SMT_DEBUG"))
+      fprintf(stderr,
+              "[smt] incremental check: level=%u atoms=%zu satvars=%d "
+              "clauses=%u lemmas=%u\n",
+              Core.Sat.assertLevel(), Core.Atoms.size(), Core.Sat.numVars(),
+              Core.Sat.numClauses(), Reducer.stats().NumLemmas);
+    sat::SatSolver::Result SR = Core.Sat.solve(&Engine);
+    NeedReset = true;
+    Core.St.SatConflicts = Core.Sat.numConflicts();
+    Core.St.SatDecisions = Core.Sat.numDecisions();
+    Core.St.TheoryConflicts = Core.Sat.numTheoryConflicts();
+    if (Core.BudgetExhausted)
+      R = Result::Unknown;
+    else
+      R = SR == sat::SatSolver::Result::Unsat ? Result::Unsat : Result::Sat;
+  }
+
+  Core.St.LemmasRetained = Core.Sat.numLemmasRetained();
+  Core.St.ArrayStats = Reducer.stats();
+  LastCheck.R = R;
+  LastCheck.TheoryChecks = Core.St.TheoryChecks - ChecksBefore;
+  LastCheck.ModelGiveUps = Core.St.ModelGiveUps - GiveUpsBefore;
+  LastCheck.TheoryAssertsReused = Core.St.TheoryAssertsReused - ReusedBefore;
+  LastCheck.LemmasRetained = Core.Sat.numLemmasRetained() - RetainedBefore;
+  LastCheck.NumAtoms = static_cast<unsigned>(Core.Atoms.size());
+  LastCheck.NumArrayLemmas = Reducer.stats().NumLemmas;
+  return R;
+}
+
+SolverContext::Result SolverContext::checkSatAssuming(TermRef Assumption) {
+  push();
+  assertTerm(Assumption);
+  Result R = checkSat();
+  pop();
+  return R;
+}

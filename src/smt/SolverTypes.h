@@ -1,0 +1,72 @@
+//===- smt/SolverTypes.h - Shared solver options/stats ---------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Result/options/statistics types shared by the one-shot Solver and the
+/// incremental SolverContext (and the TheoryEngine underneath both).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SMT_SOLVERTYPES_H
+#define IDS_SMT_SOLVERTYPES_H
+
+#include "smt/ArrayReduction.h"
+
+#include <cstdint>
+
+namespace ids {
+namespace smt {
+
+enum class SolverResult { Sat, Unsat, Unknown };
+
+struct SolverOptions {
+  /// Permit Forall terms and run ground instantiation first (the
+  /// "Dafny-style" encoding of RQ3). Off by default: QF-mode asserts
+  /// quantifier-freeness, mirroring the paper's cross-check.
+  bool AllowQuantifiers = false;
+  unsigned QuantRounds = 2;
+  unsigned MaxInstPerQuant = 2048;
+  /// Iterations of model repair (index-collision separation) before
+  /// giving up on the query (SolverResult::Unknown).
+  unsigned MaxModelRepairIters = 8;
+  /// Resource budget: give up (SolverResult::Unknown) after this many
+  /// theory checks per check call. 0 means unlimited. Exhaustion is
+  /// reported explicitly — bounded resources, not unpredictable
+  /// divergence.
+  uint64_t MaxTheoryChecks = 0;
+  /// Wall-clock budget per checkSat call in seconds (0 = unlimited).
+  double TimeoutSeconds = 0;
+  /// Use the blind (quadratic) array instantiation instead of the
+  /// relevancy-driven one. The VC pipeline escalates to this when the
+  /// relevancy-driven attempt reports Unknown.
+  bool EagerArrayInstantiation = false;
+};
+
+struct SolverStats {
+  uint64_t TheoryChecks = 0;
+  uint64_t SatConflicts = 0;
+  uint64_t SatDecisions = 0;
+  uint64_t TheoryConflicts = 0;
+  uint64_t EqualitiesPropagated = 0;
+  uint64_t ModelRepairs = 0;
+  /// Queries abandoned (Unknown) because model construction failed with
+  /// no sound explanation clause available. Formerly these emitted an
+  /// unjustified blocking clause, which could manufacture a wrong Unsat.
+  uint64_t ModelGiveUps = 0;
+  uint64_t Instantiations = 0;
+  unsigned NumAtoms = 0;
+  /// Incremental-context counters: atom assertions skipped because the
+  /// persistent theory engines were already synced to a shared SAT-trail
+  /// prefix, and learned clauses retained across pops (theory lemmas).
+  uint64_t TheoryAssertsReused = 0;
+  uint64_t LemmasRetained = 0;
+  ArrayReductionStats ArrayStats;
+};
+
+} // namespace smt
+} // namespace ids
+
+#endif // IDS_SMT_SOLVERTYPES_H

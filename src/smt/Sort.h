@@ -57,6 +57,11 @@ public:
     return Value;
   }
 
+  /// Manager-independent structural fingerprint (equal sorts in different
+  /// TermManagers fingerprint equally). Feeds the interned-term DAG hash
+  /// behind QueryCache keys.
+  uint64_t getFingerprint() const { return Fingerprint; }
+
   std::string toString() const;
 
 private:
@@ -68,6 +73,7 @@ private:
   std::string Name;         // Uninterpreted only
   const Sort *Key = nullptr;   // Array only
   const Sort *Value = nullptr; // Array only
+  uint64_t Fingerprint = 0;    // set by TermManager at creation
 };
 
 /// An interned uninterpreted function declaration (used by Apply terms).
@@ -77,6 +83,8 @@ public:
   const std::string &getName() const { return Name; }
   const std::vector<const Sort *> &getArgSorts() const { return ArgSorts; }
   const Sort *getRetSort() const { return RetSort; }
+  /// Manager-independent structural fingerprint (name + signature).
+  uint64_t getFingerprint() const { return Fingerprint; }
 
 private:
   friend class TermManager;
@@ -88,6 +96,7 @@ private:
   std::string Name;
   std::vector<const Sort *> ArgSorts;
   const Sort *RetSort;
+  uint64_t Fingerprint = 0; // set by TermManager at creation
 };
 
 } // namespace smt

@@ -34,9 +34,32 @@ std::string Sort::toString() const {
   return "<bad-sort>";
 }
 
+namespace {
+/// 64-bit mixer for the structural DAG hashes (splitmix64 finalizer).
+uint64_t structMix(uint64_t H, uint64_t V) {
+  H ^= V + 0x9e3779b97f4a7c15ull + (H << 12) + (H >> 4);
+  H = (H ^ (H >> 30)) * 0xbf58476d1ce4e5b9ull;
+  H = (H ^ (H >> 27)) * 0x94d049bb133111ebull;
+  return H ^ (H >> 31);
+}
+
+uint64_t sortFingerprintOf(SortKind K, const std::string &Name,
+                           const Sort *Key, const Sort *Value) {
+  uint64_t H = structMix(0x51d0f00du, static_cast<uint64_t>(K));
+  if (!Name.empty())
+    H = structMix(H, std::hash<std::string>()(Name));
+  if (Key)
+    H = structMix(H, Key->getFingerprint());
+  if (Value)
+    H = structMix(H, Value->getFingerprint());
+  return H;
+}
+} // namespace
+
 TermManager::TermManager() {
   auto MakeSort = [&](SortKind K) {
     Sorts.emplace_back(new Sort(K, "", nullptr, nullptr));
+    Sorts.back()->Fingerprint = sortFingerprintOf(K, "", nullptr, nullptr);
     return Sorts.back().get();
   };
   BoolSort = MakeSort(SortKind::Bool);
@@ -60,6 +83,8 @@ const Sort *TermManager::getUninterpretedSort(const std::string &Name) {
   if (It != NamedSorts.end())
     return It->second;
   Sorts.emplace_back(new Sort(SortKind::Uninterpreted, Name, nullptr, nullptr));
+  Sorts.back()->Fingerprint =
+      sortFingerprintOf(SortKind::Uninterpreted, Name, nullptr, nullptr);
   const Sort *S = Sorts.back().get();
   NamedSorts.emplace(Name, S);
   return S;
@@ -71,6 +96,8 @@ const Sort *TermManager::getArraySort(const Sort *Key, const Sort *Value) {
   if (It != NamedSorts.end())
     return It->second;
   Sorts.emplace_back(new Sort(SortKind::Array, "", Key, Value));
+  Sorts.back()->Fingerprint =
+      sortFingerprintOf(SortKind::Array, "", Key, Value);
   const Sort *S = Sorts.back().get();
   NamedSorts.emplace(Mangled, S);
   return S;
@@ -87,6 +114,14 @@ const FuncDecl *TermManager::getFuncDecl(const std::string &Name,
     return It->second;
   }
   Decls.emplace_back(new FuncDecl(Name, std::move(ArgSorts), RetSort));
+  {
+    FuncDecl *D = Decls.back().get();
+    uint64_t H = structMix(0xdec1u, std::hash<std::string>()(D->Name));
+    H = structMix(H, D->RetSort->getFingerprint());
+    for (const Sort *A : D->ArgSorts)
+      H = structMix(H, A->getFingerprint());
+    D->Fingerprint = H;
+  }
   const FuncDecl *D = Decls.back().get();
   NamedDecls.emplace(Name, D);
   return D;
@@ -119,6 +154,40 @@ TermRef TermManager::intern(Term &&Node) {
     if (equalTerm(*Existing, Node))
       return Existing;
   Node.Id = NextId++;
+  // Structural DAG hash: two independently seeded 64-bit mixes over the
+  // node's kind, payload and the (already computed) child hashes. O(1)
+  // per node since children are interned first.
+  for (int Half = 0; Half < 2; ++Half) {
+    uint64_t SH = structMix(Half == 0 ? 0x1d5a11ceull : 0xc0dedbadull,
+                            static_cast<uint64_t>(Node.Kind));
+    switch (Node.Kind) {
+    case TermKind::Var:
+      SH = structMix(SH, std::hash<std::string>()(Node.Name));
+      SH = structMix(SH, Node.SortPtr->getFingerprint());
+      break;
+    case TermKind::IntConst:
+      SH = structMix(SH, Node.IntVal.hash());
+      break;
+    case TermKind::RatConst:
+      SH = structMix(SH, Node.RatVal.hash());
+      break;
+    case TermKind::Apply:
+      SH = structMix(SH, Node.Decl->getFingerprint());
+      break;
+    case TermKind::ConstArray:
+      SH = structMix(SH, Node.SortPtr->getFingerprint());
+      break;
+    default:
+      break;
+    }
+    for (TermRef Arg : Node.Args)
+      SH = structMix(SH, Half == 0 ? Arg->getStructHashLo()
+                                   : Arg->getStructHashHi());
+    for (TermRef BV : Node.Bound)
+      SH = structMix(SH, Half == 0 ? BV->getStructHashLo()
+                                   : BV->getStructHashHi());
+    (Half == 0 ? Node.StructHashLo : Node.StructHashHi) = SH;
+  }
   Terms.emplace_back(new Term(std::move(Node)));
   TermRef Result = Terms.back().get();
   Bucket.push_back(Result);

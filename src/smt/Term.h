@@ -120,6 +120,15 @@ public:
            Kind == TermKind::IntConst || Kind == TermKind::RatConst;
   }
 
+  /// 128-bit structural DAG hash, computed once at interning time from the
+  /// node's kind/payload and its children's hashes. Manager-independent:
+  /// structurally identical DAGs built in different TermManagers hash
+  /// equally. QueryCache uses the pair as the cache key directly, which
+  /// replaces the former O(formula-size) canonical-string build per
+  /// lookup with an O(1) read.
+  uint64_t getStructHashLo() const { return StructHashLo; }
+  uint64_t getStructHashHi() const { return StructHashHi; }
+
 private:
   friend class TermManager;
   Term() = default;
@@ -127,6 +136,8 @@ private:
   TermKind Kind = TermKind::True;
   const Sort *SortPtr = nullptr;
   unsigned Id = 0;
+  uint64_t StructHashLo = 0;
+  uint64_t StructHashHi = 0;
   std::vector<TermRef> Args;
   std::string Name;
   BigInt IntVal;

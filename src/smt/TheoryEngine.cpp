@@ -1,0 +1,767 @@
+//===- smt/TheoryEngine.cpp - DPLL(T) theory integration ------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/TheoryEngine.h"
+
+#include "smt/TermPrinter.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ids;
+using namespace ids::smt;
+
+namespace {
+/// Kind test: boolean terms that become SAT structure rather than atoms.
+bool isBoolStructure(TermRef T) {
+  switch (T->getKind()) {
+  case TermKind::Not:
+  case TermKind::And:
+  case TermKind::Or:
+    return true;
+  case TermKind::Ite:
+    return T->getSort()->isBool();
+  case TermKind::Eq:
+    return T->getArg(0)->getSort()->isBool();
+  default:
+    return false;
+  }
+}
+} // namespace
+
+sat::Lit SolverCore::litFor(TermRef T) {
+  if (T->getKind() == TermKind::Not)
+    return ~litFor(T->getArg(0));
+  auto It = LitCache.find(T);
+  if (It != LitCache.end()) {
+    sat::Lit L;
+    L.Code = It->second;
+    return L;
+  }
+  sat::Lit Result;
+  if (T->getKind() == TermKind::True || T->getKind() == TermKind::False) {
+    sat::Var V = Sat.newVar();
+    Result = sat::Lit(V, /*Negated=*/T->getKind() == TermKind::False);
+    Sat.addClause({sat::Lit(V, T->getKind() == TermKind::False)});
+  } else if (isBoolStructure(T)) {
+    sat::Var V = Sat.newVar();
+    Result = sat::Lit(V, false);
+    switch (T->getKind()) {
+    case TermKind::And: {
+      std::vector<sat::Lit> Long = {Result};
+      for (TermRef A : T->getArgs()) {
+        sat::Lit LA = litFor(A);
+        Sat.addClause({~Result, LA});
+        Long.push_back(~LA);
+      }
+      Sat.addClause(std::move(Long));
+      break;
+    }
+    case TermKind::Or: {
+      std::vector<sat::Lit> Long = {~Result};
+      for (TermRef A : T->getArgs()) {
+        sat::Lit LA = litFor(A);
+        Sat.addClause({Result, ~LA});
+        Long.push_back(LA);
+      }
+      Sat.addClause(std::move(Long));
+      break;
+    }
+    case TermKind::Eq: { // iff
+      sat::Lit X = litFor(T->getArg(0));
+      sat::Lit Y = litFor(T->getArg(1));
+      Sat.addClause({~Result, ~X, Y});
+      Sat.addClause({~Result, X, ~Y});
+      Sat.addClause({Result, X, Y});
+      Sat.addClause({Result, ~X, ~Y});
+      break;
+    }
+    case TermKind::Ite: {
+      sat::Lit Cond = litFor(T->getArg(0));
+      sat::Lit Th = litFor(T->getArg(1));
+      sat::Lit El = litFor(T->getArg(2));
+      Sat.addClause({~Result, ~Cond, Th});
+      Sat.addClause({~Result, Cond, El});
+      Sat.addClause({Result, ~Cond, ~Th});
+      Sat.addClause({Result, Cond, ~El});
+      break;
+    }
+    default:
+      break;
+    }
+  } else {
+    // Theory atom.
+    sat::Var V = Sat.newVar();
+    Result = sat::Lit(V, false);
+    AtomIndex.emplace(T, static_cast<int>(Atoms.size()));
+    Atoms.push_back(T);
+    AtomVar.push_back(V);
+    LitCache.emplace(T, Result.Code);
+    return Result;
+  }
+  if (EncodingLog)
+    EncodingLog->push_back(T);
+  LitCache.emplace(T, Result.Code);
+  return Result;
+}
+
+namespace ids::smt {
+/// Tag for the artificial x != y separations asserted during model repair
+/// (index-collision splitting). Negative so expandTags never leaks it into
+/// a learned clause; conflict cores containing it must not become theory
+/// lemmas (the separation is not an input constraint).
+constexpr int SeparationTag = -7;
+} // namespace ids::smt
+
+TheoryEngine::TheoryEngine(SolverCore &C, bool Persistent)
+    : C(C), TM(C.TM), Persistent(Persistent) {
+  if (Persistent) {
+    CC = std::make_unique<CongruenceClosure>(TM);
+    Arith = std::make_unique<ArithSolver>();
+  }
+}
+
+TheoryEngine::~TheoryEngine() = default;
+
+LinTerm TheoryEngine::polyOf(TermRef T) {
+  LinTerm Result;
+  switch (T->getKind()) {
+  case TermKind::IntConst:
+    Result.Const = Rational(T->getIntValue());
+    return Result;
+  case TermKind::RatConst:
+    Result.Const = T->getRatValue();
+    return Result;
+  case TermKind::Add: {
+    for (TermRef A : T->getArgs()) {
+      LinTerm Sub = polyOf(A);
+      Result.Const += Sub.Const;
+      for (const auto &[V, Coeff] : Sub.Coeffs)
+        Result.add(V, Coeff);
+    }
+    return Result;
+  }
+  case TermKind::Mul: {
+    TermRef CT = T->getArg(0);
+    Rational Coeff = CT->getKind() == TermKind::IntConst
+                         ? Rational(CT->getIntValue())
+                         : CT->getRatValue();
+    LinTerm Sub = polyOf(T->getArg(1));
+    Result.Const = Sub.Const * Coeff;
+    for (const auto &[V, SubCoeff] : Sub.Coeffs)
+      Result.add(V, SubCoeff * Coeff);
+    return Result;
+  }
+  default:
+    // Opaque numeric term (Var / Select / Apply).
+    Result.add(arithVarFor(T), Rational(1));
+    return Result;
+  }
+}
+
+int TheoryEngine::arithVarFor(TermRef T) {
+  auto It = ArithVars.find(T);
+  if (It != ArithVars.end())
+    return It->second;
+  CC->registerTerm(T);
+  int V;
+  auto VIt = VarOfTerm.find(T);
+  if (VIt != VarOfTerm.end()) {
+    V = VIt->second; // re-asserted after a pop: reuse the variable
+  } else {
+    V = Arith->addVar(T->getSort()->isInt());
+    VarOfTerm.emplace(T, V);
+  }
+  ArithVars.emplace(T, V);
+  OpaqueNumeric.push_back(T);
+  return V;
+}
+
+int TheoryEngine::newCompositeTag(const std::set<int> &Expl) {
+  int Tag = static_cast<int>(C.Atoms.size() + CompositeExpl.size());
+  CompositeExpl.emplace_back(Expl.begin(), Expl.end());
+  return Tag;
+}
+
+void TheoryEngine::expandTags(const std::set<int> &In,
+                              std::set<int> &Out) const {
+  std::vector<int> Work(In.begin(), In.end());
+  std::set<int> Seen;
+  int Base = static_cast<int>(C.Atoms.size());
+  while (!Work.empty()) {
+    int T = Work.back();
+    Work.pop_back();
+    if (T < 0 || !Seen.insert(T).second)
+      continue;
+    if (T < Base) {
+      Out.insert(T);
+      continue;
+    }
+    for (int Sub : CompositeExpl[T - Base])
+      Work.push_back(Sub);
+  }
+}
+
+void TheoryEngine::clauseFromTags(const std::set<int> &Tags,
+                                  std::vector<sat::Lit> &Out) const {
+  std::set<int> AtomTags;
+  expandTags(Tags, AtomTags);
+  Out.clear();
+  for (int T : AtomTags) {
+    bool V = atomValue(T);
+    // The clause negates the current assignment of this atom.
+    Out.push_back(sat::Lit(C.AtomVar[T], /*Negated=*/V));
+  }
+}
+
+bool TheoryEngine::assertOneAtom(int AtomIdx,
+                                 std::vector<sat::Lit> &ConflictOut) {
+  TermRef A = C.Atoms[AtomIdx];
+  bool V = atomValue(AtomIdx);
+  int Tag = AtomIdx;
+  switch (A->getKind()) {
+  case TermKind::Eq: {
+    TermRef X = A->getArg(0), Y = A->getArg(1);
+    CC->registerTerm(X);
+    CC->registerTerm(Y);
+    bool Ok = V ? CC->assertEqual(X, Y, Tag)
+                : CC->assertDisequal(X, Y, Tag);
+    if (X->getSort()->isNumeric()) {
+      LinTerm P = polyOf(X);
+      LinTerm R = polyOf(Y);
+      P.Const -= R.Const;
+      for (const auto &[Var, Coeff] : R.Coeffs)
+        P.add(Var, -Coeff);
+      Arith->assertAtom(P, V ? ArithSolver::Op::Eq : ArithSolver::Op::Ne,
+                        Tag);
+    }
+    if (!Ok || CC->inConflict()) {
+      std::set<int> Tags(CC->conflictTags().begin(),
+                         CC->conflictTags().end());
+      clauseFromTags(Tags, ConflictOut);
+      return false;
+    }
+    break;
+  }
+  case TermKind::Le:
+  case TermKind::Lt: {
+    TermRef X = A->getArg(0), Y = A->getArg(1);
+    bool IsLe = A->getKind() == TermKind::Le;
+    LinTerm P;
+    ArithSolver::Op O;
+    auto Sub = [&](TermRef Lhs, TermRef Rhs) {
+      LinTerm L = polyOf(Lhs);
+      LinTerm R = polyOf(Rhs);
+      L.Const -= R.Const;
+      for (const auto &[Var, Coeff] : R.Coeffs)
+        L.add(Var, -Coeff);
+      return L;
+    };
+    if (V) {
+      P = Sub(X, Y);
+      O = IsLe ? ArithSolver::Op::Le : ArithSolver::Op::Lt;
+    } else {
+      P = Sub(Y, X);
+      O = IsLe ? ArithSolver::Op::Lt : ArithSolver::Op::Le;
+    }
+    if (O == ArithSolver::Op::Lt && X->getSort()->isInt()) {
+      P.Const += Rational(1);
+      O = ArithSolver::Op::Le;
+    }
+    Arith->assertAtom(P, O, Tag);
+    break;
+  }
+  default: {
+    // Boolean opaque atom: Var / Select / Apply of Bool sort.
+    assert(A->getSort()->isBool());
+    CC->registerTerm(A);
+    bool Ok = CC->assertEqual(A, V ? TM.mkTrue() : TM.mkFalse(), Tag);
+    if (!Ok || CC->inConflict()) {
+      std::set<int> Tags(CC->conflictTags().begin(),
+                         CC->conflictTags().end());
+      clauseFromTags(Tags, ConflictOut);
+      return false;
+    }
+    break;
+  }
+  }
+  return true;
+}
+
+bool TheoryEngine::equalityFixpoint(std::vector<sat::Lit> &ConflictOut) {
+  for (;;) {
+    bool Changed = false;
+    // CC -> arithmetic: equalities between opaque numeric terms.
+    std::map<TermRef, std::vector<TermRef>> Classes;
+    for (TermRef T : OpaqueNumeric)
+      Classes[CC->representative(T)].push_back(T);
+    for (auto &[Root, Members] : Classes) {
+      for (size_t I = 1; I < Members.size(); ++I) {
+        TermRef X = Members[0], Y = Members[I];
+        auto Key = std::minmax(X, Y);
+        if (!AssertedCCEqualities.insert({Key.first, Key.second}).second)
+          continue;
+        std::set<int> Expl;
+        CC->explainEquality(X, Y, Expl);
+        int CTag = newCompositeTag(Expl);
+        LinTerm P;
+        P.add(ArithVars[X], Rational(1));
+        P.add(ArithVars[Y], Rational(-1));
+        Arith->assertAtom(P, ArithSolver::Op::Eq, CTag);
+        Changed = true;
+        ++C.St.EqualitiesPropagated;
+      }
+    }
+    std::set<int> Core;
+    ArithSolver::Result AR = Arith->check(Core);
+    if (AR == ArithSolver::Result::Unsat) {
+      if (Core.count(SeparationTag)) {
+        // The contradiction leans on an artificial model-repair
+        // separation (x != y asserted under SeparationTag), which
+        // expandTags would silently drop — the resulting lemma over the
+        // real atoms alone would be stronger than justified. A blocking
+        // clause is no better: it would claim the whole assignment has
+        // no theory model when only our separation was at fault. Give up
+        // on this query explicitly.
+        ++C.St.ModelGiveUps;
+        C.BudgetExhausted = true;
+        return true;
+      }
+      clauseFromTags(Core, ConflictOut);
+      return false;
+    }
+    if (AR == ArithSolver::Result::Unknown) {
+      // Branch-and-bound budget exhausted: stop the search and let
+      // checkSat() report Unknown rather than loop on an undecided check.
+      C.BudgetExhausted = true;
+      return true;
+    }
+    // Arithmetic -> CC: probe forced equalities among model-equal opaques.
+    // Only terms feeding congruence (select/store indices, apply args)
+    // matter for the exchange; probing every numeric term is quadratic
+    // noise.
+    computeInterfaceTerms();
+    std::map<std::pair<const Sort *, Rational>, std::vector<TermRef>>
+        Buckets;
+    for (TermRef T : OpaqueNumeric)
+      if (InterfaceTerms.count(T))
+        Buckets[{T->getSort(), Arith->modelValue(ArithVars[T])}]
+            .push_back(T);
+    for (auto &[Key, Members] : Buckets) {
+      for (size_t I = 0; I < Members.size(); ++I) {
+        for (size_t J = I + 1; J < Members.size(); ++J) {
+          TermRef X = Members[I], Y = Members[J];
+          if (CC->areEqual(X, Y))
+            continue;
+          std::set<int> Expl;
+          bool ProbeUnknown = false;
+          if (!Arith->probeForcedEqual(ArithVars[X], ArithVars[Y], Expl,
+                                       &ProbeUnknown)) {
+            if (ProbeUnknown) {
+              // Undecided probe: a missed forced equality can cascade
+              // into a bogus blocking clause, so give up explicitly.
+              C.BudgetExhausted = true;
+              return true;
+            }
+            continue;
+          }
+          int CTag = newCompositeTag(Expl);
+          if (!CC->assertEqual(X, Y, CTag)) {
+            std::set<int> Tags(CC->conflictTags().begin(),
+                               CC->conflictTags().end());
+            clauseFromTags(Tags, ConflictOut);
+            return false;
+          }
+          Changed = true;
+          ++C.St.EqualitiesPropagated;
+        }
+      }
+    }
+    if (!Changed)
+      return true;
+  }
+}
+
+void TheoryEngine::computeInterfaceTerms() {
+  InterfaceTerms.clear();
+  ConstIndexValues.clear();
+  auto Consider = [&](TermRef A) {
+    if (!A->getSort()->isNumeric())
+      return;
+    if (A->getKind() == TermKind::IntConst)
+      ConstIndexValues.emplace(
+          std::make_pair(A->getSort(), Rational(A->getIntValue())), A);
+    else if (A->getKind() == TermKind::RatConst)
+      ConstIndexValues.emplace(std::make_pair(A->getSort(), A->getRatValue()),
+                               A);
+    else {
+      // Interface terms must exist as arithmetic opaques even when no
+      // atom mentions them directly (a nested index like `a[a[x]]`'s
+      // inner select): the model builder keys array entries by their
+      // values, and collision repair can only separate terms the
+      // simplex knows. Composite linear indices (x + 1) stay composite,
+      // but their opaque leaves get variables so separation can reach
+      // them.
+      if (A->getKind() == TermKind::Add || A->getKind() == TermKind::Mul)
+        (void)polyOf(A);
+      else
+        arithVarFor(A);
+      InterfaceTerms.insert(A);
+    }
+  };
+  for (TermRef T : CC->terms()) {
+    switch (T->getKind()) {
+    case TermKind::Select:
+    case TermKind::Store:
+      Consider(T->getArg(1));
+      break;
+    case TermKind::Apply:
+      for (TermRef A : T->getArgs())
+        Consider(A);
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+Value TheoryEngine::valueOfTerm(TermRef T) {
+  auto It = TermValues.find(T);
+  if (It != TermValues.end())
+    return It->second;
+  Value V;
+  const Sort *S_ = T->getSort();
+  if (T->getKind() == TermKind::IntConst) {
+    V = Value::ofInt(T->getIntValue());
+  } else if (T->getKind() == TermKind::RatConst) {
+    V = Value::ofRat(T->getRatValue());
+  } else if (T->getKind() == TermKind::True) {
+    V = Value::ofBool(true);
+  } else if (T->getKind() == TermKind::False) {
+    V = Value::ofBool(false);
+  } else if (S_->isNumeric()) {
+    // Composite arithmetic terms (e.g. `k + 1` used as a set index) are
+    // evaluated structurally; opaque ones come from the simplex model.
+    if (T->getKind() == TermKind::Add) {
+      Rational Sum;
+      for (TermRef A : T->getArgs()) {
+        Value AV = valueOfTerm(A);
+        Sum += AV.K == Value::Kind::Int ? Rational(AV.I) : AV.R;
+      }
+      V = S_->isInt() ? Value::ofInt(Sum.numerator()) : Value::ofRat(Sum);
+    } else if (T->getKind() == TermKind::Mul) {
+      Value CV = valueOfTerm(T->getArg(0));
+      Value AV = valueOfTerm(T->getArg(1));
+      Rational Coeff = CV.K == Value::Kind::Int ? Rational(CV.I) : CV.R;
+      Rational A = AV.K == Value::Kind::Int ? Rational(AV.I) : AV.R;
+      Rational Prod = Coeff * A;
+      V = S_->isInt() ? Value::ofInt(Prod.numerator()) : Value::ofRat(Prod);
+    } else {
+      auto AIt = ArithVars.find(T);
+      V = AIt != ArithVars.end()
+              ? (S_->isInt() ? Value::ofInt(Arith->modelValue(AIt->second)
+                                                .numerator())
+                             : Value::ofRat(Arith->modelValue(AIt->second)))
+              : Model::defaultFor(S_);
+    }
+  } else if (S_->isBool()) {
+    auto AIt = C.AtomIndex.find(T);
+    if (AIt != C.AtomIndex.end() && atomAssigned(AIt->second))
+      V = Value::ofBool(atomValue(AIt->second));
+    else if (CC->areEqual(T, TM.mkTrue()))
+      V = Value::ofBool(true);
+    else
+      V = Value::ofBool(false);
+  } else if (S_->isUninterpreted()) {
+    TermRef Root = CC->isRegistered(T) ? CC->representative(T) : T;
+    auto LIt = LocIds.find(Root);
+    int64_t Id;
+    if (LIt != LocIds.end()) {
+      Id = LIt->second;
+    } else {
+      Id = (Root == TM.mkNil() || CC->areEqual(Root, TM.mkNil())) ? 0
+                                                                  : NextLocId++;
+      LocIds.emplace(Root, Id);
+    }
+    V = Value::ofLoc(Id);
+  } else {
+    assert(S_->isArray());
+    TermRef Root = CC->isRegistered(T) ? CC->representative(T) : T;
+    V = buildClassArray(Root);
+  }
+  TermValues.emplace(T, V);
+  return V;
+}
+
+Value TheoryEngine::buildClassArray(TermRef Root) {
+  auto It = ClassArrays.find(Root);
+  if (It != ClassArrays.end())
+    return It->second;
+  auto Arr = std::make_shared<ArrayValue>();
+  Arr->Default = Model::defaultFor(Root->getSort()->getValue());
+  // Pre-insert to break recursion on (impossible, but safe) cycles.
+  ClassArrays.emplace(Root, Value::ofArray(Arr));
+  for (TermRef T : CC->terms()) {
+    if (T->getKind() != TermKind::Select)
+      continue;
+    TermRef Base = T->getArg(0);
+    if (!CC->areEqual(Base, Root))
+      continue;
+    Value Key = valueOfTerm(T->getArg(1));
+    Value Val = valueOfTerm(T);
+    auto EIt = Arr->Entries.find(Key);
+    if (EIt != Arr->Entries.end())
+      continue; // colliding entry; separateCollisions recomputes the pairs
+
+    if (!(Val == Arr->Default))
+      Arr->Entries.emplace(std::move(Key), std::move(Val));
+  }
+  Value Result = Value::ofArray(Arr);
+  ClassArrays[Root] = Result;
+  return Result;
+}
+
+void TheoryEngine::buildModel() {
+  TermValues.clear();
+  ClassArrays.clear();
+  LocIds.clear();
+  NextLocId = 1;
+  Model M;
+  // Give nil its id first so it prints as nil.
+  if (CC->isRegistered(TM.mkNil()))
+    LocIds.emplace(CC->representative(TM.mkNil()), 0);
+
+  // Collect leaf terms needing assignments: vars and opaque applications
+  // registered anywhere (CC terms, atoms, arith opaques).
+  auto Assign = [&](TermRef T) {
+    if (T->getKind() != TermKind::Var && T->getKind() != TermKind::Apply)
+      return;
+    M.set(T, valueOfTerm(T));
+  };
+  for (TermRef T : CC->terms())
+    Assign(T);
+  for (TermRef T : OpaqueNumeric)
+    Assign(T);
+  for (TermRef A : C.Atoms) {
+    Assign(A);
+    for (TermRef Sub : A->getArgs())
+      Assign(Sub);
+  }
+  // Pure-SAT boolean variables (stale unassigned atoms keep whatever the
+  // term-value pass gave them).
+  for (size_t I = 0; I < C.Atoms.size(); ++I)
+    if (C.Atoms[I]->getKind() == TermKind::Var &&
+        atomAssigned(static_cast<int>(I)))
+      M.set(C.Atoms[I], Value::ofBool(atomValue(static_cast<int>(I))));
+  C.CurrentModel = std::move(M);
+}
+
+void TheoryEngine::popTheoryLevel() {
+  CC->pop();
+  Arith->pop();
+  size_t Target = LevelOpaqueSize.back();
+  LevelOpaqueSize.pop_back();
+  while (OpaqueNumeric.size() > Target) {
+    ArithVars.erase(OpaqueNumeric.back());
+    OpaqueNumeric.pop_back();
+  }
+}
+
+size_t TheoryEngine::syncToTrail() {
+  if (ScratchPushed) {
+    popTheoryLevel();
+    ScratchPushed = false;
+  }
+  // var -> atom map: vars and atoms are append-only, so extend only the
+  // tail added since the last sync (this runs on every theory check).
+  VarToAtom.resize(static_cast<size_t>(C.Sat.numVars()), -1);
+  for (size_t A = MappedAtoms; A < C.AtomVar.size(); ++A)
+    VarToAtom[C.AtomVar[A]] = static_cast<int>(A);
+  MappedAtoms = C.AtomVar.size();
+  // Project the SAT trail onto theory atoms (assignment order).
+  CurAtomTrail.clear();
+  for (sat::Lit L : C.Sat.trail()) {
+    int A = VarToAtom[L.var()];
+    if (A >= 0)
+      CurAtomTrail.push_back({A, !L.negated()});
+  }
+  size_t K = 0;
+  while (K < SyncedAtoms.size() && K < CurAtomTrail.size() &&
+         SyncedAtoms[K] == CurAtomTrail[K])
+    ++K;
+  while (SyncedAtoms.size() > K) {
+    popTheoryLevel();
+    SyncedAtoms.pop_back();
+  }
+  return K;
+}
+
+bool TheoryEngine::onFullModel(std::vector<sat::Lit> &ConflictOut) {
+  ++C.St.TheoryChecks;
+  if (C.Opts.MaxTheoryChecks != 0 &&
+      C.St.TheoryChecks - C.TheoryCheckBase > C.Opts.MaxTheoryChecks) {
+    // Budget exhausted: accept the propositional model to stop the
+    // search; checkSat() reports Unknown.
+    C.BudgetExhausted = true;
+    return true;
+  }
+  if (C.SolveDeadline != 0 &&
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count() > C.SolveDeadline) {
+    C.BudgetExhausted = true;
+    return true;
+  }
+  if (getenv("IDS_SMT_DEBUG") && C.St.TheoryChecks % 25 == 1)
+    fprintf(stderr,
+            "[smt] theory check #%llu (conflicts %llu, give-ups %llu, "
+            "repairs %llu)\n",
+            (unsigned long long)C.St.TheoryChecks,
+            (unsigned long long)C.Sat.numConflicts(),
+            (unsigned long long)C.St.ModelGiveUps,
+            (unsigned long long)C.St.ModelRepairs);
+
+  CompositeExpl.clear();
+  AssertedCCEqualities.clear();
+  if (!Persistent) {
+    // One-shot mode: rebuild the theory engines for this assignment.
+    CC = std::make_unique<CongruenceClosure>(TM);
+    Arith = std::make_unique<ArithSolver>();
+    ArithVars.clear();
+    OpaqueNumeric.clear();
+    VarOfTerm.clear();
+    for (size_t I = 0; I < C.Atoms.size(); ++I)
+      if (!assertOneAtom(static_cast<int>(I), ConflictOut))
+        return false;
+  } else {
+    // Persistent mode: pop to the longest common trail prefix and assert
+    // only the diverging suffix, one undo level per atom.
+    size_t K = syncToTrail();
+    C.St.TheoryAssertsReused += K;
+    for (size_t I = K; I < CurAtomTrail.size(); ++I) {
+      CC->push();
+      Arith->push();
+      LevelOpaqueSize.push_back(OpaqueNumeric.size());
+      SyncedAtoms.push_back(CurAtomTrail[I]);
+      if (!assertOneAtom(CurAtomTrail[I].first, ConflictOut))
+        return false;
+    }
+    // Everything below is assignment-specific (exchange equalities,
+    // probes, repair separations, branch cuts left by Sat checks): scratch
+    // level, popped at the start of the next sync.
+    CC->push();
+    Arith->push();
+    LevelOpaqueSize.push_back(OpaqueNumeric.size());
+    ScratchPushed = true;
+  }
+  if (CC->inConflict()) {
+    std::set<int> Tags(CC->conflictTags().begin(), CC->conflictTags().end());
+    clauseFromTags(Tags, ConflictOut);
+    return false;
+  }
+  if (!equalityFixpoint(ConflictOut))
+    return false;
+  if (C.BudgetExhausted)
+    return true;
+
+  // Model construction with index-collision repair.
+  for (unsigned Iter = 0; Iter <= C.Opts.MaxModelRepairIters; ++Iter) {
+    buildModel();
+    Value V = C.CurrentModel.eval(C.EvalFormula);
+    if (V.K == Value::Kind::Bool && V.B)
+      return true; // genuine model
+    ++C.St.ModelRepairs;
+    if (getenv("IDS_SMT_DEBUG") && C.St.ModelRepairs <= 4) {
+      unsigned Shown = 0;
+      for (size_t I = 0; I < C.Atoms.size() && Shown < 6; ++I) {
+        if (!atomAssigned(static_cast<int>(I)))
+          continue;
+        Value AV = C.CurrentModel.eval(C.Atoms[I]);
+        if (AV.K == Value::Kind::Bool &&
+            AV.B != atomValue(static_cast<int>(I))) {
+          fprintf(stderr, "[smt] atom mismatch (sat=%d eval=%d): %s\n",
+                  (int)atomValue(static_cast<int>(I)), (int)AV.B,
+                  printTerm(C.Atoms[I]).c_str());
+          ++Shown;
+        }
+      }
+      if (Shown == 0)
+        fprintf(stderr, "[smt] eval failed but all atoms agree\n");
+    }
+    // Separate every colliding pair of numeric index terms at once —
+    // including collisions with a constant index value, which have no
+    // second opaque member to separate but corrupt the entry map just
+    // the same.
+    if (!separateCollisions())
+      break; // nothing to repair: the mismatch has another cause
+    std::set<int> Core;
+    ArithSolver::Result AR = Arith->check(Core);
+    if (AR == ArithSolver::Result::Unknown) {
+      // Undecided separation: blocking this assignment could turn a
+      // satisfiable formula into a bogus Unsat, so stop and report
+      // Unknown instead.
+      C.BudgetExhausted = true;
+      return true;
+    }
+    if (AR == ArithSolver::Result::Unsat)
+      break; // separation infeasible (some pair is forced equal)
+    if (!equalityFixpoint(ConflictOut))
+      return false;
+    if (C.BudgetExhausted)
+      return true;
+  }
+  // The model builder could not produce a witness, and no sound
+  // explanation clause is available: a blocking clause here would assert
+  // "this assignment has no theory model" without proof, and on formulas
+  // whose models all funnel through such assignments that manufactures a
+  // wrong Unsat (found by the pipeline differential fuzzer). Give up
+  // explicitly instead.
+  ++C.St.ModelGiveUps;
+  C.BudgetExhausted = true;
+  return true;
+}
+
+/// Asserts an artificial disequality (under SeparationTag) between every
+/// pair of distinct-in-CC index terms that share a model value, and
+/// between every opaque index term whose value collides with a constant
+/// index. Returns false when no collision was found.
+bool TheoryEngine::separateCollisions() {
+  bool Repaired = false;
+  computeInterfaceTerms();
+  std::map<std::pair<const Sort *, Rational>, std::vector<TermRef>> Buckets;
+  for (TermRef T : OpaqueNumeric)
+    if (InterfaceTerms.count(T))
+      Buckets[{T->getSort(), Arith->modelValue(ArithVars[T])}].push_back(T);
+  for (auto &[Key, Members] : Buckets) {
+    for (size_t I = 0; I < Members.size(); ++I) {
+      for (size_t J = I + 1; J < Members.size(); ++J) {
+        TermRef X = Members[I], Y = Members[J];
+        if (CC->areEqual(X, Y))
+          continue;
+        LinTerm P;
+        P.add(ArithVars[X], Rational(1));
+        P.add(ArithVars[Y], Rational(-1));
+        Arith->assertAtom(P, ArithSolver::Op::Ne, SeparationTag);
+        Repaired = true;
+      }
+    }
+    auto CIt = ConstIndexValues.find(Key);
+    if (CIt == ConstIndexValues.end())
+      continue;
+    for (TermRef X : Members) {
+      if (CC->isRegistered(CIt->second) && CC->areEqual(X, CIt->second))
+        continue;
+      LinTerm P;
+      P.add(ArithVars[X], Rational(1));
+      P.Const = -Key.second;
+      Arith->assertAtom(P, ArithSolver::Op::Ne, SeparationTag);
+      Repaired = true;
+    }
+  }
+  return Repaired;
+}

@@ -1,0 +1,168 @@
+//===- smt/TheoryEngine.h - DPLL(T) theory integration ---------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The theory side of the CDCL(T) loop, shared by the one-shot Solver and
+/// the incremental SolverContext:
+///
+///  - SolverCore holds the state both drivers own: the SAT core, the
+///    Tseitin literal cache, the theory-atom table, the evaluation safety
+///    net and the model.
+///  - TheoryEngine is the TheoryCallback invoked on full propositional
+///    assignments. It runs congruence closure and simplex to fixpoint
+///    with Nelson-Oppen style equality exchange, constructs a candidate
+///    model, and validates it against the original formula.
+///
+/// TheoryEngine has two modes. In one-shot mode (the historical behavior)
+/// it rebuilds the theory engines from scratch on every full assignment.
+/// In persistent mode it keeps backtrackable CongruenceClosure/ArithSolver
+/// instances synced to the SAT assignment trail: one undo level per
+/// assigned atom, so consecutive theory checks pop to the longest common
+/// trail prefix and re-assert only the diverging suffix — with phase
+/// saving and backjumping, that suffix is typically a small fraction of
+/// the assignment. Exchange equalities, probes and model-repair
+/// separations live in an extra scratch level popped at the start of the
+/// next check, so nothing assignment-specific leaks across checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SMT_THEORYENGINE_H
+#define IDS_SMT_THEORYENGINE_H
+
+#include "smt/ArithSolver.h"
+#include "smt/CongruenceClosure.h"
+#include "smt/Model.h"
+#include "smt/SatSolver.h"
+#include "smt/SolverTypes.h"
+#include "smt/Term.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ids {
+namespace smt {
+
+/// State shared between a solver driver (Solver or SolverContext) and its
+/// TheoryEngine.
+struct SolverCore {
+  SolverCore(TermManager &TM, SolverOptions O) : TM(TM), Opts(std::move(O)) {}
+
+  TermManager &TM;
+  SolverOptions Opts;
+  SolverStats St;
+  Model CurrentModel;
+
+  // CNF state.
+  sat::SatSolver Sat;
+  std::unordered_map<TermRef, int> LitCache; // term -> Lit.Code (positive)
+  std::vector<TermRef> Atoms;
+  std::unordered_map<TermRef, int> AtomIndex;
+  std::vector<sat::Var> AtomVar;
+  TermRef EvalFormula = nullptr; // pre-reduction formula for the safety net
+
+  bool BudgetExhausted = false;
+  double SolveDeadline = 0;      // monotonic seconds; 0 = none
+  uint64_t TheoryCheckBase = 0;  // budget window start for the current check
+
+  /// When non-null, litFor logs every NON-atom term it encodes here. The
+  /// incremental context uses the log to invalidate cache entries whose
+  /// defining clauses die with a popped level (theory atoms stay cached —
+  /// their meaning is the theory check, not any clause). One-shot solving
+  /// leaves it null.
+  std::vector<TermRef> *EncodingLog = nullptr;
+
+  /// Tseitin encoding; defining clauses are added at the current assertion
+  /// level, so the cache entry of a structure term is only valid while the
+  /// level that created it is alive (see EncodingLog).
+  sat::Lit litFor(TermRef T);
+};
+
+/// The per-full-model theory check. Construct once per solve (one-shot
+/// mode) or once per context (persistent mode).
+class TheoryEngine : public sat::TheoryCallback {
+public:
+  TheoryEngine(SolverCore &C, bool Persistent);
+  ~TheoryEngine() override;
+
+  bool onFullModel(std::vector<sat::Lit> &ConflictOut) override;
+
+private:
+  bool atomValue(int AtomIdx) const {
+    return C.Sat.modelValue(C.AtomVar[AtomIdx]);
+  }
+  /// Stale atoms (all their clauses died with popped levels) stay
+  /// unassigned by design; model construction must not read them.
+  bool atomAssigned(int AtomIdx) const {
+    return C.Sat.value(sat::Lit(C.AtomVar[AtomIdx], false)) !=
+           sat::LBool::Undef;
+  }
+
+  /// Converts a numeric term into a polynomial over opaque arith vars,
+  /// registering opaque terms with the congruence closure as a side
+  /// effect.
+  LinTerm polyOf(TermRef T);
+  int arithVarFor(TermRef T);
+
+  int newCompositeTag(const std::set<int> &Expl);
+  void expandTags(const std::set<int> &In, std::set<int> &Out) const;
+  void clauseFromTags(const std::set<int> &Tags,
+                      std::vector<sat::Lit> &Out) const;
+
+  bool assertOneAtom(int AtomIdx, std::vector<sat::Lit> &ConflictOut);
+  bool equalityFixpoint(std::vector<sat::Lit> &ConflictOut);
+  void computeInterfaceTerms();
+  bool separateCollisions();
+  void buildModel();
+  Value valueOfTerm(TermRef T);
+  Value buildClassArray(TermRef Root);
+
+  /// Persistent mode: pop the scratch level and every synced atom level
+  /// that diverges from the current SAT trail, then return the number of
+  /// atoms already in sync (the reuse window).
+  size_t syncToTrail();
+  void popTheoryLevel();
+
+  SolverCore &C;
+  TermManager &TM;
+  const bool Persistent;
+  std::unique_ptr<CongruenceClosure> CC;
+  std::unique_ptr<ArithSolver> Arith;
+  std::unordered_map<TermRef, int> ArithVars;
+  std::vector<TermRef> OpaqueNumeric;
+  /// Arith variable ids survive pops (bounds are retracted, the tableau
+  /// persists); this map lets a re-asserted term reuse its variable.
+  std::unordered_map<TermRef, int> VarOfTerm;
+  std::unordered_set<TermRef> InterfaceTerms;
+  /// Constant index terms (value keyed by sort): an opaque index whose
+  /// model value collides with one of these must be separated too, or
+  /// the model builder merges their array entries with no repair.
+  std::map<std::pair<const Sort *, Rational>, TermRef> ConstIndexValues;
+  std::vector<std::vector<int>> CompositeExpl;
+  std::set<std::pair<TermRef, TermRef>> AssertedCCEqualities;
+
+  // Persistent-mode sync state.
+  std::vector<std::pair<int, bool>> SyncedAtoms; // (atom idx, polarity)
+  std::vector<std::pair<int, bool>> CurAtomTrail; // scratch for syncToTrail
+  std::vector<size_t> LevelOpaqueSize; // OpaqueNumeric size per level
+  bool ScratchPushed = false;
+  std::vector<int> VarToAtom; // sat var -> atom idx (or -1)
+  size_t MappedAtoms = 0;     // VarToAtom covers atoms below this index
+
+  // Model scratch.
+  std::unordered_map<TermRef, Value> TermValues;
+  std::unordered_map<TermRef, Value> ClassArrays;
+  std::unordered_map<TermRef, int64_t> LocIds;
+  int64_t NextLocId = 1;
+};
+
+} // namespace smt
+} // namespace ids
+
+#endif // IDS_SMT_THEORYENGINE_H

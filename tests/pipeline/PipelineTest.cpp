@@ -194,6 +194,46 @@ TEST(PipelineTest, UnknownOnBudgetExhaustion) {
   EXPECT_NE(R.V, Verdict::Failed);
 }
 
+TEST(PipelineTest, IncrementalBatchingPreservesVerdicts) {
+  // Obligations sharing a long guard prefix (the shape prefix batching
+  // targets): incremental and one-shot modes must agree, including on a
+  // failing member whose batch Sat is re-confirmed one-shot.
+  TermManager TM;
+  TermRef X = TM.mkVar("x", TM.intSort());
+  TermRef Y = TM.mkVar("y", TM.intSort());
+  TermRef Z = TM.mkVar("z", TM.intSort());
+  TermRef A =
+      TM.mkVar("a", TM.getArraySort(TM.intSort(), TM.intSort()));
+  TermRef Prefix = TM.mkAnd(
+      {TM.mkLe(X, Y), TM.mkLe(Y, Z),
+       TM.mkEq(TM.mkSelect(A, X), TM.mkIntConst(1)),
+       TM.mkEq(TM.mkSelect(A, Z), TM.mkIntConst(9))});
+  std::vector<vcgen::Obligation> Obls = {
+      obligation(Prefix, TM.mkLe(X, Z), "transitive"),
+      obligation(Prefix, TM.mkLe(TM.mkSelect(A, X), TM.mkIntConst(5)),
+                 "read-one"),
+      obligation(Prefix, TM.mkEq(X, Z), "wrong-eq"),
+      obligation(Prefix, TM.mkLe(TM.mkIntConst(9), TM.mkSelect(A, Z)),
+                 "read-two")};
+  for (bool Incremental : {true, false}) {
+    Options Opts;
+    Opts.Simplify = false; // keep every obligation solver-bound
+    Opts.Incremental = Incremental;
+    Result R = solveObligations(TM, Obls, Opts, nullptr);
+    EXPECT_EQ(R.V, Verdict::Failed) << "incremental=" << Incremental;
+    EXPECT_NE(R.FailedDescription.find("wrong-eq"), std::string::npos)
+        << "incremental=" << Incremental;
+    EXPECT_FALSE(R.Counterexample.empty());
+    if (Incremental) {
+      EXPECT_GE(R.St.PrefixGroups, 1u);
+      EXPECT_GE(R.St.ContextReuses, 1u);
+      EXPECT_GE(R.St.IncrSatRechecks, 1u);
+    } else {
+      EXPECT_EQ(R.St.PrefixGroups, 0u);
+    }
+  }
+}
+
 TEST(PipelineTest, ProvedBySimplifyskipsSolver) {
   TermManager TM;
   TermRef X = TM.mkVar("x", TM.intSort());

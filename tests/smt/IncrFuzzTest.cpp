@@ -1,0 +1,164 @@
+//===- tests/smt/IncrFuzzTest.cpp - Incremental differential fuzzing -------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized differential testing of the incremental solving core:
+/// generate random push / assertTerm / pop / checkSat sequences over the
+/// shared formula corpus, and cross-check EVERY intermediate verdict
+/// against a fresh one-shot solve of the conjunction of the currently
+/// active assertion stack. A Sat-vs-Unsat disagreement is a soundness bug
+/// in the assertion-level machinery (SAT clause retraction, theory trails,
+/// lemma retention, or the level-aware array reducer); Sat models are
+/// additionally validated against the active conjunction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+#include "smt/SolverContext.h"
+#include "smt/TermPrinter.h"
+
+#include "FormulaGen.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+using namespace ids;
+using namespace ids::smt;
+
+namespace {
+
+struct SeqCounts {
+  unsigned Checks = 0;
+  unsigned Sat = 0, Unsat = 0, Unknown = 0;
+  unsigned Mismatches = 0;
+};
+
+/// Runs \p Sequences random assertion-stack scripts. Each script
+/// interleaves push/assert/pop with checkSat calls; every verdict is
+/// cross-checked one-shot.
+SeqCounts runIncrementalDifferential(uint32_t Seed, unsigned Sequences,
+                                     unsigned OpsPerSequence,
+                                     unsigned Depth) {
+  std::mt19937 Rng(Seed);
+  SeqCounts C;
+  for (unsigned S = 0; S < Sequences; ++S) {
+    TermManager TM;
+    FormulaGen Gen(TM, Rng);
+    SolverOptions Opts;
+    Opts.MaxTheoryChecks = 20000; // bound pathological instances
+    SolverContext Ctx(TM, Opts);
+    // Active stack mirror: one vector of formulas per level.
+    std::vector<std::vector<TermRef>> Stack(1);
+
+    auto CrossCheck = [&]() {
+      ++C.Checks;
+      SolverResult Inc = Ctx.checkSat();
+      std::vector<TermRef> Active;
+      for (const auto &Lvl : Stack)
+        for (TermRef F : Lvl)
+          Active.push_back(F);
+      TermRef Conj = TM.mkAnd(Active);
+      TermManager Fresh;
+      Solver OneShot(Fresh, Opts);
+      SolverResult Ref = OneShot.checkSat(Fresh.import(Conj));
+      switch (Inc) {
+      case SolverResult::Sat:
+        ++C.Sat;
+        break;
+      case SolverResult::Unsat:
+        ++C.Unsat;
+        break;
+      case SolverResult::Unknown:
+        ++C.Unknown;
+        break;
+      }
+      // Unknown (either side) abstains; Sat vs Unsat is a soundness bug.
+      bool Mismatch = (Inc == SolverResult::Sat &&
+                       Ref == SolverResult::Unsat) ||
+                      (Inc == SolverResult::Unsat &&
+                       Ref == SolverResult::Sat);
+      if (Mismatch)
+        ++C.Mismatches;
+      EXPECT_FALSE(Mismatch)
+          << "incremental " << (Inc == SolverResult::Sat ? "Sat" : "Unsat")
+          << " vs one-shot "
+          << (Ref == SolverResult::Sat ? "Sat" : "Unsat") << " (seed "
+          << Seed << ", sequence " << S << ", check " << C.Checks << ")\n"
+          << printTerm(Conj);
+      if (Inc == SolverResult::Sat) {
+        Value V = Ctx.model().evaluate(Conj);
+        EXPECT_TRUE(V.K == Value::Kind::Bool && V.B)
+            << "incremental Sat model refutes the active conjunction "
+            << "(seed " << Seed << ", sequence " << S << ")\n"
+            << printTerm(Conj) << "\nmodel:\n"
+            << Ctx.model().toString();
+      }
+    };
+
+    for (unsigned Op = 0; Op < OpsPerSequence; ++Op) {
+      switch (Rng() % 6) {
+      case 0:
+        Ctx.push();
+        Stack.emplace_back();
+        break;
+      case 1:
+        if (Stack.size() > 1) {
+          Ctx.pop();
+          Stack.pop_back();
+        } else {
+          Ctx.push();
+          Stack.emplace_back();
+        }
+        break;
+      case 2:
+      case 3: {
+        TermRef F = Gen.boolFormula(Depth);
+        Ctx.assertTerm(F);
+        Stack.back().push_back(F);
+        break;
+      }
+      default:
+        CrossCheck();
+        break;
+      }
+    }
+    CrossCheck(); // every sequence ends with a checked verdict
+  }
+  return C;
+}
+
+} // namespace
+
+// 300+ sequences across the three suites, each interleaving push / assert
+// / pop / check — the acceptance bar for the incremental core.
+TEST(IncrFuzzTest, DifferentialShallow) {
+  SeqCounts C = runIncrementalDifferential(/*Seed=*/0x5EED1, /*Sequences=*/160,
+                                           /*OpsPerSequence=*/12,
+                                           /*Depth=*/3);
+  EXPECT_EQ(C.Mismatches, 0u);
+  // The scripts must exercise both verdicts and real push/pop reuse.
+  EXPECT_GT(C.Checks, 300u);
+  EXPECT_GT(C.Sat, 60u);
+  EXPECT_GT(C.Unsat, 30u);
+}
+
+TEST(IncrFuzzTest, DifferentialDeepStacks) {
+  SeqCounts C = runIncrementalDifferential(/*Seed=*/0x5EED2, /*Sequences=*/80,
+                                           /*OpsPerSequence=*/20,
+                                           /*Depth=*/3);
+  EXPECT_EQ(C.Mismatches, 0u);
+  EXPECT_GT(C.Checks, 200u);
+}
+
+TEST(IncrFuzzTest, DifferentialArrayHeavy) {
+  SeqCounts C = runIncrementalDifferential(/*Seed=*/0x5EED3, /*Sequences=*/60,
+                                           /*OpsPerSequence=*/10,
+                                           /*Depth=*/4);
+  EXPECT_EQ(C.Mismatches, 0u);
+  EXPECT_GT(C.Checks, 100u);
+}
