@@ -37,7 +37,7 @@ int main() {
   printf("\n--------------------------------------------------------------"
          "--------------------\n");
   for (const Target &T : Targets) {
-    const char *Src = structures::findBenchmark(T.Bench);
+    const char *Src = structures::findBenchmarkSource(T.Bench);
     if (!Src)
       continue;
     printf("%-22s %-24s", T.Bench, T.Proc);

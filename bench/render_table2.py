@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Render the README's Table 2 status matrix from BENCH_table2.json.
+
+Reads the pipeline-on configuration of BENCH_table2.json (written by
+build/bench_table2) and prints the markdown table between the
+`<!-- BEGIN/END TABLE2 MATRIX -->` markers in README.md. With --update,
+splices it into README.md in place:
+
+    build/bench_table2                 # writes BENCH_table2.json
+    python3 bench/render_table2.py --update
+"""
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BEGIN = "<!-- BEGIN TABLE2 MATRIX -->"
+END = "<!-- END TABLE2 MATRIX -->"
+
+
+def render(data: dict) -> str:
+    cfg = next(c for c in data["configs"] if c["pipeline"])
+    lines = [
+        "| Benchmark | LC | Impact sets | Procedure | Verdict | Time (s) |",
+        "|-----------|---:|-------------|-----------|---------|---------:|",
+    ]
+    for bench in cfg["benchmarks"]:
+        impacts = "%d ok" % bench["impact_sets"]
+        if not bench["impacts_ok"]:
+            impacts = "%d (FAILURES)" % bench["impact_sets"]
+        first = True
+        for proc in bench["procs"]:
+            lines.append(
+                "| %s | %s | %s | %s | %s | %.2f |"
+                % (
+                    bench["table2_name"] if first else "",
+                    bench["lc_size"] if first else "",
+                    impacts if first else "",
+                    proc["name"],
+                    proc["status"],
+                    proc["seconds"],
+                )
+            )
+            first = False
+    return "\n".join(lines)
+
+
+def main() -> int:
+    table = render(json.loads((ROOT / "BENCH_table2.json").read_text()))
+    if "--update" in sys.argv:
+        readme = (ROOT / "README.md").read_text()
+        begin = readme.index(BEGIN) + len(BEGIN)
+        end = readme.index(END)
+        (ROOT / "README.md").write_text(
+            readme[:begin] + "\n" + table + "\n" + readme[end:]
+        )
+        print("README.md updated")
+    else:
+        print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,7 +45,7 @@ int main() {
   driver::VerifyOptions Opts;
   Opts.OnlyProc = "<impact sets only>";
   driver::ModuleResult Good = driver::verifySource(
-      structures::findBenchmark("sorted-list"), Opts, D1);
+      structures::findBenchmarkSource("sorted-list"), Opts, D1);
   printf("Table 1 (sorted list impact sets), checked via Appendix C "
          "VCs:\n");
   for (const driver::ImpactResult &I : Good.Impacts)

@@ -48,6 +48,20 @@ static void printPipelineStats(const pipeline::Stats &St) {
            (unsigned long long)St.LemmasRetained, St.IncrSatRechecks);
 }
 
+/// Registry-comparable status key; must produce exactly the strings
+/// structures::ProcExpectation::Status uses.
+static const char *statusKey(driver::Status St) {
+  switch (St) {
+  case driver::Status::Verified:
+    return "verified";
+  case driver::Status::Failed:
+    return "failed";
+  case driver::Status::Unknown:
+    break;
+  }
+  return "unknown";
+}
+
 static void printResult(const driver::ModuleResult &R, bool ShowStats) {
   printf("structure %s  (LC size: %u conjuncts)\n", R.StructureName.c_str(),
          R.LcSize);
@@ -136,13 +150,71 @@ int main(int Argc, char **Argv) {
     }
   }
   if (List) {
-    for (const structures::Benchmark &B : structures::allBenchmarks())
+    for (const structures::Benchmark &B : structures::allBenchmarks()) {
       printf("%s  (%s)\n", B.Name, B.Table2Name);
+      printf("    %s\n", B.Description);
+      printf("    tags: %s", B.Tags);
+      if (B.DefaultBudget > 0)
+        printf("  [default budget: %llu]",
+               (unsigned long long)B.DefaultBudget);
+      printf("\n    expected:");
+      for (const structures::ProcExpectation &E : B.Expected)
+        printf(" %s=%s", E.Proc, E.Status);
+      printf("\n");
+    }
     return 0;
+  }
+  if (BenchName == "all") {
+    // Verify the whole embedded suite in one invocation, applying each
+    // benchmark's registry default budget unless the user chose one.
+    // Success means every procedure lands on its registry-expected
+    // verdict (a budgeted "unknown" on record is not a regression).
+    int Worst = 0;
+    for (const structures::Benchmark &B : structures::allBenchmarks()) {
+      driver::VerifyOptions BOpts = Opts;
+      if (BOpts.MaxTheoryChecks == 0 && B.DefaultBudget > 0)
+        BOpts.MaxTheoryChecks = B.DefaultBudget;
+      printf("=== %s (%s) ===\n", B.Name, B.Table2Name);
+      DiagEngine Diags;
+      driver::ModuleResult R = driver::verifySource(B.Source, BOpts, Diags);
+      if (!R.FrontEndOk) {
+        fprintf(stderr, "%s", Diags.toString().c_str());
+        return 2;
+      }
+      printResult(R, ShowStats);
+      for (const driver::ImpactResult &I : R.Impacts)
+        if (!I.Ok)
+          Worst = 1;
+      for (const driver::ProcResult &P : R.Procs) {
+        const char *St = statusKey(P.St);
+        const char *Want = B.expectedStatus(P.Name);
+        if (std::string(St) != (Want ? Want : "verified")) {
+          printf("  MISMATCH: %s expected %s, got %s\n", P.Name.c_str(),
+                 Want ? Want : "verified", St);
+          Worst = 1;
+        }
+      }
+      // The reverse direction (skipped under --proc, which restricts the
+      // run on purpose): every registry-expected procedure must have
+      // actually run, or a renamed/removed procedure would pass silently.
+      if (Opts.OnlyProc.empty()) {
+        for (const structures::ProcExpectation &E : B.Expected) {
+          bool Ran = false;
+          for (const driver::ProcResult &P : R.Procs)
+            Ran = Ran || P.Name == E.Proc;
+          if (!Ran) {
+            printf("  MISSING: expected procedure '%s' did not run\n",
+                   E.Proc);
+            Worst = 1;
+          }
+        }
+      }
+    }
+    return Worst;
   }
   std::string Source;
   if (!BenchName.empty()) {
-    const char *Src = structures::findBenchmark(BenchName);
+    const char *Src = structures::findBenchmarkSource(BenchName);
     if (!Src) {
       fprintf(stderr, "unknown benchmark '%s' (try --list)\n",
               BenchName.c_str());
@@ -162,6 +234,14 @@ int main(int Argc, char **Argv) {
     fprintf(stderr,
             "usage: ids-verify [options] (FILE | --benchmark NAME | "
             "--list)\n"
+            "       --benchmark all verifies the whole embedded suite "
+            "(each\n"
+            "       benchmark under its registry default budget; exit 0 "
+            "iff every\n"
+            "       procedure matches its registry-expected verdict)\n"
+            "       --list prints each benchmark's description, tags, "
+            "default\n"
+            "       budget and expected per-procedure verdicts\n"
             "options: --quant --splits N --proc NAME --no-frames "
             "--no-impacts --budget N --timeout S\n"
             "VC pipeline: --jobs N (parallel obligation dispatch; "

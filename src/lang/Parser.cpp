@@ -712,12 +712,19 @@ bool Parser::parseStructure() {
       continue;
     }
     if (acceptIdent("impact")) {
+      // `impact f [g]` or `impact f [g1, g2, ...]`: a field shared by
+      // several local-condition groups declares one impact set per group
+      // in a single clause (overlaid structures, Section 4.4); the list
+      // desugars to one ImpactDecl per group sharing the same terms.
       ImpactDecl I;
       I.Loc = Loc;
       I.Field = expectName("a field name");
       if (!expect(TokKind::LBracket, "'['"))
         return false;
-      I.Group = expectName("a group name");
+      std::vector<std::string> Groups;
+      do {
+        Groups.push_back(expectName("a group name"));
+      } while (accept(TokKind::Comma));
       if (!expect(TokKind::RBracket, "']'"))
         return false;
       if (acceptIdent("requires")) {
@@ -735,7 +742,11 @@ bool Parser::parseStructure() {
       } while (accept(TokKind::Comma));
       if (!expect(TokKind::RBrace, "'}'"))
         return false;
-      S.Impacts.push_back(std::move(I));
+      for (const std::string &G : Groups) {
+        ImpactDecl Copy = I;
+        Copy.Group = G;
+        S.Impacts.push_back(std::move(Copy));
+      }
       continue;
     }
     error("expected a structure member");

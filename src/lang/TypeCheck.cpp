@@ -642,6 +642,17 @@ bool Checker::checkStructure() {
       error(S.Loc, "correlation formula must be boolean");
     popScope();
   }
+  // Overlapping field claims: at most one impact set per (field, group)
+  // pair — two declarations would race to define the broken-set growth of
+  // one mutation (and `impact f [g, g]` is a typo).
+  for (size_t I = 0; I < S.Impacts.size(); ++I)
+    for (size_t J = I + 1; J < S.Impacts.size(); ++J)
+      if (S.Impacts[I].Field == S.Impacts[J].Field &&
+          S.Impacts[I].Group == S.Impacts[J].Group)
+        error(S.Impacts[J].Loc, "duplicate impact set for field '" +
+                                    S.Impacts[J].Field + "' and group '" +
+                                    S.Impacts[J].Group + "'");
+
   ExprCtx ImpactCtx;
   ImpactCtx.AllowOld = true;
   for (ImpactDecl &I : S.Impacts) {

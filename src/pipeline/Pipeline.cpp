@@ -157,17 +157,45 @@ private:
     return {Query};
   }
 
-  /// Greedy grouping of the run list by shared conjunct prefix, in query
-  /// order (obligations of one procedure arrive together, so adjacency is
-  /// the right clustering signal). A query joins the open group when the
-  /// longest common prefix with the group's prefix stays substantial —
-  /// at least MinSharedConjuncts and at least half of the query's own
-  /// conjuncts. Only groups of two or more queries are returned;
-  /// singletons keep the one-shot path.
+  /// Greedy grouping of the run list by shared conjunct prefix, over the
+  /// run list SORTED by conjunct sequence (lexicographic in term ids):
+  /// queries sharing a long prefix become neighbours even when obligation
+  /// order separated them — a late loop-exit obligation rejoins the batch
+  /// of the loop-entry obligations it branched from, instead of opening a
+  /// fresh context (the adjacency-only grouping this replaces split such
+  /// clusters; the gain is visible as fewer, larger prefix_groups). A
+  /// query joins the open group when the longest common prefix with the
+  /// group's prefix stays substantial — at least MinSharedConjuncts and
+  /// at least half of the query's own conjuncts. Only groups of two or
+  /// more queries are returned; singletons keep the one-shot path.
   std::vector<std::vector<size_t>>
   groupBySharedPrefix(const std::vector<TermRef> &Queries,
                       const std::vector<size_t> &RunList) const {
     constexpr size_t MinSharedConjuncts = 3;
+    // Retained theory lemmas accumulate in a context for every further
+    // member (each one's clauses tax every later BCP), so past a point a
+    // bigger batch solves SLOWER than a fresh context: cap the member
+    // count and let the greedy walk open a sibling batch on the same
+    // prefix instead.
+    constexpr size_t MaxGroupSize = 8;
+    std::vector<std::vector<TermRef>> Conj(Queries.size());
+    for (size_t Idx : RunList)
+      Conj[Idx] = conjunctsOf(Queries[Idx]);
+    // Term ids are interning order — deterministic for a deterministic
+    // run — so the sort (and therefore the grouping) is reproducible.
+    // stable_sort keeps duplicate queries (possible with the cache off)
+    // in obligation order.
+    std::vector<size_t> Sorted(RunList);
+    std::stable_sort(Sorted.begin(), Sorted.end(),
+                     [&](size_t A, size_t B) {
+                       const std::vector<TermRef> &CA = Conj[A];
+                       const std::vector<TermRef> &CB = Conj[B];
+                       return std::lexicographical_compare(
+                           CA.begin(), CA.end(), CB.begin(), CB.end(),
+                           [](TermRef X, TermRef Y) {
+                             return X->getId() < Y->getId();
+                           });
+                     });
     std::vector<std::vector<size_t>> Groups;
     std::vector<size_t> Open;
     std::vector<TermRef> OpenPrefix;
@@ -176,27 +204,46 @@ private:
         Groups.push_back(std::move(Open));
       Open.clear();
     };
-    for (size_t Idx : RunList) {
-      std::vector<TermRef> Conj = conjunctsOf(Queries[Idx]);
+    for (size_t Idx : Sorted) {
       if (Open.empty()) {
         Open.push_back(Idx);
-        OpenPrefix = std::move(Conj);
+        OpenPrefix = Conj[Idx];
         continue;
       }
       size_t Lcp = 0;
-      while (Lcp < OpenPrefix.size() && Lcp < Conj.size() &&
-             OpenPrefix[Lcp] == Conj[Lcp])
+      while (Lcp < OpenPrefix.size() && Lcp < Conj[Idx].size() &&
+             OpenPrefix[Lcp] == Conj[Idx][Lcp])
         ++Lcp;
-      if (Lcp >= MinSharedConjuncts && Lcp * 2 >= Conj.size()) {
+      if (Open.size() < MaxGroupSize && Lcp >= MinSharedConjuncts &&
+          Lcp * 2 >= Conj[Idx].size()) {
         Open.push_back(Idx);
         OpenPrefix.resize(Lcp);
       } else {
         Close();
         Open.push_back(Idx);
-        OpenPrefix = std::move(Conj);
+        OpenPrefix = Conj[Idx];
       }
     }
     Close();
+    if (getenv("IDS_PIPE_DEBUG")) {
+      for (auto &G : Groups) {
+        size_t L = SIZE_MAX; size_t MaxC = 0;
+        for (size_t I : G) {
+          size_t l = 0;
+          while (l < Conj[G[0]].size() && l < Conj[I].size() &&
+                 Conj[G[0]][l] == Conj[I][l]) ++l;
+          L = std::min(L, l); MaxC = std::max(MaxC, Conj[I].size());
+        }
+        fprintf(stderr, "[pipe] group size=%zu lcp=%zu maxconj=%zu\n",
+                G.size(), L, MaxC);
+      }
+    }
+    // The sort chose the GROUPING; obligation order remains the better
+    // SOLVE order within a group (a procedure's obligations grow harder
+    // towards the end, and the hardest member profits most from the
+    // lemmas its predecessors left in the context).
+    for (std::vector<size_t> &G : Groups)
+      std::sort(G.begin(), G.end());
     return Groups;
   }
 
@@ -233,19 +280,37 @@ private:
         Prefix.push_back(Local.import(Conj[0][K]));
       Ctx.assertTerm(Local.mkAnd(std::move(Prefix)));
     }
+    // Per-query stats deltas: the context's atom/lemma counters are
+    // cumulative over every member ever pushed, so reporting them raw
+    // inflates later members with earlier members' residue and makes
+    // max_atoms incomparable with the --no-incremental one-shot path.
+    // A member's comparable figure is the shared prefix's share plus
+    // what THIS member added on top (measured against the counter level
+    // just before its push). Prefix-demanded lemmas first discovered
+    // while solving member one are attributed to member one — the same
+    // lemmas a one-shot solve of prefix+claim would instantiate.
+    const unsigned PrefixAtoms = Ctx.numAtoms();
+    const unsigned PrefixLemmas = Ctx.numArrayLemmas();
 
     for (size_t M = 0; M < Members.size(); ++M) {
       size_t Idx = Members[M];
+      const unsigned AtomsBefore = Ctx.numAtoms();
+      const unsigned LemmasBefore = Ctx.numArrayLemmas();
       Ctx.push();
       for (size_t K = Lcp; K < Conj[M].size(); ++K)
         Ctx.assertTerm(Local.import(Conj[M][K]));
       Solver::Result R = Ctx.checkSat();
       const SolverContext::CheckStats &CS = Ctx.lastCheckStats();
       Ctx.pop();
+      const unsigned DeltaAtoms =
+          PrefixAtoms + (CS.NumAtoms - std::min(CS.NumAtoms, AtomsBefore));
+      const unsigned DeltaLemmas =
+          PrefixLemmas +
+          (CS.NumArrayLemmas - std::min(CS.NumArrayLemmas, LemmasBefore));
       if (R == Solver::Result::Unsat) {
         Out[Idx].R = R;
-        Out[Idx].NumAtoms = CS.NumAtoms;
-        Out[Idx].NumArrayLemmas = CS.NumArrayLemmas;
+        Out[Idx].NumAtoms = DeltaAtoms;
+        Out[Idx].NumArrayLemmas = DeltaLemmas;
       } else if (R == Solver::Result::Unknown && CS.ModelGiveUps > 0) {
         // Same escalation rule as the one-shot path: a model give-up is
         // worth the quadratic eager instantiation; a budget or timeout
@@ -261,8 +326,8 @@ private:
         SatRechecks.fetch_add(1, std::memory_order_relaxed);
       } else {
         Out[Idx].R = Solver::Result::Unknown;
-        Out[Idx].NumAtoms = CS.NumAtoms;
-        Out[Idx].NumArrayLemmas = CS.NumArrayLemmas;
+        Out[Idx].NumAtoms = DeltaAtoms;
+        Out[Idx].NumArrayLemmas = DeltaLemmas;
       }
     }
     GroupLemmasRetained.fetch_add(Ctx.stats().LemmasRetained,

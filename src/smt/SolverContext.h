@@ -99,6 +99,16 @@ public:
   };
   const CheckStats &lastCheckStats() const { return LastCheck; }
 
+  /// Live counter snapshots between checks: the atoms interned and array
+  /// lemmas instantiated so far in this context. Callers batching many
+  /// queries on one context use these to turn the context-cumulative
+  /// CheckStats counters into per-query deltas (e.g. "prefix share +
+  /// what this member added"), comparable with a one-shot solve.
+  unsigned numAtoms() const {
+    return static_cast<unsigned>(Core.Atoms.size());
+  }
+  unsigned numArrayLemmas() const { return Reducer.stats().NumLemmas; }
+
 private:
   SolverCore Core;
   ArrayReducer Reducer;

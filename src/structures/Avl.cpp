@@ -1,0 +1,164 @@
+//===- structures/Avl.cpp - AVL tree benchmark -----------------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AVL trees: the BST intrinsic definition (parent pointers, min/max
+/// ordering maps) with an exact height map in place of the rational rank —
+/// heights strictly decrease downwards, which doubles as the acyclicity
+/// argument, and sibling heights differ by at most one. The rotation is
+/// the left-left rebalancing case: the pivot enters with its local
+/// condition broken (the tree is mid-insertion, left-heavy by two) and the
+/// rotation re-establishes it everywhere, leaving the subtree height seen
+/// by the parent unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#include "structures/Sources.h"
+
+const char *ids::structures::AvlSource = R"IDS(
+structure Avl {
+  field l: Loc;
+  field r: Loc;
+  field key: int;
+  ghost field p: Loc;
+  ghost field height: int;
+  ghost field min: int;
+  ghost field max: int;
+
+  // BST ordering via min/max plus exact height arithmetic: a leaf has
+  // height 1, a one-child node height 2 over a height-1 child (balance
+  // forces it), and an inner node is one above its taller child with the
+  // children within one of each other.
+  local t (x) {
+    x.min <= x.key && x.key <= x.max
+    && x.height >= 1
+    && (x.p != nil ==> (x.p.l == x || x.p.r == x))
+    && (x.l == nil ==> x.min == x.key)
+    && (x.l != nil ==>
+          x.l.p == x && x.l.height < x.height
+       && x.l.max < x.key && x.min == x.l.min)
+    && (x.r == nil ==> x.max == x.key)
+    && (x.r != nil ==>
+          x.r.p == x && x.r.height < x.height
+       && x.key < x.r.min && x.max == x.r.max)
+    && (x.l == nil && x.r == nil ==> x.height == 1)
+    && (x.l != nil && x.r == nil ==> x.height == 2 && x.l.height == 1)
+    && (x.l == nil && x.r != nil ==> x.height == 2 && x.r.height == 1)
+    && (x.l != nil && x.r != nil ==>
+          x.l.height <= x.r.height + 1
+       && x.r.height <= x.l.height + 1
+       && x.height ==
+            ite(x.l.height < x.r.height, x.r.height, x.l.height) + 1)
+  }
+
+  correlation (y) { y.p == nil }
+
+  impact l      [t] { x, old(x.l) }
+  impact r      [t] { x, old(x.r) }
+  impact p      [t] { x, old(x.p) }
+  impact key    [t] { x }
+  impact min    [t] { x, x.p }
+  impact max    [t] { x, x.p }
+  impact height [t] { x, x.p }
+}
+
+// Search by key, walking the ordering maps (as in the plain BST).
+procedure find(root: Loc, k: int) returns (res: Loc)
+  requires br(t) == {}
+  requires root != nil
+  ensures  br(t) == {}
+  ensures  res != nil ==> res.key == k
+{
+  var cur: Loc;
+  cur := root;
+  res := nil;
+  while (cur != nil && res == nil)
+    invariant br(t) == {}
+    invariant res != nil ==> res.key == k
+  {
+    InferLCOutsideBr(t, cur);
+    if (cur.key == k) {
+      res := cur;
+    } else {
+      if (k < cur.key) {
+        cur := cur.l;
+      } else {
+        cur := cur.r;
+      }
+    }
+  }
+}
+
+// Left-left rebalancing rotation. The pivot x is the one broken node: its
+// shape and ordering conjuncts still hold (spelled out as preconditions)
+// but it is left-heavy by two with its height field already updated, the
+// state an AVL insertion reaches just before rotating. y = x.l is
+// balanced with equal-height children, which pins every height exactly;
+// after the rotation the subtree root y has the height x had, so the
+// parent's own local condition survives untouched.
+procedure rotate_right(x: Loc, xp: Loc) returns (ret: Loc)
+  requires br(t) == {x}
+  requires x != nil && x.l != nil && x.l != x && x.p == xp
+  requires xp != nil ==> xp != x && xp.height > x.height
+  requires xp != nil ==> xp.l == x || xp.r == x
+  requires x.l.p == x
+  requires x.l.l != nil && x.l.r != nil
+  requires x.l.l.height == x.l.r.height
+  requires x.height == x.l.height + 1
+  requires x.r == nil ==> x.l.height == 2
+  requires x.r != nil ==> x.l.height == x.r.height + 2
+  requires x.r != nil ==> x.r.p == x && x.key < x.r.min && x.max == x.r.max
+  requires x.r == nil ==> x.max == x.key
+  requires x.l.max < x.key && x.min == x.l.min
+  requires x.min <= x.key && x.key <= x.max
+  ensures  br(t) == {}
+  ensures  ret == old(x.l) && ret.p == xp
+  ensures  ret.r == x && x.p == ret
+  ensures  ret.l == old(x.l.l) && x.l == old(x.l.r) && x.r == old(x.r)
+  ensures  ret.min == old(x.min) && ret.max == old(x.max)
+  ensures  ret.height == old(x.height)
+  ensures  xp != nil ==> (old(xp.l) == x ==> xp.l == ret)
+  ensures  xp != nil ==> (old(xp.r) == x ==> xp.r == ret)
+  modifies {x, x.l, x.l.r, x.p}
+{
+  var y: Loc;
+  var mid: Loc;
+  y := x.l;
+  InferLCOutsideBr(t, y);
+  mid := y.r;
+  InferLCOutsideBr(t, mid);
+  if (xp != nil) {
+    InferLCOutsideBr(t, xp);
+    if (xp.l == x) {
+      Mut(xp.l, y);
+    } else {
+      Mut(xp.r, y);
+    }
+  }
+  Mut(x.l, mid);
+  ghost {
+    Mut(mid.p, x);
+  }
+  Mut(y.r, x);
+  ghost {
+    Mut(x.p, y);
+    Mut(y.p, xp);
+    Mut(x.min, mid.min);
+    Mut(x.height, mid.height + 1);
+    Mut(y.max, x.max);
+    Mut(y.height, x.height + 1);
+  }
+  ghost {
+    AssertLCAndRemove(t, mid);
+  }
+  AssertLCAndRemove(t, x);
+  AssertLCAndRemove(t, y);
+  if (xp != nil) {
+    AssertLCAndRemove(t, xp);
+  }
+  ret := y;
+}
+)IDS";

@@ -1,0 +1,148 @@
+//===- structures/BstScaffold.cpp - BST + scaffold benchmark ---------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A binary search tree overlaid with an enumeration-list scaffold over
+/// the same nodes (the systems idiom of chaining all tree nodes for O(1)
+/// iteration/reclamation). Two independent local-condition groups: `t` is
+/// the BST condition of Appendix D.2, `s` a counted doubly-linked list
+/// over separate fields. Procedures touching one group leave the other's
+/// broken set alone; register_node must discharge both, because a fresh
+/// object enters every group's broken set.
+///
+//===----------------------------------------------------------------------===//
+
+#include "structures/Sources.h"
+
+const char *ids::structures::BstScaffoldSource = R"IDS(
+structure BstScaffold {
+  field l: Loc;
+  field r: Loc;
+  field key: int;
+  field snext: Loc;
+  ghost field p: Loc;
+  ghost field rank: rat;
+  ghost field min: int;
+  ghost field max: int;
+  ghost field sprev: Loc;
+  ghost field scount: int;
+
+  // Group t: the BST condition (Appendix D.2).
+  local t (x) {
+    x.min <= x.key && x.key <= x.max
+    && (x.p != nil ==> (x.p.l == x || x.p.r == x))
+    && (x.l == nil ==> x.min == x.key)
+    && (x.l != nil ==>
+          x.l.p == x && x.l.rank < x.rank
+       && x.l.max < x.key && x.min == x.l.min)
+    && (x.r == nil ==> x.max == x.key)
+    && (x.r != nil ==>
+          x.r.p == x && x.r.rank < x.rank
+       && x.key < x.r.min && x.max == x.r.max)
+  }
+
+  // Group s: the enumeration scaffold — a counted list in registration
+  // order, fully independent of the tree shape.
+  local s (x) {
+    (x.snext != nil ==>
+         x.snext.sprev == x
+      && x.scount == x.snext.scount + 1)
+    && (x.sprev != nil ==> x.sprev.snext == x)
+    && (x.snext == nil ==> x.scount == 1)
+  }
+
+  correlation (y) { y.p == nil && y.sprev == nil }
+
+  impact l      [t] { x, old(x.l) }
+  impact r      [t] { x, old(x.r) }
+  impact p      [t] { x, old(x.p) }
+  impact key    [t] { x }
+  impact min    [t] { x, x.p }
+  impact max    [t] { x, x.p }
+  impact rank   [t] { x, x.p }
+  impact snext  [s] { x, old(x.snext) }
+  impact sprev  [s] { x, old(x.sprev) }
+  impact scount [s] { x, x.sprev }
+}
+
+// Search by key in the tree overlay; the scaffold group is untouched.
+procedure find(root: Loc, k: int) returns (res: Loc)
+  requires br(t) == {}
+  requires root != nil
+  ensures  br(t) == {}
+  ensures  res != nil ==> res.key == k
+{
+  var cur: Loc;
+  cur := root;
+  res := nil;
+  while (cur != nil && res == nil)
+    invariant br(t) == {}
+    invariant res != nil ==> res.key == k
+  {
+    InferLCOutsideBr(t, cur);
+    if (cur.key == k) {
+      res := cur;
+    } else {
+      if (k < cur.key) {
+        cur := cur.l;
+      } else {
+        cur := cur.r;
+      }
+    }
+  }
+}
+
+// Register a fresh node on the scaffold front. The new object enters both
+// groups' broken sets: it leaves `s` by linking ahead of h, and leaves
+// `t` as a detached singleton tree node (leaf with min == key == max).
+procedure register_node(h: Loc, k: int) returns (z: Loc)
+  requires br(t) == {} && br(s) == {}
+  requires h != nil && h.sprev == nil
+  ensures  br(t) == {} && br(s) == {}
+  ensures  z != nil && z.snext == h
+  ensures  z.scount == old(h.scount) + 1
+  ensures  z.key == k && z.p == nil
+  modifies {h}
+{
+  InferLCOutsideBr(s, h);
+  NewObj(z);
+  Mut(z.key, k);
+  Mut(z.snext, h);
+  ghost {
+    Mut(h.sprev, z);
+    Mut(z.scount, h.scount + 1);
+    Mut(z.min, k);
+    Mut(z.max, k);
+  }
+  AssertLCAndRemove(t, z);
+  AssertLCAndRemove(s, z);
+  AssertLCAndRemove(s, h);
+}
+
+// Walk the scaffold to its end; the count map ticks down to exactly 1,
+// so the steps taken recover the head's registered-node count.
+procedure scaffold_length(h: Loc) returns (n: int)
+  requires br(s) == {}
+  requires h != nil
+  ensures  br(s) == {}
+  ensures  n == old(h.scount)
+{
+  var cur: Loc;
+  n := 1;
+  cur := h;
+  InferLCOutsideBr(s, h);
+  while (cur.snext != nil)
+    invariant br(s) == {}
+    invariant cur != nil
+    invariant n + cur.scount == old(h.scount) + 1
+  {
+    InferLCOutsideBr(s, cur);
+    n := n + 1;
+    cur := cur.snext;
+  }
+  InferLCOutsideBr(s, cur);
+}
+)IDS";

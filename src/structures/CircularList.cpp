@@ -1,0 +1,90 @@
+//===- structures/CircularList.cpp - Circular list benchmark ---------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Circular singly-linked lists via a scaffold: every node names the
+/// circle's distinguished last node (`last`), and a rational rank strictly
+/// decreases along `next` until the last node is reached — the scaffold is
+/// the acyclic list obtained by cutting the circle behind `last`. Ranks
+/// are order-dense, so insertion picks a rank strictly between its
+/// neighbours and no other node's ghost state changes (an exact distance
+/// map would shift globally on every insert).
+///
+//===----------------------------------------------------------------------===//
+
+#include "structures/Sources.h"
+
+const char *ids::structures::CircularListSource = R"IDS(
+structure CircularList {
+  field next: Loc;
+  field key: int;
+  ghost field prev: Loc;
+  ghost field last: Loc;
+  ghost field rank: rat;
+
+  // Every node is on a circle: next never dangles, the inverse pointer
+  // closes, the scaffold pointer `last` is shared with the successor, and
+  // ranks strictly decrease until the last node (acyclicity of the cut
+  // list: a cycle avoiding `last` would need rank < itself).
+  local c (x) {
+    x.next != nil && x.last != nil
+    && x.next.prev == x
+    && x.next.last == x.last
+    && (x.prev != nil ==> x.prev.next == x)
+    && (x != x.last ==> x.rank > x.next.rank)
+  }
+
+  correlation (y) { y.last == y }
+
+  impact next [c] { x, old(x.next) }
+  impact prev [c] { x, old(x.prev) }
+  impact last [c] { x, x.prev }
+  impact rank [c] { x, x.prev }
+}
+
+// Rotating a circular list is just stepping the entry point.
+procedure rotate(x: Loc) returns (h: Loc)
+  requires br(c) == {}
+  requires x != nil
+  ensures  br(c) == {}
+  ensures  h == old(x.next) && h != nil
+  ensures  h.last == old(x.last)
+{
+  InferLCOutsideBr(c, x);
+  h := x.next;
+}
+
+// Splice a fresh node between x and its successor. The new rank is the
+// midpoint of the neighbours' ranks — or one past the head's rank when
+// inserting behind the last node (where no upper bound constrains it).
+procedure insert_after(x: Loc, k: int) returns (z: Loc)
+  requires br(c) == {}
+  requires x != nil
+  ensures  br(c) == {}
+  ensures  z != nil && z != x
+  ensures  x.next == z && z.next == old(x.next)
+  ensures  z.key == k && z.last == old(x.last)
+  modifies {x, x.next}
+{
+  var y: Loc;
+  InferLCOutsideBr(c, x);
+  y := x.next;
+  InferLCOutsideBr(c, y);
+  NewObj(z);
+  Mut(z.key, k);
+  Mut(z.next, y);
+  Mut(x.next, z);
+  ghost {
+    Mut(y.prev, z);
+    Mut(z.prev, x);
+    Mut(z.last, x.last);
+    Mut(z.rank, ite(x == x.last, y.rank + 1, (x.rank + y.rank) / 2));
+  }
+  AssertLCAndRemove(c, z);
+  AssertLCAndRemove(c, y);
+  AssertLCAndRemove(c, x);
+}
+)IDS";

@@ -1,0 +1,146 @@
+//===- structures/RedBlackTree.cpp - Red-black tree benchmark --------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Red-black trees: the BST intrinsic definition extended with a color
+/// field and a black-height ghost map. The local condition states the two
+/// red-black invariants node-locally — a red node has no red child, and
+/// the black-heights computed through both children agree — so the global
+/// equal-black-count property is carried entirely by the bh map.
+/// count_blacks walks an arbitrary root-to-leaf path (steered by a key)
+/// and proves the number of black nodes met equals the root's map value.
+///
+//===----------------------------------------------------------------------===//
+
+#include "structures/Sources.h"
+
+const char *ids::structures::RedBlackTreeSource = R"IDS(
+structure RedBlackTree {
+  field l: Loc;
+  field r: Loc;
+  field key: int;
+  field red: bool;
+  ghost field p: Loc;
+  ghost field rank: rat;
+  ghost field bh: int;
+  ghost field min: int;
+  ghost field max: int;
+
+  // BST ordering via min/max and rational ranks (acyclicity), plus the
+  // red-black conditions: bh is the number of black nodes strictly below
+  // x on any path to a leaf (nil counts 0), both children agree on it,
+  // and red nodes have black children.
+  local t (x) {
+    x.min <= x.key && x.key <= x.max
+    && x.bh >= 0
+    && (x.p != nil ==> (x.p.l == x || x.p.r == x))
+    && (x.l == nil ==> x.min == x.key && x.bh == 0)
+    && (x.l != nil ==>
+          x.l.p == x && x.l.rank < x.rank
+       && x.l.max < x.key && x.min == x.l.min
+       && x.bh == x.l.bh + ite(x.l.red, 0, 1))
+    && (x.r == nil ==> x.max == x.key && x.bh == 0)
+    && (x.r != nil ==>
+          x.r.p == x && x.r.rank < x.rank
+       && x.key < x.r.min && x.max == x.r.max
+       && x.bh == x.r.bh + ite(x.r.red, 0, 1))
+    && (x.red ==> (x.l != nil ==> !x.l.red) && (x.r != nil ==> !x.r.red))
+  }
+
+  correlation (y) { y.p == nil }
+
+  impact l    [t] { x, old(x.l) }
+  impact r    [t] { x, old(x.r) }
+  impact p    [t] { x, old(x.p) }
+  impact key  [t] { x }
+  impact red  [t] { x, x.p }
+  impact bh   [t] { x, x.p }
+  impact min  [t] { x, x.p }
+  impact max  [t] { x, x.p }
+  impact rank [t] { x, x.p }
+}
+
+// Search by key, walking the ordering maps (as in the plain BST).
+procedure find(root: Loc, k: int) returns (res: Loc)
+  requires br(t) == {}
+  requires root != nil
+  ensures  br(t) == {}
+  ensures  res != nil ==> res.key == k
+{
+  var cur: Loc;
+  cur := root;
+  res := nil;
+  while (cur != nil && res == nil)
+    invariant br(t) == {}
+    invariant res != nil ==> res.key == k
+  {
+    InferLCOutsideBr(t, cur);
+    if (cur.key == k) {
+      res := cur;
+    } else {
+      if (k < cur.key) {
+        cur := cur.l;
+      } else {
+        cur := cur.r;
+      }
+    }
+  }
+}
+
+// The classic final step of red-black insertion: the root may be
+// repainted black unconditionally (no parent reads its color, and bh
+// counts strictly-below blacks only).
+procedure paint_root_black(root: Loc)
+  requires br(t) == {}
+  requires root != nil && root.p == nil
+  ensures  br(t) == {}
+  ensures  !root.red
+  ensures  root.bh == old(root.bh)
+  modifies {root}
+{
+  InferLCOutsideBr(t, root);
+  if (root.red) {
+    Mut(root.red, false);
+    AssertLCAndRemove(t, root);
+  }
+}
+
+// Walk an arbitrary root-to-leaf path (steered by k where possible) and
+// count the black nodes met: the count always equals the root's
+// black-height plus the root's own color contribution — the global
+// red-black balance property, recovered from the node-local bh map.
+procedure count_blacks(root: Loc, k: int) returns (n: int)
+  requires br(t) == {}
+  requires root != nil
+  ensures  br(t) == {}
+  ensures  n == old(root.bh) + ite(old(root.red), 0, 1)
+{
+  var cur: Loc;
+  n := 0;
+  cur := root;
+  InferLCOutsideBr(t, root);
+  while (cur.l != nil || cur.r != nil)
+    invariant br(t) == {}
+    invariant cur != nil
+    invariant n + cur.bh + ite(cur.red, 0, 1)
+                == old(root.bh) + ite(old(root.red), 0, 1)
+  {
+    InferLCOutsideBr(t, cur);
+    n := n + ite(cur.red, 0, 1);
+    if (k < cur.key && cur.l != nil) {
+      cur := cur.l;
+    } else {
+      if (cur.r != nil) {
+        cur := cur.r;
+      } else {
+        cur := cur.l;
+      }
+    }
+  }
+  InferLCOutsideBr(t, cur);
+  n := n + ite(cur.red, 0, 1);
+}
+)IDS";

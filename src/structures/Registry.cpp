@@ -13,17 +13,104 @@ using namespace ids::structures;
 
 const std::vector<Benchmark> &structures::allBenchmarks() {
   static const std::vector<Benchmark> All = {
-      {"singly-linked-list", "Singly-Linked List", SinglyLinkedListSource},
-      {"sorted-list", "Sorted List", SortedListSource},
-      {"bst", "Binary Search Tree", BstSource},
-      {"treap", "Treap", TreapSource},
+      {"singly-linked-list",
+       "Singly-Linked List",
+       "Plain linked lists with inverse pointers, lengths, key-sets and "
+       "heaplets (equation (2) minus sortedness)",
+       "list",
+       0,
+       {{"insert_front", "verified"}, {"find", "verified"}},
+       SinglyLinkedListSource},
+      {"sorted-list",
+       "Sorted List",
+       "The paper's running example: sorted lists with the monadic maps "
+       "of equation (2) and the recursive insertion of Figure 7",
+       "list,sorted",
+       0,
+       {{"find", "verified"}, {"insert", "verified"}},
+       SortedListSource},
+      {"sorted-list-minmax",
+       "Sorted List (min/max)",
+       "Sorted lists augmented with suffix-min/max maps; get_min/get_max "
+       "answer from the maps without scanning keys",
+       "list,sorted,minmax",
+       0,
+       {{"find", "verified"},
+        {"get_min", "verified"},
+        {"get_max", "verified"}},
+       SortedListMinMaxSource},
+      {"circular-list",
+       "Circular List",
+       "Circular singly-linked lists via a last-node scaffold: every node "
+       "names the circle's last node and a distance map decreases to it",
+       "list,circular,scaffold",
+       0,
+       {{"rotate", "verified"}, {"insert_after", "verified"}},
+       CircularListSource},
+      {"bst",
+       "Binary Search Tree",
+       "Binary search trees with parent pointers, rational ranks and "
+       "min/max ordering maps (Appendix D.2)",
+       "tree,ordered",
+       0,
+       {{"find", "verified"}, {"rotate_right", "verified"}},
+       BstSource},
+      {"bst-scaffold",
+       "BST + Scaffold",
+       "Binary search tree overlaid with an enumeration list over the "
+       "same nodes: two independent local-condition groups",
+       "tree,overlay,multigroup",
+       0,
+       {{"find", "verified"},
+        {"register_node", "verified"},
+        {"scaffold_length", "verified"}},
+       BstScaffoldSource},
+      {"avl",
+       "AVL Tree",
+       "Height-balanced search trees: exact height arithmetic and the "
+       "balanced right rotation of the left-left rebalancing case",
+       "tree,ordered,balanced,arith",
+       0,
+       {{"find", "verified"}, {"rotate_right", "verified"}},
+       AvlSource},
+      {"red-black-tree",
+       "Red-Black Tree",
+       "Red-black trees with color fields and a black-height ghost map; "
+       "count_blacks walks a path and checks the counted black nodes",
+       "tree,ordered,balanced,arith",
+       0,
+       {{"find", "verified"},
+        {"paint_root_black", "verified"},
+        {"count_blacks", "verified"}},
+       RedBlackTreeSource},
+      {"treap",
+       "Treap",
+       "BST on keys that is simultaneously a max-heap on priorities; the "
+       "priority order doubles as the rank",
+       "tree,ordered,heap",
+       0,
+       {{"find", "verified"}, {"find_max_prio_on_path", "verified"}},
+       TreapSource},
+      {"scheduler-queue",
+       "Scheduler Queue",
+       "Overlaid scheduler run-queue: a FIFO list group and a BST index "
+       "group over the same nodes sharing the key field",
+       "list,tree,overlay,multigroup",
+       0,
+       {{"find", "verified"}, {"enqueue", "verified"}},
+       SchedulerQueueSource},
   };
   return All;
 }
 
-const char *structures::findBenchmark(const std::string &Name) {
+const Benchmark *structures::findBenchmark(const std::string &Name) {
   for (const Benchmark &B : allBenchmarks())
     if (Name == B.Name)
-      return B.Source;
+      return &B;
   return nullptr;
+}
+
+const char *structures::findBenchmarkSource(const std::string &Name) {
+  const Benchmark *B = findBenchmark(Name);
+  return B ? B->Source : nullptr;
 }

@@ -10,31 +10,66 @@
 /// annotations, embedded as sources so tests/benches/examples are
 /// self-contained.
 ///
+/// Each entry is metadata-driven: besides the source, a benchmark
+/// carries a description, classification tags, the per-procedure
+/// verdicts it is expected to produce, and an optional default
+/// theory-check budget for procedures known to exceed the solver's reach
+/// (surfaced here instead of being hardcoded in drivers and CI scripts).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IDS_STRUCTURES_REGISTRY_H
 #define IDS_STRUCTURES_REGISTRY_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace ids {
 namespace structures {
 
+/// Expected verdict of one procedure under the default pipeline (with the
+/// benchmark's DefaultBudget applied, when set).
+struct ProcExpectation {
+  const char *Proc;
+  const char *Status; ///< "verified" | "unknown" | "failed"
+};
+
 struct Benchmark {
   /// Registry key, e.g. "singly-linked-list".
   const char *Name;
   /// Display name matching Table 2, e.g. "Singly-Linked List".
   const char *Table2Name;
+  /// One-line description of the structure and what it exercises.
+  const char *Description;
+  /// Comma-separated classification tags, e.g. "list,sorted,arith".
+  const char *Tags;
+  /// Default per-query theory-check budget applied by `--benchmark all`
+  /// (when the user did not pass --budget) and by bench_table2; 0 means
+  /// unbudgeted (every procedure is expected to verify outright).
+  uint64_t DefaultBudget;
+  /// Expected per-procedure statuses under the default pipeline.
+  std::vector<ProcExpectation> Expected;
   /// Full module source (structure + procedures).
   const char *Source;
+
+  /// Expected status of \p Proc; nullptr when the procedure is unknown.
+  const char *expectedStatus(const std::string &Proc) const {
+    for (const ProcExpectation &E : Expected)
+      if (Proc == E.Proc)
+        return E.Status;
+    return nullptr;
+  }
 };
 
 /// All benchmarks in Table 2 order.
 const std::vector<Benchmark> &allBenchmarks();
 
-/// Source by registry key; nullptr when unknown.
-const char *findBenchmark(const std::string &Name);
+/// Benchmark metadata by registry key; nullptr when unknown.
+const Benchmark *findBenchmark(const std::string &Name);
+
+/// Source by registry key; nullptr when unknown (convenience wrapper).
+const char *findBenchmarkSource(const std::string &Name);
 
 } // namespace structures
 } // namespace ids

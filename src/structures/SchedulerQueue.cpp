@@ -1,0 +1,131 @@
+//===- structures/SchedulerQueue.cpp - Overlaid scheduler queue ------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An overlaid scheduler run-queue: the same task nodes form a
+/// deadline-ordered dispatch list (group q) and a BST index (group t),
+/// over disjoint link fields but sharing the `key` (deadline) field —
+/// both groups read it, so its impact clause lists both groups at once.
+/// enqueue threads an urgent task onto the queue front and discharges
+/// both groups' broken sets; find searches through the index alone.
+///
+//===----------------------------------------------------------------------===//
+
+#include "structures/Sources.h"
+
+const char *ids::structures::SchedulerQueueSource = R"IDS(
+structure SchedQueue {
+  field qnext: Loc;
+  field l: Loc;
+  field r: Loc;
+  field key: int;
+  ghost field qprev: Loc;
+  ghost field qlen: int;
+  ghost field qkeys: set<int>;
+  ghost field p: Loc;
+  ghost field rank: rat;
+  ghost field min: int;
+  ghost field max: int;
+
+  // Group q: the dispatch list, ascending by deadline, with inverse
+  // pointers, lengths and key-sets (equation (2) over the q-fields).
+  local q (x) {
+    (x.qnext != nil ==>
+         x.key <= x.qnext.key
+      && x.qnext.qprev == x
+      && x.qlen == x.qnext.qlen + 1
+      && x.qkeys == {x.key} union x.qnext.qkeys)
+    && (x.qprev != nil ==> x.qprev.qnext == x)
+    && (x.qnext == nil ==> x.qlen == 1 && x.qkeys == {x.key})
+  }
+
+  // Group t: the BST index over the same nodes (Appendix D.2).
+  local t (x) {
+    x.min <= x.key && x.key <= x.max
+    && (x.p != nil ==> (x.p.l == x || x.p.r == x))
+    && (x.l == nil ==> x.min == x.key)
+    && (x.l != nil ==>
+          x.l.p == x && x.l.rank < x.rank
+       && x.l.max < x.key && x.min == x.l.min)
+    && (x.r == nil ==> x.max == x.key)
+    && (x.r != nil ==>
+          x.r.p == x && x.r.rank < x.rank
+       && x.key < x.r.min && x.max == x.r.max)
+  }
+
+  correlation (y) { y.qprev == nil }
+
+  impact qnext [q] { x, old(x.qnext) }
+  impact qprev [q] { x, old(x.qprev) }
+  impact qlen  [q] { x, x.qprev }
+  impact qkeys [q] { x, x.qprev }
+  // Both overlays read the deadline: one clause, one impact set per group.
+  impact key [t, q] { x, x.qprev }
+  impact l    [t] { x, old(x.l) }
+  impact r    [t] { x, old(x.r) }
+  impact p    [t] { x, old(x.p) }
+  impact min  [t] { x, x.p }
+  impact max  [t] { x, x.p }
+  impact rank [t] { x, x.p }
+}
+
+// Search by deadline through the BST index; the queue group is untouched.
+procedure find(root: Loc, k: int) returns (res: Loc)
+  requires br(t) == {}
+  requires root != nil
+  ensures  br(t) == {}
+  ensures  res != nil ==> res.key == k
+{
+  var cur: Loc;
+  cur := root;
+  res := nil;
+  while (cur != nil && res == nil)
+    invariant br(t) == {}
+    invariant res != nil ==> res.key == k
+  {
+    InferLCOutsideBr(t, cur);
+    if (cur.key == k) {
+      res := cur;
+    } else {
+      if (k < cur.key) {
+        cur := cur.l;
+      } else {
+        cur := cur.r;
+      }
+    }
+  }
+}
+
+// Thread a task more urgent than the current front onto the queue. The
+// fresh node enters both broken sets: it leaves q by linking ahead of h,
+// and leaves t as a detached singleton index node awaiting insertion.
+procedure enqueue(h: Loc, k: int) returns (z: Loc)
+  requires br(q) == {} && br(t) == {}
+  requires h != nil && h.qprev == nil
+  requires k <= h.key
+  ensures  br(q) == {} && br(t) == {}
+  ensures  z != nil && z.qnext == h && z.qprev == nil
+  ensures  z.qlen == old(h.qlen) + 1
+  ensures  z.qkeys == {k} union old(h.qkeys)
+  ensures  z.key == k && z.p == nil
+  modifies {h}
+{
+  InferLCOutsideBr(q, h);
+  NewObj(z);
+  Mut(z.key, k);
+  Mut(z.qnext, h);
+  ghost {
+    Mut(h.qprev, z);
+    Mut(z.qlen, h.qlen + 1);
+    Mut(z.qkeys, {k} union h.qkeys);
+    Mut(z.min, k);
+    Mut(z.max, k);
+  }
+  AssertLCAndRemove(q, z);
+  AssertLCAndRemove(q, h);
+  AssertLCAndRemove(t, z);
+}
+)IDS";

@@ -1,0 +1,110 @@
+//===- structures/SortedListMinMax.cpp - Sorted list (min/max) -------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sorted linked lists augmented with suffix-min/max maps (the "sorted
+/// list (min/max)" row of Table 2): because the list is sorted, the
+/// minimum of every suffix is the node's own key and the maximum is the
+/// last key, so get_min answers without any traversal and get_max walks
+/// the list carrying the map value as its invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#include "structures/Sources.h"
+
+const char *ids::structures::SortedListMinMaxSource = R"IDS(
+structure SortedListMinMax {
+  field next: Loc;
+  field key: int;
+  ghost field prev: Loc;
+  ghost field minv: int;
+  ghost field maxv: int;
+  ghost field keys: set<int>;
+
+  // Equation (2)'s sorted list with min/max maps in place of the
+  // length/heaplet maps: minv is the minimum of the suffix (the key
+  // itself, by sortedness), maxv the maximum (the last key).
+  local l (x) {
+    x.minv == x.key
+    && (x.next != nil ==>
+         x.key <= x.next.key
+      && x.next.prev == x
+      && x.maxv == x.next.maxv
+      && x.keys == {x.key} union x.next.keys)
+    && (x.prev != nil ==> x.prev.next == x)
+    && (x.next == nil ==> x.maxv == x.key && x.keys == {x.key})
+  }
+
+  correlation (y) { y.prev == nil }
+
+  impact next [l] { x, old(x.next) }
+  impact key  [l] { x, x.prev }
+  impact prev [l] { x, old(x.prev) }
+  impact minv [l] { x }
+  impact maxv [l] { x, x.prev }
+  impact keys [l] { x, x.prev }
+}
+
+// Membership via the keys map (as in the plain sorted list).
+procedure find(x: Loc, k: int) returns (found: bool)
+  requires br(l) == {}
+  requires x != nil
+  ensures  br(l) == {}
+  ensures  found <==> k in old(x.keys)
+{
+  var cur: Loc;
+  cur := x;
+  found := false;
+  InferLCOutsideBr(l, x);
+  while (cur != nil && !found)
+    invariant br(l) == {}
+    invariant found ==> k in x.keys
+    invariant (!found && cur != nil) ==> (k in x.keys <==> k in cur.keys)
+    invariant (!found && cur == nil) ==> !(k in x.keys)
+  {
+    InferLCOutsideBr(l, cur);
+    if (cur.key == k) {
+      found := true;
+    } else {
+      cur := cur.next;
+    }
+  }
+}
+
+// The suffix minimum of a sorted list is the head key: O(1) from the map.
+procedure get_min(x: Loc) returns (r: int)
+  requires br(l) == {}
+  requires x != nil
+  ensures  br(l) == {}
+  ensures  r == old(x.minv)
+{
+  InferLCOutsideBr(l, x);
+  r := x.key;
+}
+
+// Walk to the last node; the maxv map is constant along the list, so the
+// final key is the suffix maximum of the head.
+procedure get_max(x: Loc) returns (r: int)
+  requires br(l) == {}
+  requires x != nil
+  ensures  br(l) == {}
+  ensures  r == old(x.maxv)
+{
+  var cur: Loc;
+  cur := x;
+  InferLCOutsideBr(l, x);
+  while (cur.next != nil)
+    invariant br(l) == {}
+    invariant cur != nil
+    invariant cur.maxv == old(x.maxv)
+  {
+    InferLCOutsideBr(l, cur);
+    cur := cur.next;
+  }
+  InferLCOutsideBr(l, cur);
+  r := cur.key;
+}
+)IDS";

@@ -38,13 +38,35 @@ TEST(RegistryTest, ListIsNonEmptyAndUnique) {
 }
 
 TEST(RegistryTest, FindBenchmarkRoundTrips) {
-  for (const structures::Benchmark &B : structures::allBenchmarks())
-    EXPECT_EQ(structures::findBenchmark(B.Name), B.Source) << B.Name;
+  for (const structures::Benchmark &B : structures::allBenchmarks()) {
+    const structures::Benchmark *Found = structures::findBenchmark(B.Name);
+    ASSERT_NE(Found, nullptr) << B.Name;
+    EXPECT_EQ(Found->Source, B.Source) << B.Name;
+    EXPECT_EQ(structures::findBenchmarkSource(B.Name), B.Source) << B.Name;
+  }
 }
 
 TEST(RegistryTest, FindBenchmarkUnknownIsNull) {
   EXPECT_EQ(structures::findBenchmark("no-such-structure"), nullptr);
   EXPECT_EQ(structures::findBenchmark(""), nullptr);
+  EXPECT_EQ(structures::findBenchmarkSource("no-such-structure"), nullptr);
+}
+
+TEST(RegistryTest, MetadataIsComplete) {
+  // The metadata-driven registry: every entry carries a description,
+  // tags and at least one expected per-procedure verdict, and every
+  // expectation names a legal status.
+  for (const structures::Benchmark &B : structures::allBenchmarks()) {
+    EXPECT_NE(B.Description, nullptr) << B.Name;
+    EXPECT_NE(B.Tags, nullptr) << B.Name;
+    ASSERT_FALSE(B.Expected.empty()) << B.Name;
+    for (const structures::ProcExpectation &E : B.Expected) {
+      std::string St = E.Status;
+      EXPECT_TRUE(St == "verified" || St == "unknown" || St == "failed")
+          << B.Name << "." << E.Proc << ": " << St;
+    }
+    EXPECT_EQ(B.expectedStatus("no-such-proc"), nullptr);
+  }
 }
 
 TEST(DriverTest, FrontEndAcceptsEveryBenchmark) {

@@ -206,3 +206,38 @@ procedure p(a: Loc) returns (r: Loc) { r := a; }
   ASSERT_TRUE(M != nullptr);
   EXPECT_EQ(localConditionSize(M->Structure), 2u);
 }
+
+TEST(WellBehavedTest, SharedFieldNeedsImpactForEveryGroup) {
+  // A field read by two local-condition groups: mutating it with an
+  // impact set declared for only one group violates the Mutation rule
+  // for the other; the multi-group clause fixes it.
+  const char *Tmpl = R"(
+structure S {
+  field next: Loc;
+  field key: int;
+  local a (x) { x.key >= 0 }
+  local b (x) { x.next != nil ==> x.key <= x.next.key }
+  impact next [b] { x }
+  IMPACTS
+}
+procedure p(v: Loc)
+  requires v != nil
+{
+  Mut(v.key, 1);
+}
+)";
+  auto Run = [&](const std::string &Impacts) {
+    std::string Src = Tmpl;
+    Src.replace(Src.find("IMPACTS"), 7, Impacts);
+    DiagEngine Diags;
+    auto M = parseModule(Src, Diags);
+    EXPECT_TRUE(M != nullptr) << Diags.toString();
+    if (!M)
+      return false;
+    EXPECT_TRUE(typeCheck(*M, Diags)) << Diags.toString();
+    return checkWellBehaved(*M, Diags);
+  };
+  EXPECT_FALSE(Run("impact key [a] { x }"));
+  EXPECT_FALSE(Run("impact key [b] { x }"));
+  EXPECT_TRUE(Run("impact key [a, b] { x }"));
+}

@@ -148,3 +148,44 @@ TEST(ParserTest, ErrorRecoveryReportsLocation) {
   EXPECT_TRUE(Diags.hasErrors());
   EXPECT_TRUE(Diags.diagnostics()[0].Loc.isValid());
 }
+
+TEST(ParserTest, MultiGroupImpactDesugars) {
+  // `impact f [g1, g2] { ... }` declares one impact set per listed group,
+  // sharing the terms (overlaid structures whose groups read one field).
+  auto M = parseOk(R"(
+structure S {
+  field next: Loc;
+  field key: int;
+  ghost field prev: Loc;
+  local a (x) { x.key >= 0 }
+  local b (x) { x.next != nil ==> x.key <= x.next.key }
+  impact key [a, b] { x, x.prev }
+  impact next [b] { x, old(x.next) }
+}
+)");
+  const StructureDecl &S = M->Structure;
+  ASSERT_EQ(S.Impacts.size(), 3u);
+  EXPECT_EQ(S.Impacts[0].Field, "key");
+  EXPECT_EQ(S.Impacts[0].Group, "a");
+  EXPECT_EQ(S.Impacts[1].Field, "key");
+  EXPECT_EQ(S.Impacts[1].Group, "b");
+  ASSERT_EQ(S.Impacts[0].Terms.size(), 2u);
+  ASSERT_EQ(S.Impacts[1].Terms.size(), 2u);
+  EXPECT_EQ(S.Impacts[0].Terms[0], S.Impacts[1].Terms[0]);
+  EXPECT_EQ(S.Impacts[2].Field, "next");
+  EXPECT_EQ(S.Impacts[2].Group, "b");
+}
+
+TEST(ParserTest, EmptyImpactGroupListRejected) {
+  DiagEngine Diags;
+  auto M = parseModule(R"(
+structure S {
+  field key: int;
+  local a (x) { x.key >= 0 }
+  impact key [] { x }
+}
+)",
+                       Diags);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}

@@ -201,3 +201,85 @@ procedure p(a: Loc) returns (r: int)
 }
 )"));
 }
+
+TEST(TypeCheckTest, UnknownGroupInImpactRejected) {
+  DiagEngine Diags;
+  auto M = parseModule(R"(
+structure S {
+  field key: int;
+  local l (x) { x.key >= 0 }
+  impact key [nope] { x }
+}
+)",
+                       Diags);
+  ASSERT_TRUE(M != nullptr) << Diags.toString();
+  EXPECT_FALSE(typeCheck(*M, Diags));
+  EXPECT_NE(Diags.toString().find("unknown group"), std::string::npos)
+      << Diags.toString();
+}
+
+TEST(TypeCheckTest, UnknownGroupInMultiGroupImpactRejected) {
+  DiagEngine Diags;
+  auto M = parseModule(R"(
+structure S {
+  field key: int;
+  local l (x) { x.key >= 0 }
+  impact key [l, nope] { x }
+}
+)",
+                       Diags);
+  ASSERT_TRUE(M != nullptr) << Diags.toString();
+  EXPECT_FALSE(typeCheck(*M, Diags));
+}
+
+TEST(TypeCheckTest, OverlappingImpactClaimsRejected) {
+  // Two impact sets for the same (field, group) pair would race to define
+  // one mutation's broken-set growth.
+  DiagEngine Diags;
+  auto M = parseModule(R"(
+structure S {
+  field key: int;
+  local l (x) { x.key >= 0 }
+  impact key [l] { x }
+  impact key [l] { x }
+}
+)",
+                       Diags);
+  ASSERT_TRUE(M != nullptr) << Diags.toString();
+  EXPECT_FALSE(typeCheck(*M, Diags));
+  EXPECT_NE(Diags.toString().find("duplicate impact set"),
+            std::string::npos)
+      << Diags.toString();
+}
+
+TEST(TypeCheckTest, RepeatedGroupInOneImpactClauseRejected) {
+  // `impact f [l, l]` desugars to a duplicate pair — same error.
+  DiagEngine Diags;
+  auto M = parseModule(R"(
+structure S {
+  field key: int;
+  local l (x) { x.key >= 0 }
+  impact key [l, l] { x }
+}
+)",
+                       Diags);
+  ASSERT_TRUE(M != nullptr) << Diags.toString();
+  EXPECT_FALSE(typeCheck(*M, Diags));
+}
+
+TEST(TypeCheckTest, DistinctGroupsMayShareAField) {
+  DiagEngine Diags;
+  auto M = parseModule(R"(
+structure S {
+  field next: Loc;
+  field key: int;
+  local a (x) { x.key >= 0 }
+  local b (x) { x.next != nil ==> x.key <= x.next.key }
+  impact key [a, b] { x }
+  impact next [b] { x, old(x.next) }
+}
+)",
+                       Diags);
+  ASSERT_TRUE(M != nullptr) << Diags.toString();
+  EXPECT_TRUE(typeCheck(*M, Diags)) << Diags.toString();
+}

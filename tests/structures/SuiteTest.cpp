@@ -24,7 +24,7 @@ using namespace ids::driver;
 
 namespace {
 ModuleResult run(const char *Bench, VerifyOptions Opts) {
-  const char *Src = structures::findBenchmark(Bench);
+  const char *Src = structures::findBenchmarkSource(Bench);
   EXPECT_NE(Src, nullptr) << Bench;
   DiagEngine Diags;
   ModuleResult R = verifySource(Src, Opts, Diags);
@@ -84,8 +84,14 @@ TEST(SuiteTest, LcSizesMatchExpectations) {
   } Rows[] = {
       {"singly-linked-list", 8},
       {"sorted-list", 9},
+      {"sorted-list-minmax", 8},
+      {"circular-list", 6},
       {"bst", 13},
+      {"bst-scaffold", 17},
+      {"avl", 22},
+      {"red-black-tree", 20},
       {"treap", 13},
+      {"scheduler-queue", 20},
   };
   for (const Row &Want : Rows) {
     VerifyOptions Opts;
@@ -102,7 +108,7 @@ namespace {
 /// methodology: broken annotations must not verify).
 void expectMutationCaught(const char *Bench, const std::string &From,
                           const std::string &To) {
-  std::string Src = structures::findBenchmark(Bench);
+  std::string Src = structures::findBenchmarkSource(Bench);
   size_t Pos = Src.find(From);
   ASSERT_NE(Pos, std::string::npos) << From;
   Src.replace(Pos, From.size(), To);
@@ -145,8 +151,81 @@ TEST(SuiteTest, MutationWrongBstGuardCaught) {
                        "if (cur.key <= k) {\n      res := cur;");
 }
 
+namespace {
+/// Every procedure of \p Bench verifies under the default options (used
+/// for the fast benchmarks; the slow ones run in bench_table2/e2e).
+void expectAllVerified(const char *Bench) {
+  VerifyOptions Opts;
+  Opts.CheckImpacts = false;
+  ModuleResult R = run(Bench, Opts);
+  EXPECT_FALSE(R.Procs.empty()) << Bench;
+  for (const ProcResult &P : R.Procs)
+    EXPECT_EQ(P.St, Status::Verified)
+        << Bench << "." << P.Name << ": " << P.FailedObligation;
+}
+} // namespace
+
+TEST(SuiteTest, SortedListMinMaxVerifies) {
+  expectAllVerified("sorted-list-minmax");
+}
+
+TEST(SuiteTest, CircularListVerifies) { expectAllVerified("circular-list"); }
+
+TEST(SuiteTest, BstScaffoldVerifies) { expectAllVerified("bst-scaffold"); }
+
+TEST(SuiteTest, AvlVerifies) { expectAllVerified("avl"); }
+
+TEST(SuiteTest, RedBlackTreeVerifies) {
+  expectAllVerified("red-black-tree");
+}
+
+TEST(SuiteTest, SchedulerQueueVerifies) {
+  expectAllVerified("scheduler-queue");
+}
+
+TEST(SuiteTest, MutationWrongMaxvRepairCaught) {
+  // Breaking the maxv propagation in the min/max list must fail get_max.
+  expectMutationCaught("sorted-list-minmax",
+                       "&& x.maxv == x.next.maxv", "");
+}
+
+TEST(SuiteTest, MutationCircularRankMidpointCaught) {
+  // Inserting with the predecessor's rank (not the midpoint) breaks the
+  // strict rank decrease at the new node or its predecessor.
+  expectMutationCaught("circular-list",
+                       "ite(x == x.last, y.rank + 1, (x.rank + y.rank) / 2)",
+                       "x.rank");
+}
+
+TEST(SuiteTest, MutationAvlSearchGuardCaught) {
+  // As for the BST: returning a node without checking its key must break
+  // find's postcondition (the slow rotate-arithmetic mutations are
+  // exercised by the e2e goldens, not the unit suite).
+  expectMutationCaught("avl", "if (cur.key == k) {\n      res := cur;",
+                       "if (cur.key <= k) {\n      res := cur;");
+}
+
+TEST(SuiteTest, MutationRbtBlackCountCaught) {
+  // Counting red nodes as black breaks the black-height postcondition.
+  expectMutationCaught("red-black-tree",
+                       "n := n + ite(cur.red, 0, 1);\n}",
+                       "n := n + 1;\n}");
+}
+
+TEST(SuiteTest, MutationSchedulerOrderCaught) {
+  // Dropping enqueue's urgency precondition breaks the queue's key order.
+  expectMutationCaught("scheduler-queue", "requires k <= h.key", "");
+}
+
+TEST(SuiteTest, MutationScaffoldCountCaught) {
+  // Registering without bumping the count breaks LC(s, z).
+  expectMutationCaught("bst-scaffold",
+                       "Mut(z.scount, h.scount + 1);",
+                       "Mut(z.scount, h.scount);");
+}
+
 TEST(SuiteTest, RegistryLookupBehaves) {
-  EXPECT_NE(structures::findBenchmark("sorted-list"), nullptr);
-  EXPECT_EQ(structures::findBenchmark("no-such-structure"), nullptr);
+  EXPECT_NE(structures::findBenchmarkSource("sorted-list"), nullptr);
+  EXPECT_EQ(structures::findBenchmarkSource("no-such-structure"), nullptr);
   EXPECT_GE(structures::allBenchmarks().size(), 4u);
 }

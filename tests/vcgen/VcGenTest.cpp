@@ -14,7 +14,11 @@
 
 #include "driver/Verifier.h"
 
+#include "vcgen/VcGen.h"
+
 #include <gtest/gtest.h>
+
+#include <set>
 
 using namespace ids;
 using namespace ids::driver;
@@ -361,4 +365,120 @@ procedure caller(a: Loc) returns (r: int)
   for (const ProcResult &P : R.Procs)
     EXPECT_EQ(P.St, Status::Verified) << P.Name << ": "
                                       << P.FailedObligation;
+}
+
+namespace {
+void collectVarNames(smt::TermRef T, std::set<const smt::Term *> &Seen,
+                     std::set<std::string> &Names) {
+  if (!Seen.insert(T).second)
+    return;
+  if (T->getKind() == smt::TermKind::Var)
+    Names.insert(T->getName());
+  for (smt::TermRef A : T->getArgs())
+    collectVarNames(A, Seen, Names);
+}
+
+bool anyWithPrefix(const std::set<std::string> &Names,
+                   const std::string &Prefix) {
+  for (const std::string &N : Names)
+    if (N.compare(0, Prefix.size(), Prefix) == 0)
+      return true;
+  return false;
+}
+} // namespace
+
+namespace {
+// A well-formed overlay: group a constrains the key alone, group b is a
+// counted sorted list; both read `key`, so its impact clause lists both
+// groups (each with the inverse-pointer-bounded terms).
+const char *Overlay = R"(
+structure S {
+  field next: Loc;
+  field key: int;
+  ghost field prev: Loc;
+  ghost field qlen: int;
+  local a (x) { x.key >= 0 }
+  local b (x) { (x.next != nil ==> x.next.prev == x
+                                && x.key <= x.next.key
+                                && x.qlen == x.next.qlen + 1)
+             && (x.prev != nil ==> x.prev.next == x)
+             && (x.next == nil ==> x.qlen == 1) }
+  impact key  [a, b] { x, x.prev }
+  impact qlen [b] { x, x.prev }
+  impact next [b] { x, old(x.next) }
+  impact prev [b] { x, old(x.prev) }
+}
+procedure p(v: Loc)
+  requires br(a) == {} && br(b) == {}
+  requires v != nil && v.next == nil && v.prev == nil
+  ensures  br(a) == {} && br(b) == {}
+  modifies {v}
+{
+  Mut(v.key, 1);
+  ghost { Mut(v.qlen, 1); }
+  REPAIRS
+}
+)";
+
+std::string overlayWith(const std::string &Repairs) {
+  std::string Src = Overlay;
+  Src.replace(Src.find("REPAIRS"), 7, Repairs);
+  return Src;
+}
+} // namespace
+
+TEST(VcGenTest, OverlaidGroupsBothAppearInObligations) {
+  // An overlaid structure: two local-condition groups over the same
+  // nodes. The generated VC must thread BOTH broken sets — the macros
+  // acting on group a leave group b's set alone and vice versa, and the
+  // postcondition obligations mention the two sets side by side.
+  std::string Src =
+      overlayWith("AssertLCAndRemove(a, v);\n  AssertLCAndRemove(b, v);");
+  DiagEngine Diags;
+  std::unique_ptr<lang::Module> M = driver::frontEnd(Src, Diags);
+  ASSERT_TRUE(M != nullptr) << Diags.toString();
+  smt::TermManager TM;
+  vcgen::ProcVc Vc =
+      vcgen::generateVc(TM, *M, M->Procs[0], vcgen::VcOptions());
+  ASSERT_FALSE(Vc.Obligations.empty());
+
+  // Across the whole VC both groups' broken-set incarnations occur.
+  std::set<const smt::Term *> Seen;
+  std::set<std::string> All;
+  for (const vcgen::Obligation &O : Vc.Obligations) {
+    collectVarNames(O.Guard, Seen, All);
+    collectVarNames(O.Claim, Seen, All);
+  }
+  EXPECT_TRUE(anyWithPrefix(All, "Br_a")) << "no Br_a incarnation in VC";
+  EXPECT_TRUE(anyWithPrefix(All, "Br_b")) << "no Br_b incarnation in VC";
+
+  // The two local-condition obligations target their own groups.
+  unsigned LcA = 0, LcB = 0;
+  for (const vcgen::Obligation &O : Vc.Obligations) {
+    if (O.Description.find("local condition 'a'") != std::string::npos)
+      ++LcA;
+    if (O.Description.find("local condition 'b'") != std::string::npos)
+      ++LcB;
+  }
+  EXPECT_EQ(LcA, 1u);
+  EXPECT_EQ(LcB, 1u);
+
+  // And the module verifies end-to-end — impact sets included: the
+  // overlay's obligations are jointly dischargeable.
+  ModuleResult R = verify(Src);
+  EXPECT_TRUE(R.allVerified())
+      << (R.Procs.empty() ? std::string() : R.Procs[0].FailedObligation);
+}
+
+TEST(VcGenTest, MultiGroupImpactGrowsBothBrokenSets) {
+  // A shared field's multi-group impact clause: one Mut pushes the
+  // mutated node into BOTH groups' broken sets, so forgetting either
+  // group's AssertLCAndRemove leaves the postcondition refutable.
+  auto Run = [&](const std::string &Repairs) {
+    ModuleResult R = verify(overlayWith(Repairs));
+    return R.allVerified();
+  };
+  EXPECT_TRUE(Run("AssertLCAndRemove(a, v);\n  AssertLCAndRemove(b, v);"));
+  EXPECT_FALSE(Run("AssertLCAndRemove(a, v);"));
+  EXPECT_FALSE(Run("AssertLCAndRemove(b, v);"));
 }
