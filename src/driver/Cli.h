@@ -1,0 +1,58 @@
+//===- driver/Cli.h - ids-verify command-line parsing ----------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line parsing for `ids-verify`, split from main() so the
+/// validation rules are unit-testable: every value-taking flag reports
+/// `missing argument for --flag` when the value is absent, and numeric
+/// flags reject non-numeric or negative values instead of the old
+/// atoi/atof behaviour (`--jobs abc` silently meant 0 = every core,
+/// `--jobs -4` wrapped through the unsigned cast to ~4 billion workers).
+/// Any parse error maps to CLI exit code 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_DRIVER_CLI_H
+#define IDS_DRIVER_CLI_H
+
+#include "driver/Verifier.h"
+
+#include <string>
+
+namespace ids {
+namespace driver {
+
+struct CliArgs {
+  enum class Command {
+    Usage,   ///< no input given: print usage, exit 2
+    List,    ///< --list
+    OneShot, ///< verify FILE or --benchmark NAME once
+    BenchAll,///< --benchmark all
+    Serve,   ///< long-lived line-JSON daemon on stdin/stdout
+  };
+
+  Command Cmd = Command::Usage;
+  VerifyOptions Opts;
+  std::string File;      ///< positional .ids path (OneShot)
+  std::string BenchName; ///< --benchmark NAME
+  std::string CacheDir;  ///< --cache-dir DIR ("" = memory-only)
+  bool ShowStats = false;
+
+  /// Non-empty when parsing failed; the caller prints it and exits 2.
+  std::string Error;
+  bool ok() const { return Error.empty(); }
+};
+
+/// Parses argv (argv[0] is skipped). Never exits or prints.
+CliArgs parseCli(int Argc, const char *const *Argv);
+
+/// The full usage/help text.
+const char *usageText();
+
+} // namespace driver
+} // namespace ids
+
+#endif // IDS_DRIVER_CLI_H

@@ -1,0 +1,228 @@
+//===- driver/Serve.cpp - verification-as-a-service loop -------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Serve.h"
+
+#include "driver/VerifierInstance.h"
+#include "structures/Registry.h"
+#include "support/Json.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace ids;
+using namespace ids::driver;
+
+namespace {
+
+json::Value errorResponse(const json::Value *Id, const std::string &Msg) {
+  json::Value R = json::Value::object();
+  if (Id)
+    R.set("id", *Id);
+  R.set("ok", json::Value::boolean(false));
+  R.set("error", json::Value::string(Msg));
+  return R;
+}
+
+const char *statusName(Status St) {
+  switch (St) {
+  case Status::Verified:
+    return "verified";
+  case Status::Failed:
+    return "failed";
+  case Status::Unknown:
+    break;
+  }
+  return "unknown";
+}
+
+/// Reads an optional boolean request field; false return = type error.
+bool readBool(const json::Value &Req, const char *Key, bool &Out,
+              std::string &Err) {
+  const json::Value *V = Req.get(Key);
+  if (!V)
+    return true;
+  if (!V->isBool()) {
+    Err = std::string("field '") + Key + "' must be a boolean";
+    return false;
+  }
+  Out = V->asBool();
+  return true;
+}
+
+/// Reads an optional non-negative number field; false return = type error.
+bool readNumber(const json::Value &Req, const char *Key, double &Out,
+                std::string &Err) {
+  const json::Value *V = Req.get(Key);
+  if (!V)
+    return true;
+  if (!V->isNumber() || V->asNumber() < 0) {
+    Err = std::string("field '") + Key + "' must be a non-negative number";
+    return false;
+  }
+  Out = V->asNumber();
+  return true;
+}
+
+json::Value handleRequest(VerifierInstance &Inst, const CliArgs &Base,
+                          const std::string &Line) {
+  std::string ParseErr;
+  json::Value Req = json::Value::parse(Line, ParseErr);
+  if (!ParseErr.empty())
+    return errorResponse(nullptr, "invalid request: " + ParseErr);
+  if (!Req.isObject())
+    return errorResponse(nullptr, "invalid request: expected a JSON object");
+  const json::Value *Id = Req.get("id");
+
+  // ---- Source selection: exactly one of source/path/benchmark. ----
+  const json::Value *Src = Req.get("source");
+  const json::Value *Path = Req.get("path");
+  const json::Value *Bench = Req.get("benchmark");
+  int Selectors = (Src != nullptr) + (Path != nullptr) + (Bench != nullptr);
+  if (Selectors != 1)
+    return errorResponse(
+        Id, "request must carry exactly one of \"source\", \"path\", "
+            "\"benchmark\"");
+  std::string Source;
+  if (Src) {
+    if (!Src->isString())
+      return errorResponse(Id, "field 'source' must be a string");
+    Source = Src->asString();
+  } else if (Path) {
+    if (!Path->isString())
+      return errorResponse(Id, "field 'path' must be a string");
+    std::ifstream In(Path->asString());
+    if (!In)
+      return errorResponse(Id, "cannot open '" + Path->asString() + "'");
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  } else {
+    if (!Bench->isString())
+      return errorResponse(Id, "field 'benchmark' must be a string");
+    const char *S = structures::findBenchmarkSource(Bench->asString());
+    if (!S)
+      return errorResponse(Id, "unknown benchmark '" + Bench->asString() +
+                                   "' (try the --list command)");
+    Source = S;
+  }
+
+  // ---- Per-request option overrides on top of the CLI defaults. ----
+  VerifyOptions Opts = Base.Opts;
+  std::string Err;
+  bool Quant = Opts.QuantifiedMode, Frames = Opts.CheckFrames,
+       Impacts = Opts.CheckImpacts, Reverify = !Opts.ReuseProcVerdicts;
+  if (!readBool(Req, "quant", Quant, Err) ||
+      !readBool(Req, "frames", Frames, Err) ||
+      !readBool(Req, "impacts", Impacts, Err) ||
+      !readBool(Req, "reverify", Reverify, Err))
+    return errorResponse(Id, Err);
+  Opts.QuantifiedMode = Quant;
+  Opts.CheckFrames = Frames;
+  Opts.CheckImpacts = Impacts;
+  Opts.ReuseProcVerdicts = !Reverify;
+  double Budget = -1;
+  if (!readNumber(Req, "budget", Budget, Err) ||
+      !readNumber(Req, "timeout", Opts.QueryTimeoutSeconds, Err) ||
+      !readNumber(Req, "request_timeout", Opts.TotalTimeoutSeconds, Err))
+    return errorResponse(Id, Err);
+  if (Budget >= 0)
+    Opts.MaxTheoryChecks = static_cast<uint64_t>(Budget);
+  if (const json::Value *P = Req.get("proc")) {
+    if (!P->isString())
+      return errorResponse(Id, "field 'proc' must be a string");
+    Opts.OnlyProc = P->asString();
+  }
+
+  // ---- Verify, with the request isolated from the daemon. ----
+  DiagEngine Diags;
+  ModuleResult R;
+  try {
+    R = Inst.verify(Source, Opts, Diags);
+  } catch (const std::exception &E) {
+    return errorResponse(Id, std::string("internal error: ") + E.what());
+  } catch (...) {
+    return errorResponse(Id, "internal error: unknown exception");
+  }
+  if (!R.FrontEndOk)
+    return errorResponse(Id, "front-end rejected module: " +
+                                 Diags.toString());
+
+  json::Value Resp = json::Value::object();
+  if (Id)
+    Resp.set("id", *Id);
+  Resp.set("ok", json::Value::boolean(true));
+  Resp.set("structure", json::Value::string(R.StructureName));
+  Resp.set("lc_size", json::Value::number(R.LcSize));
+  Resp.set("all_verified", json::Value::boolean(R.allVerified()));
+  json::Value Imps = json::Value::array();
+  for (const ImpactResult &I : R.Impacts) {
+    json::Value V = json::Value::object();
+    V.set("field", json::Value::string(I.Field));
+    V.set("group", json::Value::string(I.Group));
+    V.set("ok", json::Value::boolean(I.Ok));
+    V.set("cached", json::Value::boolean(I.Cached));
+    if (I.TimedOut)
+      V.set("timed_out", json::Value::boolean(true));
+    Imps.push(std::move(V));
+  }
+  Resp.set("impacts", std::move(Imps));
+  json::Value Procs = json::Value::array();
+  for (const ProcResult &P : R.Procs) {
+    // name-first, status-adjacent member order is part of the protocol:
+    // the serve e2e test textually matches "name":"x","status":"y".
+    json::Value V = json::Value::object();
+    V.set("name", json::Value::string(P.Name));
+    V.set("status", json::Value::string(statusName(P.St)));
+    V.set("cached", json::Value::boolean(P.Cached));
+    V.set("seconds", json::Value::number(P.Seconds));
+    V.set("obligations", json::Value::number(P.NumObligations));
+    if (P.St != Status::Verified) {
+      V.set("failed_obligation", json::Value::string(P.FailedObligation));
+      if (!P.Counterexample.empty())
+        V.set("counterexample", json::Value::string(P.Counterexample));
+    }
+    Procs.push(std::move(V));
+  }
+  Resp.set("procs", std::move(Procs));
+  return Resp;
+}
+
+} // namespace
+
+int driver::runServe(const CliArgs &Base, std::istream &In,
+                     std::ostream &Out) {
+  VerifierInstance Inst;
+  if (!Base.CacheDir.empty()) {
+    std::string Error;
+    if (!Inst.attachCacheDir(Base.CacheDir, Error)) {
+      std::cerr << Error << "\n";
+      return 2;
+    }
+  }
+  std::string Line;
+  while (std::getline(In, Line)) {
+    // Blank lines keep the connection alive without a response burst.
+    bool Blank = true;
+    for (char C : Line)
+      Blank = Blank && (C == ' ' || C == '\t' || C == '\r');
+    if (Blank)
+      continue;
+    json::Value Resp;
+    try {
+      Resp = handleRequest(Inst, Base, Line);
+    } catch (const std::exception &E) {
+      Resp = errorResponse(nullptr, std::string("internal error: ") + E.what());
+    } catch (...) {
+      Resp = errorResponse(nullptr, "internal error: unknown exception");
+    }
+    Out << Resp.serialize() << "\n" << std::flush;
+  }
+  if (!Base.CacheDir.empty())
+    std::cerr << Inst.cacheSummary() << "\n";
+  return 0;
+}

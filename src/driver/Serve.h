@@ -1,0 +1,58 @@
+//===- driver/Serve.h - verification-as-a-service loop ---------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `ids-verify serve`: a long-lived daemon answering line-delimited JSON
+/// verify requests on stdin with one JSON response line each on stdout.
+/// The warm state (query cache, procedure-verdict cache, optionally
+/// disk-backed via --cache-dir) lives in one VerifierInstance across all
+/// requests. Requests are isolated: a malformed request, a front-end
+/// rejection or an internal error produces an `{"ok":false,...}` response
+/// and the loop continues.
+///
+/// Request object (exactly one source selector required):
+///   {"source": "<ids text>"}   verify inline module text
+///   {"path": "<file.ids>"}     verify a file
+///   {"benchmark": "<name>"}    verify an embedded benchmark
+/// Optional fields (overriding the serve command line's defaults):
+///   "id": any value, echoed back verbatim for request correlation
+///   "proc": string             verify only this procedure
+///   "budget": integer          per-query theory-check budget
+///   "timeout": seconds         per-query wall-clock budget
+///   "request_timeout": seconds whole-request wall-clock budget
+///   "quant": bool, "frames": bool, "impacts": bool, "reverify": bool
+///     (reverify=true forces re-solving even on verdict-cache hits)
+///
+/// Response: {"id":...,"ok":true,"structure":...,"lc_size":N,
+///   "all_verified":bool,"impacts":[{"field":..,"group":..,"ok":..,
+///   "cached":..,"timed_out":..}],"procs":[{"name":..,"status":
+///   "verified"|"failed"|"unknown","cached":..,"seconds":..,
+///   "obligations":N,"failed_obligation":..,"counterexample":..}]}
+/// or {"id":...,"ok":false,"error":"..."}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_DRIVER_SERVE_H
+#define IDS_DRIVER_SERVE_H
+
+#include "driver/Cli.h"
+
+#include <iosfwd>
+
+namespace ids {
+namespace driver {
+
+/// Runs the serve loop reading \p In line by line and writing one
+/// response line per request to \p Out (flushed after every response).
+/// \p Base carries the command-line defaults (budget, timeouts, cache
+/// dir already attached by the caller's instance setup). Returns the
+/// process exit code (0 on orderly stdin EOF).
+int runServe(const CliArgs &Base, std::istream &In, std::ostream &Out);
+
+} // namespace driver
+} // namespace ids
+
+#endif // IDS_DRIVER_SERVE_H

@@ -6,12 +6,9 @@
 
 #include "driver/Verifier.h"
 
+#include "driver/VerifierInstance.h"
 #include "lang/Parser.h"
 #include "lang/TypeCheck.h"
-#include "pipeline/Pipeline.h"
-#include "vcgen/VcGen.h"
-
-#include <chrono>
 
 using namespace ids;
 using namespace ids::driver;
@@ -30,98 +27,15 @@ std::unique_ptr<lang::Module> driver::frontEnd(const std::string &Source,
   return M;
 }
 
-namespace {
-double seconds(std::chrono::steady_clock::time_point Start) {
-  auto End = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(End - Start).count();
-}
-
-pipeline::Options pipelineOptions(const VerifyOptions &Opts) {
-  pipeline::Options P;
-  P.Simplify = Opts.SimplifyVc;
-  P.Slice = Opts.SliceVc;
-  P.Cache = Opts.CacheQueries;
-  P.Incremental = Opts.Incremental;
-  P.Jobs = Opts.Jobs;
-  P.VcSplits = Opts.VcSplits;
-  P.AllowQuantifiers = Opts.QuantifiedMode;
-  P.CrossCheckQf = Opts.CrossCheckQf;
-  P.MaxTheoryChecks = Opts.MaxTheoryChecks;
-  P.QueryTimeoutSeconds = Opts.QueryTimeoutSeconds;
-  return P;
-}
-
-Status statusOf(pipeline::Verdict V) {
-  switch (V) {
-  case pipeline::Verdict::Proved:
-    return Status::Verified;
-  case pipeline::Verdict::Failed:
-    return Status::Failed;
-  case pipeline::Verdict::Unknown:
-    break;
-  }
-  return Status::Unknown;
-}
-} // namespace
-
 ModuleResult driver::verifySource(const std::string &Source,
                                   const VerifyOptions &Opts,
                                   DiagEngine &Diags) {
-  ModuleResult Result;
-  std::unique_ptr<lang::Module> M = frontEnd(Source, Diags);
-  if (!M)
-    return Result;
-  Result.FrontEndOk = true;
-  Result.StructureName = M->Structure.Name;
-  Result.LcSize = lang::localConditionSize(M->Structure);
-
-  pipeline::Options POpts = pipelineOptions(Opts);
-  // One cache for the whole module: identical obligations across
-  // procedures and impact checks solve once.
-  pipeline::QueryCache Cache;
-
-  // Impact-set correctness (Appendix C; Section 5.3 reports this <3s per
-  // structure).
-  if (Opts.CheckImpacts) {
-    auto Start = std::chrono::steady_clock::now();
-    for (const lang::ImpactDecl &I : M->Structure.Impacts) {
-      ImpactResult IR;
-      IR.Field = I.Field;
-      IR.Group = I.Group;
-      auto IStart = std::chrono::steady_clock::now();
-      smt::TermManager TM;
-      vcgen::ProcVc Vc = vcgen::generateImpactVc(TM, *M, I);
-      pipeline::Result PR =
-          pipeline::solveObligations(TM, Vc.Obligations, POpts, &Cache);
-      IR.Ok = PR.V == pipeline::Verdict::Proved;
-      IR.Pipeline = PR.St;
-      IR.Seconds = seconds(IStart);
-      Result.Impacts.push_back(std::move(IR));
-    }
-    Result.ImpactSeconds = seconds(Start);
-  }
-
-  for (const lang::ProcDecl &P : M->Procs) {
-    if (!Opts.OnlyProc.empty() && P.Name != Opts.OnlyProc)
-      continue;
-    ProcResult PR;
-    PR.Name = P.Name;
-    PR.Metrics = lang::computeMetrics(M->Structure, P);
-    auto Start = std::chrono::steady_clock::now();
-    smt::TermManager TM;
-    vcgen::VcOptions VOpts;
-    VOpts.QuantifiedMode = Opts.QuantifiedMode;
-    VOpts.CheckFrames = Opts.CheckFrames;
-    vcgen::ProcVc Vc = vcgen::generateVc(TM, *M, P, VOpts);
-    PR.NumObligations = static_cast<unsigned>(Vc.Obligations.size());
-    pipeline::Result R =
-        pipeline::solveObligations(TM, Vc.Obligations, POpts, &Cache);
-    PR.St = statusOf(R.V);
-    PR.FailedObligation = R.FailedDescription;
-    PR.Counterexample = R.Counterexample;
-    PR.Pipeline = R.St;
-    PR.Seconds = seconds(Start);
-    Result.Procs.push_back(std::move(PR));
-  }
-  return Result;
+  // One-shot convenience wrapper: a throwaway instance gives the same
+  // intra-module warm state the old local QueryCache did (identical
+  // obligations across procedures and impact checks solve once); the
+  // instance's cross-request state simply dies with it. Long-lived
+  // callers (serve mode, --benchmark all, --cache-dir) hold a
+  // VerifierInstance themselves.
+  VerifierInstance Instance;
+  return Instance.verify(Source, Opts, Diags);
 }

@@ -38,6 +38,10 @@ struct ProcResult {
   std::string Counterexample;   ///< model text when Failed
   lang::ProcMetrics Metrics;
   pipeline::Stats Pipeline; ///< per-procedure VC pipeline statistics
+  /// Verdict replayed from the instance's procedure-verdict cache (every
+  /// obligation hash hit a previously solved, definitive verdict) — no
+  /// solver query ran for this procedure.
+  bool Cached = false;
 };
 
 struct ImpactResult {
@@ -46,6 +50,10 @@ struct ImpactResult {
   bool Ok = true;
   double Seconds = 0.0;
   pipeline::Stats Pipeline;
+  bool Cached = false;   ///< replayed from the instance's verdict cache
+  /// The request deadline expired before this check ran: Ok is false
+  /// conservatively, but the impact set was NOT refuted.
+  bool TimedOut = false;
 };
 
 struct ModuleResult {
@@ -102,6 +110,18 @@ struct VerifyOptions {
   uint64_t MaxTheoryChecks = 0;
   /// Per-query wall-clock budget in seconds (0 = unlimited).
   double QueryTimeoutSeconds = 0;
+  /// Whole-request wall-clock budget in seconds (0 = unlimited): each
+  /// impact check and procedure solves under the time remaining, and
+  /// work past the deadline is reported as Status::Unknown instead of
+  /// running. This is serve mode's per-request timeout; deadline
+  /// Unknowns are never cached (they are budget artifacts).
+  double TotalTimeoutSeconds = 0;
+  /// Consult/populate the instance's procedure-verdict cache — skip
+  /// procedures whose obligation hashes all match a previously solved,
+  /// definitive (non-Unknown) verdict, replaying it as ProcResult::Cached.
+  /// --no-reverify-cache disables reuse to force a fresh solve (entries
+  /// are still recorded).
+  bool ReuseProcVerdicts = true;
 };
 
 /// Parses and verifies a whole module from source text.

@@ -1,0 +1,125 @@
+//===- driver/VerifierInstance.h - Long-lived verifier state ---*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable verification instance: the warm state a long-lived process
+/// (serve mode, `--benchmark all`, tests) keeps between requests, split
+/// out of the one-shot CLI the way a compiler keeps a CompilerInstance
+/// apart from its command-line `main`.
+///
+/// The instance owns two caches that outlive any single verify() call:
+///
+///  - the structural QueryCache (solver outcomes keyed by the query
+///    DAG's 128-bit hash), optionally disk-backed via attachCacheDir so
+///    outcomes survive the process; and
+///  - a procedure-verdict cache for incremental re-verification: each
+///    procedure is keyed by the ordered fold of its obligations' VC
+///    structural hashes, so a re-submitted source skips every procedure
+///    whose VC did not change, replaying the recorded verdict as
+///    ProcResult::Cached. Only definitive verdicts (Verified / Failed)
+///    are recorded — an Unknown is a budget artifact, not a property of
+///    the procedure.
+///
+/// Every verify() call still builds its own TermManager per procedure
+/// (cheap, and it keeps term interning request-isolated); the caches are
+/// manager-independent by construction, which is what makes the warm
+/// state sound to share.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_DRIVER_VERIFIERINSTANCE_H
+#define IDS_DRIVER_VERIFIERINSTANCE_H
+
+#include "driver/Verifier.h"
+#include "pipeline/QueryCache.h"
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace ids {
+namespace driver {
+
+class VerifierInstance {
+public:
+  struct Stats {
+    uint64_t Requests = 0;      ///< verify() calls
+    uint64_t ProcsSolved = 0;   ///< procedures run through the pipeline
+    uint64_t ProcsCached = 0;   ///< procedures replayed from the verdict cache
+    uint64_t ImpactsSolved = 0;
+    uint64_t ImpactsCached = 0;
+    uint64_t VerdictsRecorded = 0;  ///< definitive verdicts stored
+    size_t VerdictsLoadedFromDisk = 0;
+  };
+
+  VerifierInstance() = default;
+  ~VerifierInstance();
+  VerifierInstance(const VerifierInstance &) = delete;
+  VerifierInstance &operator=(const VerifierInstance &) = delete;
+
+  /// Backs both caches with files under \p Dir (created if missing):
+  /// `queries.v1` for solver outcomes, `verdicts.v1` for procedure
+  /// verdicts. Existing entries load now; later entries append
+  /// immediately. Returns false with \p Error set on I/O failure.
+  bool attachCacheDir(const std::string &Dir, std::string &Error);
+
+  /// Parses and verifies a module, consulting/populating the instance
+  /// caches. Front-end failures are reported exactly like
+  /// driver::verifySource (FrontEndOk = false, diagnostics in \p Diags).
+  ModuleResult verify(const std::string &Source, const VerifyOptions &Opts,
+                      DiagEngine &Diags);
+
+  pipeline::QueryCache &queryCache() { return Cache; }
+  const Stats &stats() const { return InstStats; }
+
+  /// One-line human-readable cache summary (printed by the CLI when
+  /// --cache-dir is in use; parsed by the warm-cache e2e test).
+  std::string cacheSummary() const;
+
+  /// On-disk verdict-file version tag; bump when the layout changes.
+  static constexpr const char *VerdictHeader = "IDSVC v1";
+  static constexpr const char *VerdictFileName = "verdicts.v1";
+
+private:
+  /// Procedure key: order-sensitive fold of the obligations' structural
+  /// query hashes (the pipeline reports the first failure in obligation
+  /// order, so order is part of the contract).
+  struct ProcKey {
+    uint64_t Lo = 0;
+    uint64_t Hi = 0;
+    bool operator==(const ProcKey &O) const {
+      return Lo == O.Lo && Hi == O.Hi;
+    }
+  };
+  struct ProcKeyHash {
+    size_t operator()(const ProcKey &K) const {
+      return static_cast<size_t>(K.Lo ^ (K.Hi * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  struct ProcVerdict {
+    Status St = Status::Verified;
+    unsigned NumObligations = 0;
+    std::string FailedObligation;
+    std::string Counterexample;
+  };
+
+  bool lookupVerdict(const ProcKey &K, ProcVerdict &Out);
+  void recordVerdict(const ProcKey &K, const ProcVerdict &V);
+  void appendVerdictLocked(const ProcKey &K, const ProcVerdict &V);
+  size_t loadVerdictsLocked(std::FILE *F);
+
+  pipeline::QueryCache Cache;
+  std::mutex VerdictMutex;
+  std::unordered_map<ProcKey, ProcVerdict, ProcKeyHash> Verdicts;
+  std::FILE *VerdictAppend = nullptr;
+  Stats InstStats;
+};
+
+} // namespace driver
+} // namespace ids
+
+#endif // IDS_DRIVER_VERIFIERINSTANCE_H

@@ -117,7 +117,13 @@ public:
     for (size_t Idx : RunList) {
       St.TotalAtoms += Out[Idx].NumAtoms;
       St.TotalArrayLemmas += Out[Idx].NumArrayLemmas;
-      if (Cache)
+      // Only definitive outcomes (Sat/Unsat) are cacheable: an Unknown
+      // earned under this run's budget/timeout must never answer a later
+      // solve of the same query under a larger budget. (QueryCache
+      // rejects Unknowns itself too; the guard here keeps the intent at
+      // the call site. In-batch duplicate sharing above is unaffected —
+      // duplicates within one solve() ran under identical budgets.)
+      if (Cache && Out[Idx].R != Solver::Result::Unknown)
         Cache->insert(Keys[Idx], Out[Idx]);
     }
     for (auto [Dup, OwnerIdx] : Dups)

@@ -3,27 +3,156 @@
 // Part of the IDSVerify project.
 //
 //===----------------------------------------------------------------------===//
+//
+// On-disk format (version tag IDSQC v1), append-only, one record per
+// definitive outcome:
+//
+//   IDSQC v1\n
+//   U <lo-hex> <hi-hex> <atoms> <lemmas>\n
+//   S <lo-hex> <hi-hex> <atoms> <lemmas> <model-bytes>\n<model>\n
+//
+// A torn tail record (process killed mid-append) truncates the load at
+// the last complete record instead of failing it; the next append goes
+// after whatever was readable, so a rare duplicate record is possible
+// and harmless (last load wins, outcomes are deterministic).
+//
+//===----------------------------------------------------------------------===//
 
 #include "pipeline/QueryCache.h"
+
+#include <cinttypes>
+#include <filesystem>
 
 using namespace ids;
 using namespace ids::pipeline;
 
+QueryCache::~QueryCache() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Append)
+    fclose(Append);
+}
+
 bool QueryCache::lookup(const Key &K, Outcome &Out) const {
   std::lock_guard<std::mutex> Lock(Mutex);
+  ++Stats.Lookups;
   auto It = Map.find(K);
   if (It == Map.end())
     return false;
-  Out = It->second;
+  ++Stats.Hits;
+  if (It->second.FromDisk)
+    ++Stats.DiskHits;
+  Out = It->second.O;
   return true;
 }
 
 void QueryCache::insert(const Key &K, Outcome O) {
+  // Unknown is a property of the budget/timeout that produced it, not of
+  // the query; caching one would answer a later, better-resourced solve
+  // of the same query with the starved verdict. Drop it at the door so no
+  // caller can poison the cache (least of all the persistent one).
+  if (O.R == smt::Solver::Result::Unknown)
+    return;
   std::lock_guard<std::mutex> Lock(Mutex);
-  Map.emplace(K, std::move(O));
+  auto [It, Inserted] = Map.emplace(K, Entry{std::move(O), false});
+  if (Inserted && Append)
+    appendLocked(K, It->second.O);
 }
 
 size_t QueryCache::size() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Map.size();
+}
+
+QueryCache::DiskStats QueryCache::diskStats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Stats;
+}
+
+void QueryCache::appendLocked(const Key &K, const Outcome &O) {
+  if (O.R == smt::Solver::Result::Sat) {
+    fprintf(Append, "S %016" PRIx64 " %016" PRIx64 " %u %u %zu\n", K.Lo, K.Hi,
+            O.NumAtoms, O.NumArrayLemmas, O.ModelText.size());
+    fwrite(O.ModelText.data(), 1, O.ModelText.size(), Append);
+    fputc('\n', Append);
+  } else {
+    fprintf(Append, "U %016" PRIx64 " %016" PRIx64 " %u %u\n", K.Lo, K.Hi,
+            O.NumAtoms, O.NumArrayLemmas);
+  }
+  fflush(Append);
+  ++Stats.Appended;
+}
+
+size_t QueryCache::loadLocked(std::FILE *F) {
+  size_t Loaded = 0;
+  char Tag;
+  while (fscanf(F, " %c", &Tag) == 1) {
+    Key K;
+    Outcome O;
+    unsigned Atoms = 0, Lemmas = 0;
+    if (Tag == 'U') {
+      if (fscanf(F, "%" SCNx64 " %" SCNx64 " %u %u", &K.Lo, &K.Hi, &Atoms,
+                 &Lemmas) != 4)
+        break;
+      O.R = smt::Solver::Result::Unsat;
+    } else if (Tag == 'S') {
+      size_t Len = 0;
+      if (fscanf(F, "%" SCNx64 " %" SCNx64 " %u %u %zu", &K.Lo, &K.Hi, &Atoms,
+                 &Lemmas, &Len) != 5)
+        break;
+      if (fgetc(F) != '\n') // the newline terminating the record header
+        break;
+      O.ModelText.resize(Len);
+      if (Len > 0 && fread(&O.ModelText[0], 1, Len, F) != Len)
+        break;
+      O.R = smt::Solver::Result::Sat;
+    } else {
+      break; // unknown tag: stop at the last well-formed record
+    }
+    O.NumAtoms = Atoms;
+    O.NumArrayLemmas = Lemmas;
+    Map[K] = Entry{std::move(O), /*FromDisk=*/true};
+    ++Loaded;
+  }
+  return Loaded;
+}
+
+bool QueryCache::attachDir(const std::string &Dir, std::string &Error) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Append) {
+    Error = "query cache already attached to a directory";
+    return false;
+  }
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec) {
+    Error = "cannot create cache directory '" + Dir + "': " + Ec.message();
+    return false;
+  }
+  std::string Path = Dir + "/" + FileName;
+  bool Fresh = true;
+  if (std::FILE *In = fopen(Path.c_str(), "rb")) {
+    char Header[32] = {0};
+    if (fgets(Header, sizeof(Header), In) &&
+        std::string(Header) == std::string(FileHeader) + "\n") {
+      Stats.LoadedFromDisk = loadLocked(In);
+      Fresh = false;
+    }
+    // Missing or mismatched header: a different format version (or not
+    // our file at all) — discard and start fresh below.
+    fclose(In);
+  }
+  Append = fopen(Path.c_str(), Fresh ? "wb" : "ab");
+  if (!Append) {
+    Error = "cannot open cache file '" + Path + "' for writing";
+    return false;
+  }
+  if (Fresh) {
+    fprintf(Append, "%s\n", FileHeader);
+    // Entries inserted before attachDir (memory-only phase) are worth
+    // persisting too.
+    for (const auto &KV : Map)
+      appendLocked(KV.first, KV.second.O);
+    fflush(Append);
+  }
+  return true;
 }

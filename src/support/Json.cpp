@@ -1,0 +1,452 @@
+//===- support/Json.cpp - Minimal JSON value, parser, writer ---------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ids;
+using namespace ids::json;
+
+const Value *Value::get(const std::string &Key) const {
+  for (const auto &M : Members)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+void Value::set(const std::string &Key, Value V) {
+  for (auto &M : Members)
+    if (M.first == Key) {
+      M.second = std::move(V);
+      return;
+    }
+  Members.emplace_back(Key, std::move(V));
+}
+
+//===----------------------------------------------------------------------===//
+// Serializer
+//===----------------------------------------------------------------------===//
+
+static void appendEscaped(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  Out += '"';
+}
+
+static void appendNumber(std::string &Out, double N) {
+  if (!std::isfinite(N)) {
+    // JSON has no Inf/NaN; null is the conventional lossless-ish stand-in.
+    Out += "null";
+    return;
+  }
+  char Buf[32];
+  if (N == std::floor(N) && std::fabs(N) < 1e15) {
+    snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(N));
+  } else {
+    snprintf(Buf, sizeof(Buf), "%.17g", N);
+  }
+  Out += Buf;
+}
+
+static void serializeInto(const Value &V, std::string &Out) {
+  switch (V.kind()) {
+  case Value::Kind::Null:
+    Out += "null";
+    break;
+  case Value::Kind::Bool:
+    Out += V.asBool() ? "true" : "false";
+    break;
+  case Value::Kind::Number:
+    appendNumber(Out, V.asNumber());
+    break;
+  case Value::Kind::String:
+    appendEscaped(Out, V.asString());
+    break;
+  case Value::Kind::Object: {
+    Out += '{';
+    bool First = true;
+    for (const auto &M : V.members()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      appendEscaped(Out, M.first);
+      Out += ':';
+      serializeInto(M.second, Out);
+    }
+    Out += '}';
+    break;
+  }
+  case Value::Kind::Array: {
+    Out += '[';
+    bool First = true;
+    for (const Value &E : V.elements()) {
+      if (!First)
+        Out += ',';
+      First = false;
+      serializeInto(E, Out);
+    }
+    Out += ']';
+    break;
+  }
+  }
+}
+
+std::string Value::serialize() const {
+  std::string Out;
+  serializeInto(*this, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Parser {
+public:
+  Parser(const std::string &Text) : Text(Text) {}
+
+  bool parse(Value &Out) {
+    skipWs();
+    if (!parseValue(Out, 0))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing characters after JSON value");
+    return true;
+  }
+
+  std::string error() const { return Error; }
+
+private:
+  static constexpr unsigned MaxDepth = 128;
+
+  bool fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Lit) {
+    size_t N = 0;
+    while (Lit[N])
+      ++N;
+    if (Text.compare(Pos, N, Lit) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  bool parseValue(Value &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case 'n':
+      if (!literal("null"))
+        return fail("invalid literal");
+      Out = Value::null();
+      return true;
+    case 't':
+      if (!literal("true"))
+        return fail("invalid literal");
+      Out = Value::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return fail("invalid literal");
+      Out = Value::boolean(false);
+      return true;
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value::string(std::move(S));
+      return true;
+    }
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(Value &Out, unsigned Depth) {
+    ++Pos; // '{'
+    Out = Value::object();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':' after object key");
+      ++Pos;
+      skipWs();
+      Value V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.set(Key, std::move(V));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(Value &Out, unsigned Depth) {
+    ++Pos; // '['
+    Out = Value::array();
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      Value V;
+      if (!parseValue(V, Depth + 1))
+        return false;
+      Out.push(std::move(V));
+      skipWs();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  void appendUtf8(std::string &S, unsigned Code) {
+    if (Code < 0x80) {
+      S += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      S += static_cast<char>(0xC0 | (Code >> 6));
+      S += static_cast<char>(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      S += static_cast<char>(0xE0 | (Code >> 12));
+      S += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      S += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      S += static_cast<char>(0xF0 | (Code >> 18));
+      S += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+      S += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      S += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
+  bool parseHex4(unsigned &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= static_cast<unsigned>(C - 'A' + 10);
+      else
+        return fail("invalid \\u escape");
+    }
+    return true;
+  }
+
+  bool parseString(std::string &S) {
+    ++Pos; // '"'
+    while (true) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        S += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        S += '"';
+        break;
+      case '\\':
+        S += '\\';
+        break;
+      case '/':
+        S += '/';
+        break;
+      case 'n':
+        S += '\n';
+        break;
+      case 'r':
+        S += '\r';
+        break;
+      case 't':
+        S += '\t';
+        break;
+      case 'b':
+        S += '\b';
+        break;
+      case 'f':
+        S += '\f';
+        break;
+      case 'u': {
+        unsigned Code = 0;
+        if (!parseHex4(Code))
+          return false;
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          // High surrogate: require a low surrogate to follow.
+          if (Pos + 1 < Text.size() && Text[Pos] == '\\' &&
+              Text[Pos + 1] == 'u') {
+            Pos += 2;
+            unsigned Low = 0;
+            if (!parseHex4(Low))
+              return false;
+            if (Low < 0xDC00 || Low > 0xDFFF)
+              return fail("invalid low surrogate");
+            Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+          } else {
+            return fail("lone high surrogate");
+          }
+        } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          return fail("lone low surrogate");
+        }
+        appendUtf8(S, Code);
+        break;
+      }
+      default:
+        return fail("invalid escape character");
+      }
+    }
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    bool Digits = false;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+      ++Pos;
+      Digits = true;
+    }
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+        ++Pos;
+        Digits = true;
+      }
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      bool ExpDigits = false;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+        ++Pos;
+        ExpDigits = true;
+      }
+      if (!ExpDigits)
+        return fail("invalid number exponent");
+    }
+    if (!Digits) {
+      Pos = Start;
+      return fail("invalid value");
+    }
+    Out = Value::number(strtod(Text.c_str() + Start, nullptr));
+    return true;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Error;
+};
+
+} // namespace
+
+Value Value::parse(const std::string &Text, std::string &Error) {
+  Parser P(Text);
+  Value V;
+  if (!P.parse(V)) {
+    Error = P.error();
+    return Value::null();
+  }
+  Error.clear();
+  return V;
+}

@@ -1,0 +1,107 @@
+//===- support/Json.h - Minimal JSON value, parser, writer -----*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dependency-free JSON layer for the serve-mode line protocol:
+/// an ordered-member document value, a recursive-descent parser with a
+/// depth cap (a malformed or hostile request must produce an error
+/// response, never take the daemon down), and a compact serializer whose
+/// member order is insertion order — responses are built name-first so
+/// process-level tests can match `"name":"x","status":"y"` textually.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SUPPORT_JSON_H
+#define IDS_SUPPORT_JSON_H
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ids {
+namespace json {
+
+class Value {
+public:
+  enum class Kind { Null, Bool, Number, String, Object, Array };
+
+  Value() : K(Kind::Null) {}
+  static Value null() { return Value(); }
+  static Value boolean(bool B) {
+    Value V;
+    V.K = Kind::Bool;
+    V.B = B;
+    return V;
+  }
+  static Value number(double N) {
+    Value V;
+    V.K = Kind::Number;
+    V.Num = N;
+    return V;
+  }
+  static Value string(std::string S) {
+    Value V;
+    V.K = Kind::String;
+    V.Str = std::move(S);
+    return V;
+  }
+  static Value object() {
+    Value V;
+    V.K = Kind::Object;
+    return V;
+  }
+  static Value array() {
+    Value V;
+    V.K = Kind::Array;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+
+  bool asBool() const { return B; }
+  double asNumber() const { return Num; }
+  const std::string &asString() const { return Str; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const Value *get(const std::string &Key) const;
+  /// Appends/overwrites an object member (insertion order preserved).
+  void set(const std::string &Key, Value V);
+  const std::vector<std::pair<std::string, Value>> &members() const {
+    return Members;
+  }
+
+  void push(Value V) { Elems.push_back(std::move(V)); }
+  const std::vector<Value> &elements() const { return Elems; }
+
+  /// Compact single-line serialization (never emits raw newlines: all
+  /// control characters are escaped, so one value is one protocol line).
+  std::string serialize() const;
+
+  /// Parses \p Text as a single JSON document. On failure returns a Null
+  /// value and sets \p Error to a position-annotated message; trailing
+  /// non-whitespace after the document is an error too.
+  static Value parse(const std::string &Text, std::string &Error);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<std::pair<std::string, Value>> Members;
+  std::vector<Value> Elems;
+};
+
+} // namespace json
+} // namespace ids
+
+#endif // IDS_SUPPORT_JSON_H

@@ -1,0 +1,84 @@
+# Warm-cache double-run test. Invoked by ctest as
+#   cmake -DIDS_VERIFY=<exe> -DWORKDIR=<dir> -P RunWarmCache.cmake
+#
+# Runs `--benchmark all --cache-dir <d>` twice against the same fresh
+# cache directory and checks the acceptance criterion for the persistent
+# cache: both runs exit 0 with identical verdicts, and the second run
+# replays procedure verdicts from disk (proc hits > 0). A third run with
+# --no-reverify-cache forces every procedure to re-solve and must then
+# hit the persisted per-query outcomes instead (disk query hits > 0).
+
+if(NOT DEFINED IDS_VERIFY OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DIDS_VERIFY=... -DWORKDIR=... -P RunWarmCache.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(CacheDir "${WORKDIR}/cache")
+
+# Normalizes a run for verdict comparison: timings vary, and the cache
+# summary line legitimately differs between cold and warm runs. Works on
+# the whole string — no line-list conversion, since the summary line
+# itself contains a semicolon and would split mid-line.
+function(normalize InVar OutVar)
+  set(S "${${InVar}}")
+  string(REGEX REPLACE "cache summary:[^\n]*" "" S "${S}")
+  string(REGEX REPLACE "[0-9]+\\.[0-9]+s" "<time>" S "${S}")
+  string(REGEX REPLACE "  +" " " S "${S}")
+  set(${OutVar} "${S}" PARENT_SCOPE)
+endfunction()
+
+foreach(Run 1 2)
+  execute_process(
+    COMMAND "${IDS_VERIFY}" --benchmark all --cache-dir "${CacheDir}"
+    OUTPUT_VARIABLE Out${Run}
+    ERROR_VARIABLE Err${Run}
+    RESULT_VARIABLE Exit${Run})
+  if(NOT Exit${Run} EQUAL 0)
+    message(FATAL_ERROR "run ${Run} exited ${Exit${Run}}\n${Out${Run}}\n"
+            "${Err${Run}}")
+  endif()
+endforeach()
+
+normalize(Out1 Norm1)
+normalize(Out2 Norm2)
+if(NOT Norm1 STREQUAL Norm2)
+  message(FATAL_ERROR "warm run changed verdicts\n--- cold ---\n${Norm1}\n"
+          "--- warm ---\n${Norm2}")
+endif()
+
+# Run 2 must actually have used the disk cache.
+if(NOT Out2 MATCHES "([0-9]+) proc hits")
+  message(FATAL_ERROR "no cache summary in warm run output\n${Out2}")
+endif()
+set(ProcHits ${CMAKE_MATCH_1})
+if(ProcHits EQUAL 0)
+  message(FATAL_ERROR "warm run replayed no procedure verdicts\n${Out2}")
+endif()
+message(STATUS "warm run replayed ${ProcHits} procedure verdicts")
+
+# With verdict replay disabled, the persisted per-query outcomes take
+# over: every re-solved query must hit the disk-loaded entries.
+execute_process(
+  COMMAND "${IDS_VERIFY}" --benchmark all --cache-dir "${CacheDir}"
+          --no-reverify-cache
+  OUTPUT_VARIABLE Out3
+  ERROR_VARIABLE Err3
+  RESULT_VARIABLE Exit3)
+if(NOT Exit3 EQUAL 0)
+  message(FATAL_ERROR "no-reverify-cache run exited ${Exit3}\n${Out3}\n${Err3}")
+endif()
+normalize(Out3 Norm3)
+if(NOT Norm1 STREQUAL Norm3)
+  message(FATAL_ERROR "re-solve run changed verdicts\n--- cold ---\n${Norm1}\n"
+          "--- re-solve ---\n${Norm3}")
+endif()
+if(NOT Out3 MATCHES "\\(([0-9]+) disk\\)")
+  message(FATAL_ERROR "no disk-hit count in cache summary\n${Out3}")
+endif()
+if(CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR "re-solve run hit no persisted query outcomes\n${Out3}")
+endif()
+message(STATUS "re-solve run hit ${CMAKE_MATCH_1} persisted query outcomes")
+
+file(REMOVE_RECURSE "${WORKDIR}")

@@ -129,6 +129,58 @@ TEST(QueryCacheTest, DisabledCacheRunsEveryQuery) {
   EXPECT_EQ(R.St.CacheHits, 0u);
 }
 
+TEST(QueryCacheTest, UnknownOutcomesAreNotCached) {
+  // Regression: BatchSolver used to insert Unknown outcomes into the
+  // cache unconditionally, so an Unknown earned under a starved budget
+  // would answer a later, unbudgeted solve of the same query — verdict
+  // weakening in-process, outright poison once the cache persists.
+  // Solve a hard query under --budget 1, then unbudgeted with the SAME
+  // cache: the second solve must be a real solve (no hit) and must prove.
+  // A pure conjunction is refuted within ONE full-model theory check
+  // (conflict clause at level 0), so the query needs disjunctive case
+  // splits: each x_i in {1,2}, sum forced out of range. Every
+  // propositional model is a distinct arithmetic conflict, so the search
+  // needs several theory checks and budget 1 is deterministically
+  // exhausted.
+  TermManager TM;
+  std::vector<TermRef> Conjs;
+  std::vector<TermRef> Sum;
+  for (int I = 0; I < 4; ++I) {
+    TermRef X = TM.mkVar("x" + std::to_string(I), TM.intSort());
+    Conjs.push_back(TM.mkOr(TM.mkEq(X, TM.mkIntConst(1)),
+                            TM.mkEq(X, TM.mkIntConst(2))));
+    Sum.push_back(X);
+  }
+  Conjs.push_back(TM.mkEq(TM.mkAdd(Sum), TM.mkIntConst(100)));
+  std::vector<vcgen::Obligation> Obls = {
+      obligation(TM.mkAnd(Conjs), TM.mkFalse(), "range-sum")};
+
+  Options Starved;
+  Starved.Simplify = false;
+  Starved.Slice = false;
+  Starved.MaxTheoryChecks = 1;
+  QueryCache Cache;
+  Result R1 = solveObligations(TM, Obls, Starved, &Cache);
+  ASSERT_EQ(R1.V, Verdict::Unknown)
+      << "corpus query was decided within one theory check; strengthen it";
+  // The poisoned entry the old code inserted:
+  EXPECT_EQ(Cache.size(), 0u);
+
+  Options Full;
+  Full.Simplify = false;
+  Full.Slice = false;
+  Result R2 = solveObligations(TM, Obls, Full, &Cache);
+  EXPECT_EQ(R2.V, Verdict::Proved); // 2v+2w is even, every conjunct odd
+  EXPECT_EQ(R2.St.CacheHits, 0u);
+  EXPECT_EQ(R2.St.Queries, 1u);
+  // The definitive outcome IS cached for the next round.
+  EXPECT_EQ(Cache.size(), 1u);
+  Result R3 = solveObligations(TM, Obls, Full, &Cache);
+  EXPECT_EQ(R3.V, Verdict::Proved);
+  EXPECT_EQ(R3.St.CacheHits, 1u);
+  EXPECT_EQ(R3.St.Queries, 0u);
+}
+
 class PipelineVerdictTest : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(PipelineVerdictTest, JobsAndSplitsPreserveVerdicts) {

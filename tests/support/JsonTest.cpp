@@ -1,0 +1,131 @@
+//===- tests/support/JsonTest.cpp - JSON layer tests -----------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve-mode protocol rests on this layer: round trips, escaping
+/// (a serialized value must never contain a raw newline — one value is
+/// one protocol line), member-order preservation, and the malformed
+/// inputs that must fail with an error instead of crashing the daemon.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace ids;
+using namespace ids::json;
+
+namespace {
+
+Value parseOk(const std::string &Text) {
+  std::string Err;
+  Value V = Value::parse(Text, Err);
+  EXPECT_TRUE(Err.empty()) << Text << " -> " << Err;
+  return V;
+}
+
+std::string parseErr(const std::string &Text) {
+  std::string Err;
+  Value V = Value::parse(Text, Err);
+  EXPECT_FALSE(Err.empty()) << "expected a parse error for: " << Text;
+  EXPECT_TRUE(V.isNull());
+  return Err;
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").asBool());
+  EXPECT_FALSE(parseOk("false").asBool());
+  EXPECT_DOUBLE_EQ(parseOk("42").asNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(parseOk("-3.5").asNumber(), -3.5);
+  EXPECT_DOUBLE_EQ(parseOk("1e3").asNumber(), 1000.0);
+  EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+  EXPECT_EQ(parseOk("  \"ws\"  ").asString(), "ws");
+}
+
+TEST(JsonTest, ParsesNested) {
+  Value V = parseOk(R"({"a": [1, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(V.isObject());
+  const Value *A = V.get("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_TRUE(A->isArray());
+  ASSERT_EQ(A->elements().size(), 2u);
+  EXPECT_DOUBLE_EQ(A->elements()[0].asNumber(), 1.0);
+  const Value *B = A->elements()[1].get("b");
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->asString(), "c");
+  EXPECT_EQ(V.get("nope"), nullptr);
+}
+
+TEST(JsonTest, EscapesRoundTrip) {
+  Value V = Value::object();
+  V.set("s", Value::string("line1\nline2\t\"quoted\"\\slash\x01"));
+  std::string S = V.serialize();
+  // One value = one protocol line: no raw control characters may appear.
+  for (char C : S)
+    EXPECT_GE(static_cast<unsigned char>(C), 0x20u) << S;
+  Value Back = parseOk(S);
+  EXPECT_EQ(Back.get("s")->asString(), V.get("s")->asString());
+}
+
+TEST(JsonTest, UnicodeEscapes) {
+  EXPECT_EQ(parseOk("\"\\u0041\"").asString(), "A");
+  EXPECT_EQ(parseOk("\"\\u00e9\"").asString(), "\xc3\xa9"); // é
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parseOk("\"\\ud83d\\ude00\"").asString(),
+            "\xf0\x9f\x98\x80");
+  parseErr("\"\\ud83d\""); // lone high surrogate
+  parseErr("\"\\udc00\""); // lone low surrogate
+  parseErr("\"\\uZZZZ\"");
+}
+
+TEST(JsonTest, MemberOrderIsInsertionOrder) {
+  // The serve protocol pins "name" before "status"; the serializer must
+  // preserve insertion order for that to hold.
+  Value V = Value::object();
+  V.set("name", Value::string("find"));
+  V.set("status", Value::string("verified"));
+  V.set("name", Value::string("insert")); // overwrite keeps position
+  EXPECT_EQ(V.serialize(), R"({"name":"insert","status":"verified"})");
+}
+
+TEST(JsonTest, NumbersSerializeCompactly) {
+  EXPECT_EQ(Value::number(3).serialize(), "3");
+  EXPECT_EQ(Value::number(-17).serialize(), "-17");
+  EXPECT_EQ(Value::number(0.5).serialize(), "0.5");
+  Value Back = parseOk(Value::number(0.1).serialize());
+  EXPECT_DOUBLE_EQ(Back.asNumber(), 0.1); // full precision survives
+}
+
+TEST(JsonTest, MalformedInputsError) {
+  parseErr("");
+  parseErr("{");
+  parseErr("{\"a\":}");
+  parseErr("{\"a\":1,}");
+  parseErr("[1,");
+  parseErr("nul");
+  parseErr("tru");
+  parseErr("\"unterminated");
+  parseErr("\"bad\\escape\"");
+  parseErr("{\"a\":1} trailing");
+  parseErr("1 2");
+  parseErr("{'single': 1}");
+  parseErr("{\"a\" 1}");
+  parseErr("--5");
+  parseErr("1e");
+  parseErr("\"raw\nnewline\"");
+}
+
+TEST(JsonTest, DepthCapStopsHostileNesting) {
+  std::string Deep(100000, '[');
+  std::string Err;
+  Value V = Value::parse(Deep, Err);
+  EXPECT_FALSE(Err.empty());
+  EXPECT_NE(Err.find("nesting"), std::string::npos);
+}
+
+} // namespace
