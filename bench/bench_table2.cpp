@@ -20,7 +20,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Verifier.h"
+#include "pipeline/Pipeline.h"
 #include "structures/Registry.h"
+#include "support/Json.h"
 
 #include <cstdio>
 #include <string>
@@ -64,38 +66,33 @@ driver::VerifyOptions configFor(bool Pipeline) {
 
 void emitJsonResult(FILE *F, const structures::Benchmark &B,
                     const driver::ModuleResult &R, bool First) {
-  fprintf(F, "%s\n    {\"name\": \"%s\", \"table2_name\": \"%s\", ",
-          First ? "" : ",", B.Name, B.Table2Name);
-  fprintf(F, "\"lc_size\": %u, \"impact_sets\": %zu, ", R.LcSize,
-          R.Impacts.size());
+  json::Value Obj = json::Value::object();
+  Obj.set("name", json::Value::string(B.Name));
+  Obj.set("table2_name", json::Value::string(B.Table2Name));
+  Obj.set("lc_size", json::Value::number(R.LcSize));
+  Obj.set("impact_sets", json::Value::number(double(R.Impacts.size())));
   bool ImpactsOk = true;
   for (const driver::ImpactResult &I : R.Impacts)
     ImpactsOk = ImpactsOk && I.Ok;
-  fprintf(F, "\"impacts_ok\": %s, \"impact_seconds\": %.3f,\n",
-          ImpactsOk ? "true" : "false", R.ImpactSeconds);
-  fprintf(F, "     \"procs\": [");
-  bool FirstProc = true;
+  Obj.set("impacts_ok", json::Value::boolean(ImpactsOk));
+  Obj.set("impact_seconds", json::Value::number(R.ImpactSeconds));
+  json::Value Procs = json::Value::array();
   for (const driver::ProcResult &P : R.Procs) {
-    const pipeline::Stats &St = P.Pipeline;
-    fprintf(F,
-            "%s\n      {\"name\": \"%s\", \"status\": \"%s\", "
-            "\"seconds\": %.3f, \"obligations\": %u, "
-            "\"proved_by_simplify\": %u, \"conjuncts_sliced\": %u, "
-            "\"queries\": %u, \"cache_hits\": %u, "
-            "\"prefix_groups\": %u, \"context_reuses\": %u, "
-            "\"lemmas_retained\": %llu, "
-            "\"max_atoms\": %u, \"max_array_lemmas\": %u, "
-            "\"total_atoms\": %llu, \"total_array_lemmas\": %llu}",
-            FirstProc ? "" : ",", P.Name.c_str(), statusName(P.St),
-            P.Seconds, P.NumObligations, St.ProvedBySimplify,
-            St.ConjunctsSliced, St.Queries, St.CacheHits,
-            St.PrefixGroups, St.ContextReuses,
-            (unsigned long long)St.LemmasRetained, St.MaxAtoms,
-            St.MaxArrayLemmas, (unsigned long long)St.TotalAtoms,
-            (unsigned long long)St.TotalArrayLemmas);
-    FirstProc = false;
+    json::Value V = json::Value::object();
+    V.set("name", json::Value::string(P.Name));
+    V.set("status", json::Value::string(statusName(P.St)));
+    V.set("seconds", json::Value::number(P.Seconds));
+    // The per-proc stat rows come from the pipeline's shared renderer
+    // (the same StatsRow table behind --stats-json and the registry's
+    // pipeline.* counters), so this artifact can never use key names or
+    // semantics that diverge from the live metrics.
+    const json::Value St = pipeline::statsToJson(P.Pipeline);
+    for (const auto &[Key, Val] : St.members())
+      V.set(Key, Val);
+    Procs.push(std::move(V));
   }
-  fprintf(F, "]}");
+  Obj.set("procs", std::move(Procs));
+  fprintf(F, "%s\n    %s", First ? "" : ",", Obj.serialize().c_str());
 }
 
 } // namespace

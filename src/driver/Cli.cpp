@@ -87,7 +87,17 @@ const char *driver::usageText() {
       "             --no-incremental (disable shared-prefix batching on\n"
       "                      incremental solver contexts; every query then\n"
       "                      gets a fresh one-shot solve)\n"
-      "             --stats (print per-procedure pipeline statistics)\n";
+      "             --stats (print per-procedure pipeline statistics and\n"
+      "                      the cumulative metrics registry)\n"
+      "observability: --trace-out FILE (Chrome trace-event JSON of every\n"
+      "                      span — open in Perfetto or chrome://tracing)\n"
+      "               --stats-json FILE (cumulative metrics snapshot; same\n"
+      "                      counters as --stats and serve's "
+      "{\"cmd\":\"stats\"})\n"
+      "               --slow-query-ms N (append solver queries slower than\n"
+      "                      N ms to the slow-query log as JSONL; 0 = off)\n"
+      "               --slow-query-log FILE (slow-query sink; default\n"
+      "                      ids-slow-queries.jsonl next to the run)\n";
 }
 
 CliArgs driver::parseCli(int Argc, const char *const *Argv) {
@@ -187,6 +197,18 @@ CliArgs driver::parseCli(int Argc, const char *const *Argv) {
     } else if (Arg == "--cache-dir") {
       if (!takeValue(I, Arg, A.CacheDir))
         return A;
+    } else if (Arg == "--trace-out") {
+      if (!takeValue(I, Arg, A.TraceOut))
+        return A;
+    } else if (Arg == "--stats-json") {
+      if (!takeValue(I, Arg, A.StatsJson))
+        return A;
+    } else if (Arg == "--slow-query-ms") {
+      if (!takeSeconds(I, Arg, A.SlowQueryMs))
+        return A;
+    } else if (Arg == "--slow-query-log") {
+      if (!takeValue(I, Arg, A.SlowQueryLog))
+        return A;
     } else if (Arg == "--list") {
       List = true;
     } else if (Arg == "serve" && A.File.empty() && !Serve) {
@@ -203,6 +225,14 @@ CliArgs driver::parseCli(int Argc, const char *const *Argv) {
 
   if (Serve && (!A.File.empty() || !A.BenchName.empty() || List)) {
     A.Error = "serve takes no input argument (sources arrive as requests)";
+    return A;
+  }
+  // A threshold without a sink gets the documented default; a sink
+  // without a threshold is an error (it would silently never record).
+  if (A.SlowQueryMs > 0 && A.SlowQueryLog.empty())
+    A.SlowQueryLog = "ids-slow-queries.jsonl";
+  if (A.SlowQueryMs <= 0 && !A.SlowQueryLog.empty()) {
+    A.Error = "--slow-query-log requires --slow-query-ms N (N > 0)";
     return A;
   }
   if (List)

@@ -41,6 +41,12 @@ struct CliArgs {
   std::string CacheDir;  ///< --cache-dir DIR ("" = memory-only)
   bool ShowStats = false;
 
+  // Observability (see README "Observability"):
+  std::string TraceOut;  ///< --trace-out FILE: Chrome trace-event JSON
+  std::string StatsJson; ///< --stats-json FILE: cumulative metrics snapshot
+  double SlowQueryMs = 0;   ///< --slow-query-ms N (0 = off)
+  std::string SlowQueryLog; ///< --slow-query-log FILE (JSONL sink)
+
   /// Non-empty when parsing failed; the caller prints it and exits 2.
   std::string Error;
   bool ok() const { return Error.empty(); }

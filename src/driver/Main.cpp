@@ -26,6 +26,7 @@
 #include "driver/Serve.h"
 #include "driver/VerifierInstance.h"
 #include "structures/Registry.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <fstream>
@@ -236,24 +237,67 @@ static int runOneShot(const driver::CliArgs &A) {
   return R.allVerified() ? 0 : 1;
 }
 
+/// The cumulative metrics footer under --stats: every registry counter,
+/// name-sorted — the human rendering of the exact snapshot that
+/// --stats-json and serve's {"cmd":"stats"} serialize.
+static void printMetricsRegistry() {
+  auto Snap = trace::counterSnapshot();
+  if (Snap.empty())
+    return;
+  printf("cumulative metrics:\n");
+  for (const auto &[Name, V] : Snap)
+    printf("  %s = %llu\n", Name.c_str(), (unsigned long long)V);
+}
+
 int main(int Argc, char **Argv) {
   driver::CliArgs A = driver::parseCli(Argc, Argv);
   if (!A.ok()) {
     fprintf(stderr, "%s\n", A.Error.c_str());
     return 2;
   }
+  if (!A.TraceOut.empty())
+    trace::setSpansEnabled(true);
+  if (A.SlowQueryMs > 0) {
+    trace::setSlowQueryThresholdMs(A.SlowQueryMs);
+    std::string Error;
+    if (!trace::openSlowQueryLog(A.SlowQueryLog, Error)) {
+      fprintf(stderr, "%s\n", Error.c_str());
+      return 2;
+    }
+  }
+
+  int Ret = 2;
   switch (A.Cmd) {
   case driver::CliArgs::Command::List:
-    return runList();
-  case driver::CliArgs::Command::Serve:
-    return driver::runServe(A, std::cin, std::cout);
-  case driver::CliArgs::Command::BenchAll:
-    return runBenchAll(A);
-  case driver::CliArgs::Command::OneShot:
-    return runOneShot(A);
-  case driver::CliArgs::Command::Usage:
+    Ret = runList();
     break;
+  case driver::CliArgs::Command::Serve:
+    Ret = driver::runServe(A, std::cin, std::cout);
+    break;
+  case driver::CliArgs::Command::BenchAll:
+    Ret = runBenchAll(A);
+    break;
+  case driver::CliArgs::Command::OneShot:
+    Ret = runOneShot(A);
+    break;
+  case driver::CliArgs::Command::Usage:
+    fprintf(stderr, "%s", driver::usageText());
+    return 2;
   }
-  fprintf(stderr, "%s", driver::usageText());
-  return 2;
+
+  // Observability epilogue: the exporters must not change a verification
+  // verdict, but an unwritable output file is still a CLI error.
+  if (A.ShowStats)
+    printMetricsRegistry();
+  std::string Error;
+  if (!A.StatsJson.empty() && !trace::writeStatsJson(A.StatsJson, Error)) {
+    fprintf(stderr, "%s\n", Error.c_str());
+    Ret = 2;
+  }
+  if (!A.TraceOut.empty() && !trace::writeChromeTrace(A.TraceOut, Error)) {
+    fprintf(stderr, "%s\n", Error.c_str());
+    Ret = 2;
+  }
+  trace::closeSlowQueryLog();
+  return Ret;
 }

@@ -9,6 +9,7 @@
 #include "driver/VerifierInstance.h"
 #include "structures/Registry.h"
 #include "support/Json.h"
+#include "support/Trace.h"
 
 #include <fstream>
 #include <iostream>
@@ -78,6 +79,27 @@ json::Value handleRequest(VerifierInstance &Inst, const CliArgs &Base,
     return errorResponse(nullptr, "invalid request: expected a JSON object");
   const json::Value *Id = Req.get("id");
 
+  // ---- Commands: non-verify requests, dispatched before selector
+  // validation ("cmd" and a source selector are mutually exclusive). ----
+  if (const json::Value *Cmd = Req.get("cmd")) {
+    if (!Cmd->isString())
+      return errorResponse(Id, "field 'cmd' must be a string");
+    if (Cmd->asString() == "stats") {
+      // The same snapshot --stats-json writes: {"schema","counters"}
+      // spliced into the response envelope.
+      json::Value Resp = json::Value::object();
+      if (Id)
+        Resp.set("id", *Id);
+      Resp.set("ok", json::Value::boolean(true));
+      const json::Value Snap = trace::statsJson();
+      for (const auto &[Key, Val] : Snap.members())
+        Resp.set(Key, Val);
+      return Resp;
+    }
+    return errorResponse(Id, "unknown cmd '" + Cmd->asString() +
+                                 "' (supported: \"stats\")");
+  }
+
   // ---- Source selection: exactly one of source/path/benchmark. ----
   const json::Value *Src = Req.get("source");
   const json::Value *Path = Req.get("path");
@@ -139,6 +161,10 @@ json::Value handleRequest(VerifierInstance &Inst, const CliArgs &Base,
   }
 
   // ---- Verify, with the request isolated from the daemon. ----
+  // Cache-counter window: the instance counters are cumulative across
+  // the daemon's lifetime, so THIS request's cache traffic is the delta.
+  const pipeline::QueryCache::DiskStats QBefore = Inst.queryCache().diskStats();
+  const VerifierInstance::Stats IBefore = Inst.stats();
   DiagEngine Diags;
   ModuleResult R;
   try {
@@ -189,6 +215,24 @@ json::Value handleRequest(VerifierInstance &Inst, const CliArgs &Base,
     Procs.push(std::move(V));
   }
   Resp.set("procs", std::move(Procs));
+
+  // Per-request cache statistics (PR 6 surfaced these only as a
+  // daemon-exit stderr summary): query-cache traffic plus the verdict
+  // replays that explain any zero-stat cached rows above.
+  const pipeline::QueryCache::DiskStats QAfter = Inst.queryCache().diskStats();
+  const VerifierInstance::Stats IAfter = Inst.stats();
+  json::Value CacheObj = json::Value::object();
+  CacheObj.set("query_hits",
+               json::Value::number(double(QAfter.Hits - QBefore.Hits)));
+  CacheObj.set("query_misses",
+               json::Value::number(double((QAfter.Lookups - QBefore.Lookups) -
+                                          (QAfter.Hits - QBefore.Hits))));
+  CacheObj.set(
+      "verdict_replays",
+      json::Value::number(double((IAfter.ProcsCached - IBefore.ProcsCached) +
+                                 (IAfter.ImpactsCached -
+                                  IBefore.ImpactsCached))));
+  Resp.set("cache", std::move(CacheObj));
   return Resp;
 }
 
@@ -212,6 +256,10 @@ int driver::runServe(const CliArgs &Base, std::istream &In,
       Blank = Blank && (C == ' ' || C == '\t' || C == '\r');
     if (Blank)
       continue;
+    static trace::Counter &ReqC = trace::counter("serve.requests");
+    static trace::Counter &ErrC = trace::counter("serve.errors");
+    ReqC.add();
+    const uint64_t T0 = trace::nowUs();
     json::Value Resp;
     try {
       Resp = handleRequest(Inst, Base, Line);
@@ -220,6 +268,13 @@ int driver::runServe(const CliArgs &Base, std::istream &In,
     } catch (...) {
       Resp = errorResponse(nullptr, "internal error: unknown exception");
     }
+    const json::Value *Ok = Resp.get("ok");
+    if (!Ok || !Ok->isBool() || !Ok->asBool())
+      ErrC.add();
+    // Appended last so existing member adjacency (tests textually match
+    // "name":"x","status":"y") is untouched.
+    Resp.set("elapsed_ms",
+             json::Value::number(double(trace::nowUs() - T0) / 1000.0));
     Out << Resp.serialize() << "\n" << std::flush;
   }
   if (!Base.CacheDir.empty())

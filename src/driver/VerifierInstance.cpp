@@ -17,6 +17,7 @@
 
 #include "driver/VerifierInstance.h"
 
+#include "support/Trace.h"
 #include "vcgen/VcGen.h"
 
 #include <algorithm>
@@ -92,6 +93,8 @@ void VerifierInstance::recordVerdict(const ProcKey &K, const ProcVerdict &V) {
   if (!Inserted)
     return;
   ++InstStats.VerdictsRecorded;
+  static trace::Counter &RecC = trace::counter("driver.verdicts_recorded");
+  RecC.add();
   if (VerdictAppend)
     appendVerdictLocked(K, It->second);
 }
@@ -193,6 +196,9 @@ ModuleResult VerifierInstance::verify(const std::string &Source,
                                       const VerifyOptions &Opts,
                                       DiagEngine &Diags) {
   ++InstStats.Requests;
+  static trace::Counter &ReqC = trace::counter("driver.requests");
+  ReqC.add();
+  trace::ScopedSpan ReqSp("driver.request");
   ModuleResult Result;
   std::unique_ptr<lang::Module> M = frontEnd(Source, Diags);
   if (!M)
@@ -200,6 +206,8 @@ ModuleResult VerifierInstance::verify(const std::string &Source,
   Result.FrontEndOk = true;
   Result.StructureName = M->Structure.Name;
   Result.LcSize = lang::localConditionSize(M->Structure);
+  if (ReqSp.active())
+    ReqSp.arg("structure", Result.StructureName);
 
   const auto ReqStart = std::chrono::steady_clock::now();
   const pipeline::Options POptsBase = pipelineOptions(Opts);
@@ -246,16 +254,21 @@ ModuleResult VerifierInstance::verify(const std::string &Source,
       ImpactResult IR;
       IR.Field = I.Field;
       IR.Group = I.Group;
+      trace::ScopedSpan ISp("driver.impact");
       auto IStart = std::chrono::steady_clock::now();
       smt::TermManager TM;
       vcgen::ProcVc Vc = vcgen::generateImpactVc(TM, *M, I);
       ProcKey K = keyOf(TM, Vc.Obligations);
       ProcVerdict PV;
       pipeline::Options POpts = POptsBase;
+      POpts.TraceLabel = "impact:" + I.Field + "[" + I.Group + "]";
+      if (ISp.active())
+        ISp.arg("name", POpts.TraceLabel);
       if (Opts.ReuseProcVerdicts && lookupVerdict(K, PV)) {
         IR.Ok = PV.St == Status::Verified;
         IR.Cached = true;
         ++InstStats.ImpactsCached;
+        trace::counter("driver.impacts_cached").add();
       } else if (!underDeadline(POpts)) {
         IR.Ok = false;
         IR.TimedOut = true;
@@ -265,6 +278,7 @@ ModuleResult VerifierInstance::verify(const std::string &Source,
         IR.Ok = PR.V == pipeline::Verdict::Proved;
         IR.Pipeline = PR.St;
         ++InstStats.ImpactsSolved;
+        trace::counter("driver.impacts_solved").add();
         if (PR.V != pipeline::Verdict::Unknown) {
           PV.St = statusOf(PR.V);
           PV.NumObligations = static_cast<unsigned>(Vc.Obligations.size());
@@ -283,6 +297,9 @@ ModuleResult VerifierInstance::verify(const std::string &Source,
     ProcResult PR;
     PR.Name = P.Name;
     PR.Metrics = lang::computeMetrics(M->Structure, P);
+    trace::ScopedSpan PSp("driver.proc");
+    if (PSp.active())
+      PSp.arg("name", P.Name);
     auto Start = std::chrono::steady_clock::now();
     smt::TermManager TM;
     vcgen::VcOptions VOpts;
@@ -293,12 +310,14 @@ ModuleResult VerifierInstance::verify(const std::string &Source,
     ProcKey K = keyOf(TM, Vc.Obligations);
     ProcVerdict PV;
     pipeline::Options POpts = POptsBase;
+    POpts.TraceLabel = P.Name;
     if (Opts.ReuseProcVerdicts && lookupVerdict(K, PV)) {
       PR.St = PV.St;
       PR.FailedObligation = PV.FailedObligation;
       PR.Counterexample = PV.Counterexample;
       PR.Cached = true;
       ++InstStats.ProcsCached;
+      trace::counter("driver.procs_cached").add();
     } else if (!underDeadline(POpts)) {
       PR.St = Status::Unknown;
       PR.FailedObligation =
@@ -311,6 +330,7 @@ ModuleResult VerifierInstance::verify(const std::string &Source,
       PR.Counterexample = R.Counterexample;
       PR.Pipeline = R.St;
       ++InstStats.ProcsSolved;
+      trace::counter("driver.procs_solved").add();
       if (PR.St != Status::Unknown) {
         PV.St = PR.St;
         PV.NumObligations = PR.NumObligations;
@@ -320,6 +340,13 @@ ModuleResult VerifierInstance::verify(const std::string &Source,
       }
     }
     PR.Seconds = seconds(Start);
+    if (PSp.active()) {
+      PSp.arg("status", PR.St == Status::Verified ? "verified"
+                        : PR.St == Status::Failed ? "failed"
+                                                  : "unknown");
+      if (PR.Cached)
+        PSp.arg("cached", 1.0);
+    }
     Result.Procs.push_back(std::move(PR));
   }
   return Result;

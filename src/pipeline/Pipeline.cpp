@@ -11,15 +11,90 @@
 #include "pipeline/Slice.h"
 #include "smt/Solver.h"
 #include "smt/SolverContext.h"
+#include "support/Log.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <mutex>
 #include <unordered_map>
 
 using namespace ids;
 using namespace ids::pipeline;
 using namespace ids::smt;
+
+namespace {
+
+/// One row per Stats field: the single source of truth for the JSON key
+/// and the registry folding rule. statsToJson and recordStatsInRegistry
+/// both walk this table, which is what makes BENCH_table2.json rows and
+/// the cumulative pipeline.* counters definitionally consistent.
+struct StatsRow {
+  const char *Key;
+  uint64_t (*Get)(const Stats &);
+  bool IsMax; ///< high-water mark (registry recordMax), else summed
+};
+
+const StatsRow StatsRows[] = {
+    {"obligations", [](const Stats &S) { return uint64_t(S.Obligations); },
+     false},
+    {"proved_by_simplify",
+     [](const Stats &S) { return uint64_t(S.ProvedBySimplify); }, false},
+    {"conjuncts_before_slice",
+     [](const Stats &S) { return uint64_t(S.ConjunctsBeforeSlice); }, false},
+    {"conjuncts_sliced",
+     [](const Stats &S) { return uint64_t(S.ConjunctsSliced); }, false},
+    {"queries", [](const Stats &S) { return uint64_t(S.Queries); }, false},
+    {"cache_hits", [](const Stats &S) { return uint64_t(S.CacheHits); },
+     false},
+    {"slice_fallbacks",
+     [](const Stats &S) { return uint64_t(S.SliceFallbacks); }, false},
+    {"escalated_queries",
+     [](const Stats &S) { return uint64_t(S.EscalatedQueries); }, false},
+    {"prefix_groups", [](const Stats &S) { return uint64_t(S.PrefixGroups); },
+     false},
+    {"context_reuses",
+     [](const Stats &S) { return uint64_t(S.ContextReuses); }, false},
+    {"lemmas_retained",
+     [](const Stats &S) { return uint64_t(S.LemmasRetained); }, false},
+    {"incr_sat_rechecks",
+     [](const Stats &S) { return uint64_t(S.IncrSatRechecks); }, false},
+    {"max_atoms", [](const Stats &S) { return uint64_t(S.MaxAtoms); }, true},
+    {"max_array_lemmas",
+     [](const Stats &S) { return uint64_t(S.MaxArrayLemmas); }, true},
+    {"total_atoms", [](const Stats &S) { return uint64_t(S.TotalAtoms); },
+     false},
+    {"total_array_lemmas",
+     [](const Stats &S) { return uint64_t(S.TotalArrayLemmas); }, false},
+};
+
+} // namespace
+
+json::Value pipeline::statsToJson(const Stats &St) {
+  json::Value Obj = json::Value::object();
+  for (const StatsRow &Row : StatsRows)
+    Obj.set(Row.Key, json::Value::number(double(Row.Get(St))));
+  return Obj;
+}
+
+void pipeline::recordStatsInRegistry(const Stats &St) {
+  for (const StatsRow &Row : StatsRows) {
+    trace::Counter &C = trace::counter(std::string("pipeline.") + Row.Key);
+    if (Row.IsMax)
+      C.recordMax(Row.Get(St));
+    else
+      C.add(Row.Get(St));
+  }
+}
+
+std::string pipeline::vcHashHex(TermRef Query) {
+  QueryCache::Key K = QueryCache::keyFor(Query);
+  char Buf[33];
+  snprintf(Buf, sizeof(Buf), "%016llx%016llx", (unsigned long long)K.Hi,
+           (unsigned long long)K.Lo);
+  return Buf;
+}
 
 void Stats::merge(const Stats &O) {
   Obligations += O.Obligations;
@@ -59,14 +134,23 @@ public:
     if (Opts.Cache) {
       std::unordered_map<QueryCache::Key, size_t, QueryCache::KeyHash> Owner;
       for (size_t I = 0; I < N; ++I) {
+        trace::ScopedSpan Sp("pipeline.cache_probe");
         Keys[I] = QueryCache::keyFor(Queries[I]);
+        if (Sp.active()) {
+          Sp.arg("proc", Opts.TraceLabel);
+          Sp.arg("vc", vcHashHex(Queries[I]));
+        }
         if (Cache && Cache->lookup(Keys[I], Out[I])) {
+          if (Sp.active())
+            Sp.arg("hit", 1.0);
           ++St.CacheHits;
           continue;
         }
         auto [It, Inserted] = Owner.emplace(Keys[I], I);
         if (!Inserted) {
           Dups.emplace_back(I, It->second);
+          if (Sp.active())
+            Sp.arg("dup", 1.0);
           ++St.CacheHits;
         } else {
           RunList.push_back(I);
@@ -231,7 +315,7 @@ private:
       }
     }
     Close();
-    if (getenv("IDS_PIPE_DEBUG")) {
+    if (logging::debugEnabled("pipe")) {
       for (auto &G : Groups) {
         size_t L = SIZE_MAX; size_t MaxC = 0;
         for (size_t I : G) {
@@ -240,8 +324,8 @@ private:
                  Conj[G[0]][l] == Conj[I][l]) ++l;
           L = std::min(L, l); MaxC = std::max(MaxC, Conj[I].size());
         }
-        fprintf(stderr, "[pipe] group size=%zu lcp=%zu maxconj=%zu\n",
-                G.size(), L, MaxC);
+        logging::debugf("pipe", "group size=%zu lcp=%zu maxconj=%zu\n",
+                        G.size(), L, MaxC);
       }
     }
     // The sort chose the GROUPING; obligation order remains the better
@@ -261,6 +345,7 @@ private:
   void runGroup(const std::vector<TermRef> &Queries,
                 const std::vector<size_t> &Members,
                 std::vector<QueryCache::Outcome> &Out) {
+    trace::ScopedSpan GroupSp("pipeline.batch_group");
     std::vector<std::vector<TermRef>> Conj;
     Conj.reserve(Members.size());
     size_t Lcp = SIZE_MAX;
@@ -271,6 +356,11 @@ private:
       while (L < Conj[0].size() && L < C.size() && Conj[0][L] == C[L])
         ++L;
       Lcp = std::min(Lcp, L);
+    }
+    if (GroupSp.active()) {
+      GroupSp.arg("proc", Opts.TraceLabel);
+      GroupSp.arg("size", double(Members.size()));
+      GroupSp.arg("lcp", double(Lcp));
     }
 
     TermManager Local;
@@ -300,6 +390,8 @@ private:
 
     for (size_t M = 0; M < Members.size(); ++M) {
       size_t Idx = Members[M];
+      trace::ScopedSpan Sp("pipeline.solve");
+      const uint64_t T0 = trace::nowUs();
       const unsigned AtomsBefore = Ctx.numAtoms();
       const unsigned LemmasBefore = Ctx.numArrayLemmas();
       Ctx.push();
@@ -322,7 +414,14 @@ private:
         // worth the quadratic eager instantiation; a budget or timeout
         // Unknown would just exhaust again.
         bool GaveUp = false;
-        Out[Idx] = attempt(Queries[Idx], /*Eager=*/true, GaveUp);
+        {
+          trace::ScopedSpan Esc("pipeline.escalate");
+          if (Esc.active()) {
+            Esc.arg("proc", Opts.TraceLabel);
+            Esc.arg("vc", vcHashHex(Queries[Idx]));
+          }
+          Out[Idx] = attempt(Queries[Idx], /*Eager=*/true, GaveUp);
+        }
         Escalations.fetch_add(1, std::memory_order_relaxed);
       } else if (R == Solver::Result::Sat) {
         // A batch-context model ranges over every atom the context has
@@ -335,28 +434,97 @@ private:
         Out[Idx].NumAtoms = DeltaAtoms;
         Out[Idx].NumArrayLemmas = DeltaLemmas;
       }
+      finishQuerySpan(Sp, Queries[Idx], Out[Idx], /*Batched=*/true);
+      maybeRecordSlow(Queries[Idx], double(trace::nowUs() - T0) / 1e6,
+                      /*EscalateSec=*/0, Out[Idx], /*Batched=*/true);
     }
     GroupLemmasRetained.fetch_add(Ctx.stats().LemmasRetained,
                                   std::memory_order_relaxed);
   }
 
   QueryCache::Outcome runQuery(TermRef Query) {
+    trace::ScopedSpan Sp("pipeline.solve");
+    const uint64_t T0 = trace::nowUs();
     bool GaveUp = false;
     QueryCache::Outcome O = attempt(Query, /*Eager=*/false, GaveUp);
-    if (O.R != Solver::Result::Unknown || !GaveUp)
-      return O;
-    // Escalation: the relevancy-driven array instantiation gives up on a
-    // few query shapes (its model builder leaves extensional gaps). The
-    // blind product is quadratically bigger but decides them; Unknown is
-    // only reported once both attempts fail. Escalate only on a model
-    // give-up — a budget or timeout Unknown would just exhaust again on
-    // the larger query. The atom counters report the max of both
-    // attempts.
-    QueryCache::Outcome O2 = attempt(Query, /*Eager=*/true, GaveUp);
-    O2.NumAtoms = std::max(O.NumAtoms, O2.NumAtoms);
-    O2.NumArrayLemmas = std::max(O.NumArrayLemmas, O2.NumArrayLemmas);
-    Escalations.fetch_add(1, std::memory_order_relaxed);
-    return O2;
+    double EscalateSec = 0;
+    if (O.R == Solver::Result::Unknown && GaveUp) {
+      // Escalation: the relevancy-driven array instantiation gives up on
+      // a few query shapes (its model builder leaves extensional gaps).
+      // The blind product is quadratically bigger but decides them;
+      // Unknown is only reported once both attempts fail. Escalate only
+      // on a model give-up — a budget or timeout Unknown would just
+      // exhaust again on the larger query. The atom counters report the
+      // max of both attempts.
+      const uint64_t E0 = trace::nowUs();
+      {
+        trace::ScopedSpan Esc("pipeline.escalate");
+        if (Esc.active()) {
+          Esc.arg("proc", Opts.TraceLabel);
+          Esc.arg("vc", vcHashHex(Query));
+        }
+        QueryCache::Outcome O2 = attempt(Query, /*Eager=*/true, GaveUp);
+        O2.NumAtoms = std::max(O.NumAtoms, O2.NumAtoms);
+        O2.NumArrayLemmas = std::max(O.NumArrayLemmas, O2.NumArrayLemmas);
+        O = std::move(O2);
+      }
+      EscalateSec = double(trace::nowUs() - E0) / 1e6;
+      Escalations.fetch_add(1, std::memory_order_relaxed);
+    }
+    finishQuerySpan(Sp, Query, O, /*Batched=*/false);
+    maybeRecordSlow(Query, double(trace::nowUs() - T0) / 1e6, EscalateSec, O,
+                    /*Batched=*/false);
+    return O;
+  }
+
+  static const char *verdictName(Solver::Result R) {
+    switch (R) {
+    case Solver::Result::Sat:
+      return "sat";
+    case Solver::Result::Unsat:
+      return "unsat";
+    case Solver::Result::Unknown:
+      break;
+    }
+    return "unknown";
+  }
+
+  /// Attaches the standard per-query metadata to a pipeline.solve span
+  /// (no-op when tracing is off).
+  void finishQuerySpan(trace::ScopedSpan &Sp, TermRef Query,
+                       const QueryCache::Outcome &O, bool Batched) {
+    if (!Sp.active())
+      return;
+    Sp.arg("proc", Opts.TraceLabel);
+    Sp.arg("vc", vcHashHex(Query));
+    Sp.arg("verdict", verdictName(O.R));
+    Sp.arg("atoms", double(O.NumAtoms));
+    Sp.arg("array_lemmas", double(O.NumArrayLemmas));
+    if (Batched)
+      Sp.arg("batched", 1.0);
+  }
+
+  /// Appends a JSONL record when \p Sec crosses --slow-query-ms (no-op
+  /// with the threshold unset). One line per heavy query: the artifact
+  /// that turns "insert is slow" folklore into attributable data.
+  void maybeRecordSlow(TermRef Query, double Sec, double EscalateSec,
+                       const QueryCache::Outcome &O, bool Batched) {
+    double Th = trace::slowQueryThresholdMs();
+    if (Th <= 0 || Sec * 1000.0 < Th)
+      return;
+    static trace::Counter &SlowC = trace::counter("pipeline.slow_queries");
+    SlowC.add();
+    json::Value Rec = json::Value::object();
+    Rec.set("ts_us", json::Value::number(double(trace::nowUs())));
+    Rec.set("proc", json::Value::string(Opts.TraceLabel));
+    Rec.set("vc", json::Value::string(vcHashHex(Query)));
+    Rec.set("verdict", json::Value::string(verdictName(O.R)));
+    Rec.set("seconds", json::Value::number(Sec));
+    Rec.set("escalate_seconds", json::Value::number(EscalateSec));
+    Rec.set("atoms", json::Value::number(double(O.NumAtoms)));
+    Rec.set("array_lemmas", json::Value::number(double(O.NumArrayLemmas)));
+    Rec.set("batched", json::Value::boolean(Batched));
+    trace::appendSlowQuery(Rec);
   }
 
   const Options &Opts;
@@ -374,6 +542,12 @@ pipeline::Result pipeline::solveObligations(
     const Options &Opts, QueryCache *Cache) {
   Result R;
   R.St.Obligations = static_cast<unsigned>(Obls.size());
+  // Every exit path folds this call's Stats into the global pipeline.*
+  // metric cells (per-call Stats are deltas by construction).
+  struct RegistryGuard {
+    const Stats &St;
+    ~RegistryGuard() { recordStatsInRegistry(St); }
+  } Guard{R.St};
   if (Obls.empty())
     return R;
 
@@ -400,12 +574,27 @@ pipeline::Result pipeline::solveObligations(
       R.FailedDescription = "internal: quantifier leaked into a QF-mode VC";
       return R;
     }
-    if (Opts.Simplify && Simp.simplifyObligation(Guard, Claim, &SimpStats)) {
+    bool Simplified = false;
+    {
+      trace::ScopedSpan Sp("pipeline.simplify");
+      if (Sp.active()) {
+        Sp.arg("proc", Opts.TraceLabel);
+        Sp.arg("vc", vcHashHex(Prep[I].Orig));
+      }
+      Simplified =
+          Opts.Simplify && Simp.simplifyObligation(Guard, Claim, &SimpStats);
+    }
+    if (Simplified) {
       Prep[I].Proved = true;
       continue;
     }
     Prep[I].Query = TM.mkAnd(Guard, TM.mkNot(Claim));
     if (Opts.Slice) {
+      trace::ScopedSpan Sp("pipeline.slice");
+      if (Sp.active()) {
+        Sp.arg("proc", Opts.TraceLabel);
+        Sp.arg("vc", vcHashHex(Prep[I].Orig));
+      }
       std::vector<TermRef> Conjuncts = guardConjuncts(Guard);
       R.St.ConjunctsBeforeSlice += static_cast<unsigned>(Conjuncts.size());
       SliceStats SS;

@@ -26,6 +26,7 @@
 
 #include "pipeline/QueryCache.h"
 #include "smt/Term.h"
+#include "support/Json.h"
 #include "vcgen/VcGen.h"
 
 #include <string>
@@ -60,6 +61,10 @@ struct Options {
   bool CrossCheckQf = true;
   uint64_t MaxTheoryChecks = 0;
   double QueryTimeoutSeconds = 0;
+  /// Attribution label for spans and slow-query records (the procedure
+  /// or impact-check name this batch of obligations belongs to). Purely
+  /// observational; empty is fine.
+  std::string TraceLabel;
 };
 
 struct Stats {
@@ -95,6 +100,22 @@ struct Stats {
 
   void merge(const Stats &O);
 };
+
+/// Renders \p St as a JSON object — one member per Stats field, in
+/// declaration order. The row table behind this also drives
+/// recordStatsInRegistry, so bench_table2's per-proc rows and the
+/// cumulative pipeline.* metrics can never use diverging key names or
+/// semantics.
+json::Value statsToJson(const Stats &St);
+
+/// Folds \p St into the global metrics registry (pipeline.<key> cells;
+/// max_* fields as high-water marks, everything else summed).
+void recordStatsInRegistry(const Stats &St);
+
+/// Formats a query's 128-bit structural DAG hash (QueryCache::keyFor)
+/// as 32 hex digits — the VC identity used in span args, slow-query
+/// records and cache keys alike.
+std::string vcHashHex(smt::TermRef Query);
 
 enum class Verdict { Proved, Failed, Unknown };
 

@@ -20,6 +20,8 @@
 
 #include "pipeline/QueryCache.h"
 
+#include "support/Trace.h"
+
 #include <cinttypes>
 #include <filesystem>
 
@@ -33,14 +35,21 @@ QueryCache::~QueryCache() {
 }
 
 bool QueryCache::lookup(const Key &K, Outcome &Out) const {
+  static trace::Counter &Lookups = trace::counter("cache.query_lookups");
+  static trace::Counter &Hits = trace::counter("cache.query_hits");
+  static trace::Counter &DiskHits = trace::counter("cache.query_disk_hits");
   std::lock_guard<std::mutex> Lock(Mutex);
   ++Stats.Lookups;
+  Lookups.add();
   auto It = Map.find(K);
   if (It == Map.end())
     return false;
   ++Stats.Hits;
-  if (It->second.FromDisk)
+  Hits.add();
+  if (It->second.FromDisk) {
     ++Stats.DiskHits;
+    DiskHits.add();
+  }
   Out = It->second.O;
   return true;
 }
@@ -80,6 +89,8 @@ void QueryCache::appendLocked(const Key &K, const Outcome &O) {
   }
   fflush(Append);
   ++Stats.Appended;
+  static trace::Counter &Appended = trace::counter("cache.query_appended");
+  Appended.add();
 }
 
 size_t QueryCache::loadLocked(std::FILE *F) {

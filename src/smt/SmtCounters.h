@@ -1,0 +1,48 @@
+//===- smt/SmtCounters.h - Cached smt.* metric cells -----------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The smt.* registry cells, resolved once per process and shared by
+/// both checkSat paths (one-shot Solver and incremental SolverContext).
+/// Callers record per-check *deltas* — SatSolver and SolverStats
+/// counters are cumulative per context, so each check subtracts its
+/// starting window before bumping the global cells.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SMT_SMTCOUNTERS_H
+#define IDS_SMT_SMTCOUNTERS_H
+
+#include "support/Trace.h"
+
+namespace ids {
+namespace smt {
+
+struct SmtCounters {
+  trace::Counter &CheckSats = trace::counter("smt.check_sats");
+  trace::Counter &Decisions = trace::counter("smt.decisions");
+  trace::Counter &Conflicts = trace::counter("smt.conflicts");
+  trace::Counter &TheoryConflicts = trace::counter("smt.theory_conflicts");
+  trace::Counter &TheoryChecks = trace::counter("smt.theory_checks");
+  trace::Counter &Propagations = trace::counter("smt.propagations");
+  trace::Counter &ModelRepairs = trace::counter("smt.model_repairs");
+  trace::Counter &ModelGiveUps = trace::counter("smt.model_give_ups");
+  trace::Counter &Instantiations = trace::counter("smt.instantiations");
+  trace::Counter &ArrayLemmas = trace::counter("smt.array_lemmas");
+  trace::Counter &AssertsReused = trace::counter("smt.theory_asserts_reused");
+  trace::Counter &LemmasRetained = trace::counter("smt.lemmas_retained");
+  trace::Counter &MaxAtoms = trace::counter("smt.max_atoms");
+};
+
+inline SmtCounters &smtCounters() {
+  static SmtCounters C;
+  return C;
+}
+
+} // namespace smt
+} // namespace ids
+
+#endif // IDS_SMT_SMTCOUNTERS_H

@@ -7,6 +7,8 @@
 #include "smt/Solver.h"
 
 #include "smt/QuantInst.h"
+#include "smt/SmtCounters.h"
+#include "support/Log.h"
 
 #include <chrono>
 #include <cstdio>
@@ -16,6 +18,16 @@ using namespace ids;
 using namespace ids::smt;
 
 Solver::Result Solver::checkSat(TermRef Formula) {
+  SmtCounters &TC = smtCounters();
+  TC.CheckSats.add();
+  uint64_t DecisionsBefore = Core.Sat.numDecisions();
+  uint64_t ConflictsBefore = Core.Sat.numConflicts();
+  uint64_t TConflictsBefore = Core.Sat.numTheoryConflicts();
+  uint64_t ChecksBefore = Core.St.TheoryChecks;
+  uint64_t PropsBefore = Core.St.EqualitiesPropagated;
+  uint64_t RepairsBefore = Core.St.ModelRepairs;
+  uint64_t GiveUpsBefore = Core.St.ModelGiveUps;
+  unsigned ArrayLemmasBefore = Core.St.ArrayStats.NumLemmas;
   TermManager &TM = Core.TM;
   bool HadQuantifiers = TM.containsQuantifier(Formula);
   bool CompleteInst = true;
@@ -47,16 +59,25 @@ Solver::Result Solver::checkSat(TermRef Formula) {
             std::chrono::steady_clock::now().time_since_epoch())
             .count() +
         Core.Opts.TimeoutSeconds;
-  if (getenv("IDS_SMT_DEBUG"))
-    fprintf(stderr,
-            "[smt] atoms=%u satvars=%d arrayLemmas=%u witnesses=%u\n",
-            Core.St.NumAtoms, Core.Sat.numVars(), Core.St.ArrayStats.NumLemmas,
-            Core.St.ArrayStats.NumWitnesses);
+  logging::debugf("smt", "atoms=%u satvars=%d arrayLemmas=%u witnesses=%u\n",
+                  Core.St.NumAtoms, Core.Sat.numVars(),
+                  Core.St.ArrayStats.NumLemmas,
+                  Core.St.ArrayStats.NumWitnesses);
   TheoryEngine Check(Core, /*Persistent=*/false);
   sat::SatSolver::Result R = Core.Sat.solve(&Check);
   Core.St.SatConflicts = Core.Sat.numConflicts();
   Core.St.SatDecisions = Core.Sat.numDecisions();
   Core.St.TheoryConflicts = Core.Sat.numTheoryConflicts();
+  TC.Decisions.add(Core.Sat.numDecisions() - DecisionsBefore);
+  TC.Conflicts.add(Core.Sat.numConflicts() - ConflictsBefore);
+  TC.TheoryConflicts.add(Core.Sat.numTheoryConflicts() - TConflictsBefore);
+  TC.TheoryChecks.add(Core.St.TheoryChecks - ChecksBefore);
+  TC.Propagations.add(Core.St.EqualitiesPropagated - PropsBefore);
+  TC.ModelRepairs.add(Core.St.ModelRepairs - RepairsBefore);
+  TC.ModelGiveUps.add(Core.St.ModelGiveUps - GiveUpsBefore);
+  TC.ArrayLemmas.add(Core.St.ArrayStats.NumLemmas - ArrayLemmasBefore);
+  TC.Instantiations.add(Core.St.Instantiations);
+  TC.MaxAtoms.recordMax(Core.St.NumAtoms);
   if (Core.BudgetExhausted)
     return Result::Unknown;
   if (R == sat::SatSolver::Result::Unsat)

@@ -6,6 +6,9 @@
 
 #include "smt/SolverContext.h"
 
+#include "smt/SmtCounters.h"
+#include "support/Log.h"
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -81,6 +84,12 @@ SolverContext::Result SolverContext::checkSat() {
   uint64_t GiveUpsBefore = Core.St.ModelGiveUps;
   uint64_t ReusedBefore = Core.St.TheoryAssertsReused;
   uint64_t RetainedBefore = Core.Sat.numLemmasRetained();
+  uint64_t DecisionsBefore = Core.Sat.numDecisions();
+  uint64_t ConflictsBefore = Core.Sat.numConflicts();
+  uint64_t TConflictsBefore = Core.Sat.numTheoryConflicts();
+  uint64_t PropsBefore = Core.St.EqualitiesPropagated;
+  uint64_t RepairsBefore = Core.St.ModelRepairs;
+  unsigned ArrayLemmasBefore = Reducer.stats().NumLemmas;
   Core.BudgetExhausted = false;
   Core.TheoryCheckBase = Core.St.TheoryChecks;
   Core.SolveDeadline =
@@ -108,12 +117,12 @@ SolverContext::Result SolverContext::checkSat() {
     R = Result::Sat;
     Core.CurrentModel = Model();
   } else {
-    if (getenv("IDS_SMT_DEBUG"))
-      fprintf(stderr,
-              "[smt] incremental check: level=%u atoms=%zu satvars=%d "
-              "clauses=%u lemmas=%u\n",
-              Core.Sat.assertLevel(), Core.Atoms.size(), Core.Sat.numVars(),
-              Core.Sat.numClauses(), Reducer.stats().NumLemmas);
+    logging::debugf("smt",
+                    "incremental check: level=%u atoms=%zu satvars=%d "
+                    "clauses=%u lemmas=%u\n",
+                    Core.Sat.assertLevel(), Core.Atoms.size(),
+                    Core.Sat.numVars(), Core.Sat.numClauses(),
+                    Reducer.stats().NumLemmas);
     sat::SatSolver::Result SR = Core.Sat.solve(&Engine);
     NeedReset = true;
     Core.St.SatConflicts = Core.Sat.numConflicts();
@@ -134,6 +143,20 @@ SolverContext::Result SolverContext::checkSat() {
   LastCheck.LemmasRetained = Core.Sat.numLemmasRetained() - RetainedBefore;
   LastCheck.NumAtoms = static_cast<unsigned>(Core.Atoms.size());
   LastCheck.NumArrayLemmas = Reducer.stats().NumLemmas;
+
+  SmtCounters &TC = smtCounters();
+  TC.CheckSats.add();
+  TC.Decisions.add(Core.Sat.numDecisions() - DecisionsBefore);
+  TC.Conflicts.add(Core.Sat.numConflicts() - ConflictsBefore);
+  TC.TheoryConflicts.add(Core.Sat.numTheoryConflicts() - TConflictsBefore);
+  TC.TheoryChecks.add(LastCheck.TheoryChecks);
+  TC.Propagations.add(Core.St.EqualitiesPropagated - PropsBefore);
+  TC.ModelRepairs.add(Core.St.ModelRepairs - RepairsBefore);
+  TC.ModelGiveUps.add(LastCheck.ModelGiveUps);
+  TC.AssertsReused.add(LastCheck.TheoryAssertsReused);
+  TC.LemmasRetained.add(LastCheck.LemmasRetained);
+  TC.ArrayLemmas.add(Reducer.stats().NumLemmas - ArrayLemmasBefore);
+  TC.MaxAtoms.recordMax(LastCheck.NumAtoms);
   return R;
 }
 

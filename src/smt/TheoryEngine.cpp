@@ -7,6 +7,7 @@
 #include "smt/TheoryEngine.h"
 
 #include "smt/TermPrinter.h"
+#include "support/Log.h"
 
 #include <algorithm>
 #include <chrono>
@@ -617,14 +618,14 @@ bool TheoryEngine::onFullModel(std::vector<sat::Lit> &ConflictOut) {
     C.BudgetExhausted = true;
     return true;
   }
-  if (getenv("IDS_SMT_DEBUG") && C.St.TheoryChecks % 25 == 1)
-    fprintf(stderr,
-            "[smt] theory check #%llu (conflicts %llu, give-ups %llu, "
-            "repairs %llu)\n",
-            (unsigned long long)C.St.TheoryChecks,
-            (unsigned long long)C.Sat.numConflicts(),
-            (unsigned long long)C.St.ModelGiveUps,
-            (unsigned long long)C.St.ModelRepairs);
+  if (C.St.TheoryChecks % 25 == 1)
+    logging::debugf("smt",
+                    "theory check #%llu (conflicts %llu, give-ups %llu, "
+                    "repairs %llu)\n",
+                    (unsigned long long)C.St.TheoryChecks,
+                    (unsigned long long)C.Sat.numConflicts(),
+                    (unsigned long long)C.St.ModelGiveUps,
+                    (unsigned long long)C.St.ModelRepairs);
 
   CompositeExpl.clear();
   AssertedCCEqualities.clear();
@@ -676,7 +677,7 @@ bool TheoryEngine::onFullModel(std::vector<sat::Lit> &ConflictOut) {
     if (V.K == Value::Kind::Bool && V.B)
       return true; // genuine model
     ++C.St.ModelRepairs;
-    if (getenv("IDS_SMT_DEBUG") && C.St.ModelRepairs <= 4) {
+    if (logging::debugEnabled("smt") && C.St.ModelRepairs <= 4) {
       unsigned Shown = 0;
       for (size_t I = 0; I < C.Atoms.size() && Shown < 6; ++I) {
         if (!atomAssigned(static_cast<int>(I)))
@@ -684,14 +685,14 @@ bool TheoryEngine::onFullModel(std::vector<sat::Lit> &ConflictOut) {
         Value AV = C.CurrentModel.eval(C.Atoms[I]);
         if (AV.K == Value::Kind::Bool &&
             AV.B != atomValue(static_cast<int>(I))) {
-          fprintf(stderr, "[smt] atom mismatch (sat=%d eval=%d): %s\n",
-                  (int)atomValue(static_cast<int>(I)), (int)AV.B,
-                  printTerm(C.Atoms[I]).c_str());
+          logging::debugf("smt", "atom mismatch (sat=%d eval=%d): %s\n",
+                          (int)atomValue(static_cast<int>(I)), (int)AV.B,
+                          printTerm(C.Atoms[I]).c_str());
           ++Shown;
         }
       }
       if (Shown == 0)
-        fprintf(stderr, "[smt] eval failed but all atoms agree\n");
+        logging::debugf("smt", "eval failed but all atoms agree\n");
     }
     // Separate every colliding pair of numeric index terms at once —
     // including collisions with a constant index value, which have no

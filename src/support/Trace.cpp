@@ -1,0 +1,300 @@
+//===- support/Trace.cpp - Structured tracing & metrics --------------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+using namespace ids;
+using namespace ids::trace;
+
+namespace {
+
+// ---------------------------------------------------------------- Registry --
+
+struct CounterRegistry {
+  std::mutex M;
+  // std::map: stable addresses under insertion AND name-sorted
+  // iteration for free (snapshots are deterministic).
+  std::map<std::string, Counter> Counters;
+};
+
+CounterRegistry &counters() {
+  static CounterRegistry R;
+  return R;
+}
+
+uint64_t epochUs() {
+  static const uint64_t Epoch = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return Epoch;
+}
+
+// ------------------------------------------------------------ Span buffers --
+
+struct SpanEvent {
+  // Owned copy: the ScopedSpan's name pointer need not outlive the span
+  // itself (copied once per recorded event, on the enabled path only).
+  std::string Name;
+  uint64_t TsUs;
+  uint64_t DurUs;
+  uint32_t Tid;
+  std::vector<std::pair<std::string, json::Value>> Args;
+};
+
+/// One buffer per thread that ever opened a span. Appends take the
+/// buffer's own mutex (uncontended: only its thread appends; the
+/// exporter contends only at flush time). The registry keeps a second
+/// shared_ptr so buffers of exited threads survive until export.
+struct ThreadBuf {
+  std::mutex M;
+  std::vector<SpanEvent> Events;
+  uint32_t Tid = 0;
+};
+
+struct SpanRegistry {
+  std::mutex M;
+  std::vector<std::shared_ptr<ThreadBuf>> Bufs;
+  uint32_t NextTid = 1;
+};
+
+SpanRegistry &spans() {
+  static SpanRegistry R;
+  return R;
+}
+
+std::atomic<bool> SpansOn{false};
+
+ThreadBuf &threadBuf() {
+  thread_local std::shared_ptr<ThreadBuf> Buf = [] {
+    auto B = std::make_shared<ThreadBuf>();
+    SpanRegistry &R = spans();
+    std::lock_guard<std::mutex> Lock(R.M);
+    B->Tid = R.NextTid++;
+    R.Bufs.push_back(B);
+    return B;
+  }();
+  return *Buf;
+}
+
+// --------------------------------------------------------- Slow-query sink --
+
+struct SlowLog {
+  std::mutex M;
+  std::FILE *F = nullptr;
+  std::atomic<double> ThresholdMs{0};
+};
+
+SlowLog &slowLog() {
+  static SlowLog L;
+  return L;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- Counters --
+
+Counter &trace::counter(const std::string &Name) {
+  CounterRegistry &R = counters();
+  std::lock_guard<std::mutex> Lock(R.M);
+  return R.Counters[Name];
+}
+
+std::vector<std::pair<std::string, uint64_t>> trace::counterSnapshot() {
+  CounterRegistry &R = counters();
+  std::lock_guard<std::mutex> Lock(R.M);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  Out.reserve(R.Counters.size());
+  for (const auto &[Name, C] : R.Counters)
+    Out.emplace_back(Name, C.value());
+  return Out;
+}
+
+json::Value trace::statsJson() {
+  json::Value Doc = json::Value::object();
+  Doc.set("schema", json::Value::string("ids-stats-v1"));
+  json::Value Cs = json::Value::object();
+  for (const auto &[Name, V] : counterSnapshot())
+    Cs.set(Name, json::Value::number(static_cast<double>(V)));
+  Doc.set("counters", std::move(Cs));
+  return Doc;
+}
+
+bool trace::writeStatsJson(const std::string &Path, std::string &Error) {
+  std::FILE *F = fopen(Path.c_str(), "wb");
+  if (!F) {
+    Error = "cannot open stats file '" + Path + "' for writing";
+    return false;
+  }
+  std::string S = statsJson().serialize();
+  fwrite(S.data(), 1, S.size(), F);
+  fputc('\n', F);
+  fclose(F);
+  return true;
+}
+
+void trace::resetCountersForTest() {
+  CounterRegistry &R = counters();
+  std::lock_guard<std::mutex> Lock(R.M);
+  for (auto &[Name, C] : R.Counters) {
+    (void)Name;
+    C.reset();
+  }
+}
+
+// ------------------------------------------------------------------- Spans --
+
+uint64_t trace::nowUs() {
+  uint64_t Now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return Now - epochUs();
+}
+
+bool trace::spansEnabled() {
+  return SpansOn.load(std::memory_order_relaxed);
+}
+
+void trace::setSpansEnabled(bool On) {
+  epochUs(); // pin the epoch no later than the first enable
+  SpansOn.store(On, std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(const char *Name) : Name(Name) {
+  if (!trace::spansEnabled())
+    return;
+  Active = true;
+  StartUs = nowUs();
+}
+
+void ScopedSpan::arg(const char *Key, std::string Val) {
+  if (Active)
+    Args.emplace_back(Key, json::Value::string(std::move(Val)));
+}
+
+void ScopedSpan::arg(const char *Key, double Num) {
+  if (Active)
+    Args.emplace_back(Key, json::Value::number(Num));
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!Active)
+    return;
+  uint64_t End = nowUs();
+  ThreadBuf &B = threadBuf();
+  std::lock_guard<std::mutex> Lock(B.M);
+  B.Events.push_back(
+      {Name, StartUs, End - StartUs, B.Tid, std::move(Args)});
+}
+
+json::Value trace::chromeTraceJson() {
+  std::vector<SpanEvent> All;
+  {
+    SpanRegistry &R = spans();
+    std::lock_guard<std::mutex> Lock(R.M);
+    for (const std::shared_ptr<ThreadBuf> &B : R.Bufs) {
+      std::lock_guard<std::mutex> BLock(B->M);
+      All.insert(All.end(), B->Events.begin(), B->Events.end());
+    }
+  }
+  std::stable_sort(All.begin(), All.end(),
+                   [](const SpanEvent &A, const SpanEvent &B) {
+                     return A.TsUs < B.TsUs;
+                   });
+  json::Value Events = json::Value::array();
+  for (const SpanEvent &E : All) {
+    json::Value V = json::Value::object();
+    V.set("name", json::Value::string(E.Name));
+    V.set("ph", json::Value::string("X"));
+    V.set("ts", json::Value::number(static_cast<double>(E.TsUs)));
+    V.set("dur", json::Value::number(static_cast<double>(E.DurUs)));
+    V.set("pid", json::Value::number(1));
+    V.set("tid", json::Value::number(E.Tid));
+    if (!E.Args.empty()) {
+      json::Value Args = json::Value::object();
+      for (const auto &[K, Val] : E.Args)
+        Args.set(K, Val);
+      V.set("args", std::move(Args));
+    }
+    Events.push(std::move(V));
+  }
+  json::Value Doc = json::Value::object();
+  Doc.set("traceEvents", std::move(Events));
+  Doc.set("displayTimeUnit", json::Value::string("ms"));
+  return Doc;
+}
+
+bool trace::writeChromeTrace(const std::string &Path, std::string &Error) {
+  std::FILE *F = fopen(Path.c_str(), "wb");
+  if (!F) {
+    Error = "cannot open trace file '" + Path + "' for writing";
+    return false;
+  }
+  std::string S = chromeTraceJson().serialize();
+  fwrite(S.data(), 1, S.size(), F);
+  fputc('\n', F);
+  fclose(F);
+  return true;
+}
+
+void trace::resetSpansForTest() {
+  SpanRegistry &R = spans();
+  std::lock_guard<std::mutex> Lock(R.M);
+  for (const std::shared_ptr<ThreadBuf> &B : R.Bufs) {
+    std::lock_guard<std::mutex> BLock(B->M);
+    B->Events.clear();
+  }
+}
+
+// ---------------------------------------------------------- Slow-query log --
+
+void trace::setSlowQueryThresholdMs(double Ms) {
+  slowLog().ThresholdMs.store(Ms, std::memory_order_relaxed);
+}
+
+double trace::slowQueryThresholdMs() {
+  return slowLog().ThresholdMs.load(std::memory_order_relaxed);
+}
+
+bool trace::openSlowQueryLog(const std::string &Path, std::string &Error) {
+  SlowLog &L = slowLog();
+  std::lock_guard<std::mutex> Lock(L.M);
+  if (L.F)
+    fclose(L.F);
+  L.F = fopen(Path.c_str(), "ab");
+  if (!L.F) {
+    Error = "cannot open slow-query log '" + Path + "' for appending";
+    return false;
+  }
+  return true;
+}
+
+void trace::closeSlowQueryLog() {
+  SlowLog &L = slowLog();
+  std::lock_guard<std::mutex> Lock(L.M);
+  if (L.F)
+    fclose(L.F);
+  L.F = nullptr;
+}
+
+void trace::appendSlowQuery(const json::Value &Record) {
+  SlowLog &L = slowLog();
+  std::lock_guard<std::mutex> Lock(L.M);
+  if (!L.F)
+    return;
+  std::string S = Record.serialize();
+  fwrite(S.data(), 1, S.size(), L.F);
+  fputc('\n', L.F);
+  fflush(L.F);
+}

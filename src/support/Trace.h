@@ -1,0 +1,155 @@
+//===- support/Trace.h - Structured tracing & metrics ----------*- C++ -*-===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe, low-overhead span/counter subsystem — the measurement
+/// foundation under the verifier's "predictable verification" claim.
+/// Where the time of a 98-second `insert` goes must be a tracked
+/// artifact, not folklore, before any of it is optimized.
+///
+/// Three facilities share one registry:
+///
+///  - **Counters** (`trace::counter("smt.decisions")`): named atomic
+///    cells, always on. Call sites cache the returned reference in a
+///    function-local static so the name is interned once; an increment
+///    is a relaxed fetch_add. Counters carry either a running sum
+///    (`add`) or a high-water mark (`recordMax`) — which one is the
+///    call site's contract, recorded in the metric name ("max_*").
+///    `statsJson()` snapshots every counter into one JSON object; the
+///    same snapshot backs `--stats-json`, the human `--stats` footer
+///    and serve mode's `{"cmd":"stats"}` answer, so the three can never
+///    disagree.
+///
+///  - **Spans** (`trace::ScopedSpan`): RAII wall-clock intervals with
+///    optional string/number args, collected into per-thread buffers
+///    (one uncontended mutex each, registered once per thread) and
+///    merged at export time into Chrome trace-event JSON
+///    (`writeChromeTrace`, loadable in Perfetto or chrome://tracing).
+///    Span collection is off unless `enableSpans()` ran (--trace-out);
+///    a disabled span costs one relaxed atomic load.
+///
+///  - **Slow-query log**: `appendSlowQuery` writes one JSON object per
+///    line (JSONL) to the file configured by `openSlowQueryLog`,
+///    gated on `slowQueryThresholdMs()` (--slow-query-ms, default off).
+///    The pipeline records every solver query that exceeds the
+///    threshold: VC hash, procedure, atoms, lemmas, stage timings and
+///    verdict.
+///
+/// Timestamps are steady_clock microseconds relative to a process-wide
+/// epoch captured on first use — monotonic, comparable across threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IDS_SUPPORT_TRACE_H
+#define IDS_SUPPORT_TRACE_H
+
+#include "support/Json.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ids {
+namespace trace {
+
+// --------------------------------------------------------------- Counters --
+
+/// A named metric cell. Monotonic counters use add(); high-water marks
+/// use recordMax(). The address is stable for the process lifetime.
+class Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  void recordMax(uint64_t X) {
+    uint64_t Cur = V.load(std::memory_order_relaxed);
+    while (Cur < X &&
+           !V.compare_exchange_weak(Cur, X, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  /// Tests only (via resetCountersForTest): zeroes the cell.
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Interns and returns the counter named \p Name. The lookup takes a
+/// registry mutex — hot call sites cache the reference:
+///   static trace::Counter &C = trace::counter("smt.decisions");
+Counter &counter(const std::string &Name);
+
+/// Name-sorted snapshot of every registered counter.
+std::vector<std::pair<std::string, uint64_t>> counterSnapshot();
+
+/// The cumulative metrics snapshot as one JSON object
+/// {"schema":"ids-stats-v1","counters":{name:value,...}} — the single
+/// source for --stats-json, the --stats footer and serve `stats`.
+json::Value statsJson();
+bool writeStatsJson(const std::string &Path, std::string &Error);
+
+/// Zeroes every registered counter (tests only; addresses stay valid).
+void resetCountersForTest();
+
+// ------------------------------------------------------------------ Spans --
+
+/// Microseconds since the process trace epoch (steady clock).
+uint64_t nowUs();
+
+bool spansEnabled();
+void setSpansEnabled(bool On);
+
+/// RAII span: records [construction, destruction) into the current
+/// thread's buffer when span collection is enabled. Args attach
+/// Perfetto-visible metadata; both arg() and the destructor are no-ops
+/// on an inactive span, so call sites need no enabled-checks of their
+/// own beyond skipping expensive arg construction via active().
+class ScopedSpan {
+public:
+  explicit ScopedSpan(const char *Name);
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+  ~ScopedSpan();
+
+  bool active() const { return Active; }
+  void arg(const char *Key, std::string Val);
+  void arg(const char *Key, double Num);
+
+private:
+  const char *Name;
+  uint64_t StartUs = 0;
+  std::vector<std::pair<std::string, json::Value>> Args;
+  bool Active = false;
+};
+
+/// Merges every thread buffer into a Chrome trace-event document:
+/// {"traceEvents":[{"name","ph":"X","ts","dur","pid","tid","args"},...]}.
+json::Value chromeTraceJson();
+bool writeChromeTrace(const std::string &Path, std::string &Error);
+
+/// Drops every buffered span event (tests only).
+void resetSpansForTest();
+
+// --------------------------------------------------------- Slow-query log --
+
+/// Threshold in milliseconds above which the pipeline records a solver
+/// query into the slow-query log; 0 (the default) disables recording.
+void setSlowQueryThresholdMs(double Ms);
+double slowQueryThresholdMs();
+
+/// Opens (appends to) the JSONL sink for slow-query records.
+bool openSlowQueryLog(const std::string &Path, std::string &Error);
+void closeSlowQueryLog();
+
+/// Serializes \p Record as one line of the slow-query log (flushed per
+/// record). No-op when no log is open.
+void appendSlowQuery(const json::Value &Record);
+
+} // namespace trace
+} // namespace ids
+
+#endif // IDS_SUPPORT_TRACE_H

@@ -161,7 +161,8 @@ TEST(CliTest, NumericFlagsRejectGarbage) {
 TEST(CliTest, MissingArgumentNamesTheFlag) {
   for (const char *Flag :
        {"--jobs", "--splits", "--budget", "--timeout", "--request-timeout",
-        "--proc", "--benchmark", "--cache-dir"}) {
+        "--proc", "--benchmark", "--cache-dir", "--trace-out",
+        "--stats-json", "--slow-query-ms", "--slow-query-log"}) {
     driver::CliArgs A = parse({Flag});
     EXPECT_FALSE(A.ok()) << Flag;
     EXPECT_EQ(A.Error, std::string("missing argument for ") + Flag);
@@ -191,6 +192,33 @@ TEST(CliTest, ValuesLandInOptions) {
   EXPECT_FALSE(A.Opts.ReuseProcVerdicts);
   EXPECT_TRUE(A.ShowStats);
   EXPECT_EQ(A.BenchName, "bst");
+}
+
+TEST(CliTest, ObservabilityFlagsLand) {
+  driver::CliArgs A = parse({"--benchmark", "bst", "--trace-out", "t.json",
+                             "--stats-json", "s.json", "--slow-query-ms",
+                             "250", "--slow-query-log", "slow.jsonl"});
+  ASSERT_TRUE(A.ok()) << A.Error;
+  EXPECT_EQ(A.TraceOut, "t.json");
+  EXPECT_EQ(A.StatsJson, "s.json");
+  EXPECT_DOUBLE_EQ(A.SlowQueryMs, 250.0);
+  EXPECT_EQ(A.SlowQueryLog, "slow.jsonl");
+}
+
+TEST(CliTest, SlowQueryThresholdDefaultsTheSink) {
+  driver::CliArgs A = parse({"--benchmark", "bst", "--slow-query-ms", "10"});
+  ASSERT_TRUE(A.ok()) << A.Error;
+  EXPECT_EQ(A.SlowQueryLog, "ids-slow-queries.jsonl");
+  // ...but a sink without a threshold would silently never record.
+  driver::CliArgs B =
+      parse({"--benchmark", "bst", "--slow-query-log", "slow.jsonl"});
+  EXPECT_FALSE(B.ok());
+  EXPECT_NE(B.Error.find("--slow-query-ms"), std::string::npos);
+  // Off stays off: no default sink materializes.
+  driver::CliArgs C = parse({"--benchmark", "bst"});
+  ASSERT_TRUE(C.ok());
+  EXPECT_TRUE(C.SlowQueryLog.empty());
+  EXPECT_FALSE(parse({"--slow-query-ms", "-5", "--benchmark", "bst"}).ok());
 }
 
 //===----------------------------------------------------------------------===//

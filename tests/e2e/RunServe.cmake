@@ -22,6 +22,7 @@ file(WRITE "${Requests}"
 "{\"id\":1,\"benchmark\":\"singly-linked-list\"}
 this line is not JSON
 {\"id\":3,\"benchmark\":\"bst\"}
+{\"id\":4,\"cmd\":\"stats\"}
 ")
 
 execute_process(
@@ -39,13 +40,43 @@ endif()
 string(REGEX REPLACE "\n$" "" Trimmed "${Out}")
 string(REPLACE "\n" ";" Lines "${Trimmed}")
 list(LENGTH Lines NumLines)
-if(NOT NumLines EQUAL 3)
-  message(FATAL_ERROR "expected 3 response lines, got ${NumLines}\n${Out}")
+if(NOT NumLines EQUAL 4)
+  message(FATAL_ERROR "expected 4 response lines, got ${NumLines}\n${Out}")
 endif()
 
 list(GET Lines 0 Resp1)
 list(GET Lines 1 Resp2)
 list(GET Lines 2 Resp3)
+list(GET Lines 3 Resp4)
+
+# Every response — success or error — reports its wall clock.
+foreach(Var Resp1 Resp2 Resp3 Resp4)
+  string(FIND "${${Var}}" "\"elapsed_ms\":" P)
+  if(P EQUAL -1)
+    message(FATAL_ERROR "response lacks elapsed_ms: ${${Var}}")
+  endif()
+endforeach()
+
+# The stats command answers the cumulative metrics snapshot — the same
+# schema --stats-json writes — and after two verify requests the
+# pipeline/smt/driver counter families must all be populated.
+foreach(Tag "\"id\":4" "\"ok\":true" "\"schema\":\"ids-stats-v1\""
+        "\"counters\":{" "\"driver.requests\":2" "\"pipeline.obligations\":"
+        "\"smt.check_sats\":")
+  string(FIND "${Resp4}" "${Tag}" P)
+  if(P EQUAL -1)
+    message(FATAL_ERROR "stats answer lacks ${Tag}: ${Resp4}")
+  endif()
+endforeach()
+
+# Verify responses carry this request's cache traffic.
+foreach(Var Resp1 Resp3)
+  string(FIND "${${Var}}" "\"cache\":{\"query_hits\":" P)
+  if(P EQUAL -1)
+    message(FATAL_ERROR "verify response lacks per-request cache stats: "
+            "${${Var}}")
+  endif()
+endforeach()
 
 foreach(Pair "Resp1|\"id\":1" "Resp3|\"id\":3")
   string(REPLACE "|" ";" Parts "${Pair}")

@@ -1,0 +1,301 @@
+//===- tests/support/TraceTest.cpp - Tracing & metrics tests ---------------===//
+//
+// Part of the IDSVerify project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer's contracts: counter atomicity under
+/// contention, high-water-mark semantics, the stats snapshot shape that
+/// --stats-json / --stats / serve "stats" all share, span nesting and
+/// cross-thread buffer merging in the Chrome trace export, and the
+/// slow-query JSONL sink. Counters and span buffers are process-global,
+/// so every test resets them and uses test-local counter names.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace ids;
+
+namespace {
+
+/// Fresh global state per test: zeroed counters, empty span buffers,
+/// spans disabled.
+class TraceTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    trace::setSpansEnabled(false);
+    trace::resetSpansForTest();
+    trace::resetCountersForTest();
+  }
+  void TearDown() override {
+    trace::setSpansEnabled(false);
+    trace::resetSpansForTest();
+    trace::closeSlowQueryLog();
+    trace::setSlowQueryThresholdMs(0);
+  }
+};
+
+TEST_F(TraceTest, CounterAddAndValue) {
+  trace::Counter &C = trace::counter("test.add");
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  // Interning: the same name is the same cell.
+  EXPECT_EQ(&trace::counter("test.add"), &C);
+  EXPECT_NE(&trace::counter("test.add2"), &C);
+}
+
+TEST_F(TraceTest, CounterRecordMaxIsHighWaterMark) {
+  trace::Counter &C = trace::counter("test.max");
+  C.recordMax(10);
+  C.recordMax(3);
+  EXPECT_EQ(C.value(), 10u);
+  C.recordMax(17);
+  EXPECT_EQ(C.value(), 17u);
+}
+
+TEST_F(TraceTest, CounterAtomicUnderContention) {
+  trace::Counter &Sum = trace::counter("test.contended_sum");
+  trace::Counter &Max = trace::counter("test.contended_max");
+  constexpr int Threads = 8;
+  constexpr uint64_t PerThread = 100000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      for (uint64_t I = 1; I <= PerThread; ++I) {
+        Sum.add();
+        Max.recordMax(uint64_t(T) * PerThread + I);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(Sum.value(), uint64_t(Threads) * PerThread);
+  EXPECT_EQ(Max.value(), uint64_t(Threads) * PerThread);
+}
+
+TEST_F(TraceTest, SnapshotIsNameSortedAndComplete) {
+  trace::counter("test.b").add(2);
+  trace::counter("test.a").add(1);
+  auto Snap = trace::counterSnapshot();
+  ASSERT_GE(Snap.size(), 2u);
+  for (size_t I = 1; I < Snap.size(); ++I)
+    EXPECT_LT(Snap[I - 1].first, Snap[I].first);
+  uint64_t A = 0, B = 0;
+  for (const auto &[Name, V] : Snap) {
+    if (Name == "test.a")
+      A = V;
+    if (Name == "test.b")
+      B = V;
+  }
+  EXPECT_EQ(A, 1u);
+  EXPECT_EQ(B, 2u);
+}
+
+TEST_F(TraceTest, StatsJsonShape) {
+  trace::counter("test.stats_cell").add(7);
+  json::Value S = trace::statsJson();
+  ASSERT_TRUE(S.isObject());
+  const json::Value *Schema = S.get("schema");
+  ASSERT_NE(Schema, nullptr);
+  EXPECT_EQ(Schema->asString(), "ids-stats-v1");
+  const json::Value *Counters = S.get("counters");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_TRUE(Counters->isObject());
+  const json::Value *Cell = Counters->get("test.stats_cell");
+  ASSERT_NE(Cell, nullptr);
+  EXPECT_DOUBLE_EQ(Cell->asNumber(), 7.0);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(trace::spansEnabled());
+  {
+    trace::ScopedSpan Sp("test.off");
+    EXPECT_FALSE(Sp.active());
+    Sp.arg("k", 1.0); // must be a harmless no-op
+  }
+  json::Value T = trace::chromeTraceJson();
+  const json::Value *Evs = T.get("traceEvents");
+  ASSERT_NE(Evs, nullptr);
+  EXPECT_TRUE(Evs->elements().empty());
+}
+
+/// Finds the single event named \p Name; fails the test when absent.
+const json::Value *findEvent(const json::Value &Trace, const char *Name) {
+  const json::Value *Evs = Trace.get("traceEvents");
+  if (!Evs)
+    return nullptr;
+  for (const json::Value &E : Evs->elements()) {
+    const json::Value *N = E.get("name");
+    if (N && N->asString() == Name)
+      return &E;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, SpanNestingIsContainedInExport) {
+  trace::setSpansEnabled(true);
+  {
+    trace::ScopedSpan Outer("test.outer");
+    ASSERT_TRUE(Outer.active());
+    Outer.arg("proc", std::string("insert"));
+    {
+      trace::ScopedSpan Inner("test.inner");
+      Inner.arg("atoms", 42.0);
+    }
+  }
+  json::Value T = trace::chromeTraceJson();
+  const json::Value *Outer = findEvent(T, "test.outer");
+  const json::Value *Inner = findEvent(T, "test.inner");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  // Chrome nests complete events by interval containment per tid.
+  double OutTs = Outer->get("ts")->asNumber();
+  double OutEnd = OutTs + Outer->get("dur")->asNumber();
+  double InTs = Inner->get("ts")->asNumber();
+  double InEnd = InTs + Inner->get("dur")->asNumber();
+  EXPECT_LE(OutTs, InTs);
+  EXPECT_GE(OutEnd, InEnd);
+  EXPECT_DOUBLE_EQ(Outer->get("tid")->asNumber(),
+                   Inner->get("tid")->asNumber());
+  EXPECT_EQ(Outer->get("ph")->asString(), "X");
+  EXPECT_EQ(Outer->get("args")->get("proc")->asString(), "insert");
+  EXPECT_DOUBLE_EQ(Inner->get("args")->get("atoms")->asNumber(), 42.0);
+}
+
+TEST_F(TraceTest, ThreadBuffersMergeWithDistinctTids) {
+  trace::setSpansEnabled(true);
+  constexpr int Threads = 4;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([T] {
+      std::string Name = "test.thread" + std::to_string(T);
+      trace::ScopedSpan Sp(Name.c_str());
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  // Exported after the threads exited: the registry must have kept the
+  // buffers alive past thread teardown.
+  json::Value Trace = trace::chromeTraceJson();
+  std::vector<double> Tids;
+  for (int T = 0; T < Threads; ++T) {
+    std::string Name = "test.thread" + std::to_string(T);
+    const json::Value *E = findEvent(Trace, Name.c_str());
+    ASSERT_NE(E, nullptr) << Name;
+    Tids.push_back(E->get("tid")->asNumber());
+  }
+  for (size_t I = 0; I < Tids.size(); ++I)
+    for (size_t J = I + 1; J < Tids.size(); ++J)
+      EXPECT_NE(Tids[I], Tids[J]);
+}
+
+TEST_F(TraceTest, ExportsAreTimestampSorted) {
+  trace::setSpansEnabled(true);
+  for (int I = 0; I < 5; ++I)
+    trace::ScopedSpan Sp("test.seq");
+  json::Value T = trace::chromeTraceJson();
+  const json::Value *Evs = T.get("traceEvents");
+  ASSERT_NE(Evs, nullptr);
+  ASSERT_EQ(Evs->elements().size(), 5u);
+  double Prev = -1;
+  for (const json::Value &E : Evs->elements()) {
+    double Ts = E.get("ts")->asNumber();
+    EXPECT_GE(Ts, Prev);
+    Prev = Ts;
+  }
+}
+
+TEST_F(TraceTest, FileExportsRoundTripThroughParser) {
+  trace::setSpansEnabled(true);
+  { trace::ScopedSpan Sp("test.file_span"); }
+  trace::counter("test.file_cell").add(3);
+  std::string Dir = ::testing::TempDir();
+  std::string TracePath = Dir + "/trace_test_trace.json";
+  std::string StatsPath = Dir + "/trace_test_stats.json";
+  std::string Error;
+  ASSERT_TRUE(trace::writeChromeTrace(TracePath, Error)) << Error;
+  ASSERT_TRUE(trace::writeStatsJson(StatsPath, Error)) << Error;
+  for (const std::string &Path : {TracePath, StatsPath}) {
+    std::ifstream In(Path);
+    ASSERT_TRUE(In.good()) << Path;
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    std::string Err;
+    json::Value V = json::Value::parse(Buf.str(), Err);
+    EXPECT_TRUE(Err.empty()) << Path << ": " << Err;
+    EXPECT_TRUE(V.isObject());
+    std::remove(Path.c_str());
+  }
+}
+
+TEST_F(TraceTest, WriteFailuresReportAnError) {
+  std::string Error;
+  EXPECT_FALSE(trace::writeStatsJson("/nonexistent-dir/s.json", Error));
+  EXPECT_FALSE(Error.empty());
+  Error.clear();
+  EXPECT_FALSE(trace::writeChromeTrace("/nonexistent-dir/t.json", Error));
+  EXPECT_FALSE(Error.empty());
+  Error.clear();
+  EXPECT_FALSE(trace::openSlowQueryLog("/nonexistent-dir/q.jsonl", Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST_F(TraceTest, SlowQueryLogAppendsParseableJsonl) {
+  std::string Path = ::testing::TempDir() + "/trace_test_slow.jsonl";
+  std::remove(Path.c_str());
+  trace::setSlowQueryThresholdMs(5);
+  EXPECT_DOUBLE_EQ(trace::slowQueryThresholdMs(), 5.0);
+  std::string Error;
+  ASSERT_TRUE(trace::openSlowQueryLog(Path, Error)) << Error;
+  for (int I = 0; I < 3; ++I) {
+    json::Value R = json::Value::object();
+    R.set("vc", json::Value::string("deadbeef"));
+    R.set("seconds", json::Value::number(I + 0.5));
+    trace::appendSlowQuery(R);
+  }
+  trace::closeSlowQueryLog();
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Line;
+  int Lines = 0;
+  while (std::getline(In, Line)) {
+    std::string Err;
+    json::Value V = json::Value::parse(Line, Err);
+    ASSERT_TRUE(Err.empty()) << Line << ": " << Err;
+    ASSERT_TRUE(V.isObject());
+    EXPECT_EQ(V.get("vc")->asString(), "deadbeef");
+    ++Lines;
+  }
+  EXPECT_EQ(Lines, 3);
+  // Re-opening appends rather than truncates (a daemon restart must not
+  // erase history).
+  ASSERT_TRUE(trace::openSlowQueryLog(Path, Error)) << Error;
+  json::Value R = json::Value::object();
+  R.set("vc", json::Value::string("feedface"));
+  trace::appendSlowQuery(R);
+  trace::closeSlowQueryLog();
+  std::ifstream In2(Path);
+  Lines = 0;
+  while (std::getline(In2, Line))
+    ++Lines;
+  EXPECT_EQ(Lines, 4);
+  std::remove(Path.c_str());
+}
+
+TEST_F(TraceTest, AppendWithoutOpenLogIsNoOp) {
+  json::Value R = json::Value::object();
+  R.set("vc", json::Value::string("cafe"));
+  trace::appendSlowQuery(R); // must not crash
+}
+
+} // namespace
