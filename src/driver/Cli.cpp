@@ -87,6 +87,11 @@ const char *driver::usageText() {
       "             --no-incremental (disable shared-prefix batching on\n"
       "                      incremental solver contexts; every query then\n"
       "                      gets a fresh one-shot solve)\n"
+      "             --eager-arrays (instantiate the array-lemma closure\n"
+      "                      up front instead of lazily from inside the\n"
+      "                      search; the lazy mode's differential baseline)\n"
+      "             --no-reduce-db (disable activity-based learned-clause\n"
+      "                      deletion in the SAT core)\n"
       "             --stats (print per-procedure pipeline statistics and\n"
       "                      the cumulative metrics registry)\n"
       "observability: --trace-out FILE (Chrome trace-event JSON of every\n"
@@ -157,6 +162,10 @@ CliArgs driver::parseCli(int Argc, const char *const *Argv) {
       A.Opts.CacheQueries = false;
     } else if (Arg == "--no-incremental") {
       A.Opts.Incremental = false;
+    } else if (Arg == "--eager-arrays") {
+      A.Opts.LazyArrays = false;
+    } else if (Arg == "--no-reduce-db") {
+      A.Opts.ReduceDb = false;
     } else if (Arg == "--no-reverify-cache") {
       A.Opts.ReuseProcVerdicts = false;
     } else if (Arg == "--stats") {

@@ -47,6 +47,8 @@ pipeline::Options pipelineOptions(const VerifyOptions &Opts) {
   P.CrossCheckQf = Opts.CrossCheckQf;
   P.MaxTheoryChecks = Opts.MaxTheoryChecks;
   P.QueryTimeoutSeconds = Opts.QueryTimeoutSeconds;
+  P.LazyArrays = Opts.LazyArrays;
+  P.ReduceDb = Opts.ReduceDb;
   return P;
 }
 

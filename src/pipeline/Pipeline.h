@@ -61,6 +61,15 @@ struct Options {
   bool CrossCheckQf = true;
   uint64_t MaxTheoryChecks = 0;
   double QueryTimeoutSeconds = 0;
+  /// Lazy in-search array instantiation for batched incremental contexts:
+  /// only select-rooted demands instantiate up front, the rest on the
+  /// first violating candidate model inside the CDCL loop
+  /// (--eager-arrays restores the up-front closure as the differential
+  /// baseline).
+  bool LazyArrays = true;
+  /// Activity-based learned-clause deletion in the SAT core
+  /// (--no-reduce-db disables, the differential baseline).
+  bool ReduceDb = true;
   /// Attribution label for spans and slow-query records (the procedure
   /// or impact-check name this batch of obligations belongs to). Purely
   /// observational; empty is fine.
@@ -89,6 +98,9 @@ struct Stats {
   unsigned ContextReuses = 0;
   /// Learned theory lemmas retained across pops inside batch contexts.
   uint64_t LemmasRetained = 0;
+  /// Deferred array lemmas asserted from inside the CDCL loop (lazy
+  /// instantiation mode; 0 under --eager-arrays).
+  uint64_t LazyArrayLemmas = 0;
   /// Sat answers from an incremental batch re-confirmed on a fresh
   /// one-shot solver (clean countermodel, independent of context state).
   unsigned IncrSatRechecks = 0;

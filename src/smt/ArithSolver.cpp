@@ -614,7 +614,9 @@ bool ArithSolver::assertPolyNegative(LinTerm Poly, int Tag,
 
 bool ArithSolver::probeForcedEqual(int Var1, int Var2,
                                    std::set<int> &TagsOut,
-                                   bool *UnknownOut) {
+                                   bool *UnknownOut,
+                                   const std::vector<int> *WitnessVars,
+                                   std::vector<Rational> *WitnessOut) {
   constexpr int ProbeTag = -3;
   LinTerm Diff;
   Diff.add(Var1, Rational(1));
@@ -622,11 +624,24 @@ bool ArithSolver::probeForcedEqual(int Var1, int Var2,
   if (Diff.Coeffs.empty())
     return true; // syntactically identical
 
+  // Captures the separating model for the caller's whole candidate set
+  // (must run before restore() discards the probe assignment).
+  auto CaptureWitness = [&] {
+    if (!WitnessVars || !WitnessOut)
+      return;
+    WitnessOut->clear();
+    WitnessOut->reserve(WitnessVars->size());
+    for (int V : *WitnessVars)
+      WitnessOut->push_back(modelValue(V));
+  };
+
   Snapshot S = save();
   std::set<int> Core1, Core2;
   // Probe Var1 < Var2.
   bool Feasible = assertPolyNegative(Diff, ProbeTag, Core1);
   Result R1 = Feasible ? search(Core1, 0) : Result::Unsat;
+  if (R1 == Result::Sat)
+    CaptureWitness();
   restore(S);
   if (R1 == Result::Sat)
     return false; // a strict order is possible: not forced
@@ -636,6 +651,8 @@ bool ArithSolver::probeForcedEqual(int Var1, int Var2,
   NegDiff.add(Var2, Rational(1));
   Feasible = assertPolyNegative(NegDiff, ProbeTag, Core2);
   Result R2 = Feasible ? search(Core2, 0) : Result::Unsat;
+  if (R2 == Result::Sat)
+    CaptureWitness();
   restore(S);
   if (R2 == Result::Sat)
     return false;

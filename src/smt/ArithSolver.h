@@ -121,8 +121,16 @@ public:
   /// search exhausts its depth budget the result is not trustworthy
   /// either way; \p UnknownOut (when non-null) is set so the caller can
   /// surface budget exhaustion instead of acting on a silent "false".
+  ///
+  /// When the probe finds a separating model (result false, not unknown)
+  /// and \p WitnessVars is non-null, \p WitnessOut receives that model's
+  /// value for each variable in \p WitnessVars — the caller can split its
+  /// whole candidate bucket on one witness instead of probing every pair
+  /// (model-based refinement).
   bool probeForcedEqual(int Var1, int Var2, std::set<int> &TagsOut,
-                        bool *UnknownOut = nullptr);
+                        bool *UnknownOut = nullptr,
+                        const std::vector<int> *WitnessVars = nullptr,
+                        std::vector<Rational> *WitnessOut = nullptr);
 
   /// Statistics for the bench harness.
   uint64_t numPivots() const { return Pivots; }

@@ -74,7 +74,21 @@ TermRef liftItes(TermManager &TM, TermRef Formula);
 /// baseline.
 class ArrayReducer {
 public:
-  ArrayReducer(TermManager &TM, bool Eager) : TM(TM), Eager(Eager) {}
+  /// Instantiation strategy.
+  ///  - Demand: the relevancy-driven closure, every lemma asserted up
+  ///    front (the historical incremental default).
+  ///  - Eager: the blind composite-times-index product (escalation
+  ///    baseline, `--eager-arrays`).
+  ///  - Lazy: the closure still runs (so the demand/equality bookkeeping
+  ///    is identical), but only select-rooted instantiations are asserted
+  ///    up front; peeled and read-over-equality lemmas are parked in a
+  ///    pending pool and activated from inside the CDCL loop on the first
+  ///    candidate model that violates them (TheoryEngine).
+  enum class Mode { Demand, Eager, Lazy };
+
+  ArrayReducer(TermManager &TM, Mode M) : TM(TM), InstMode(M) {}
+
+  bool lazy() const { return InstMode == Mode::Lazy; }
 
   /// Ingests an (ite-lifted, quantifier-free) assertion and returns the
   /// reduction lemmas newly required by it, given everything asserted on
@@ -87,6 +101,17 @@ public:
   unsigned numLevels() const { return static_cast<unsigned>(Levels.size()); }
 
   const ArrayReductionStats &stats() const { return Stats; }
+
+  /// Lazy mode: the deferred lemmas of all active levels, in emission
+  /// order. Entries stay in the pool once activated (activation is a
+  /// separate, level-tracked record so a popped activation reverts the
+  /// lemma to pending without re-deriving it).
+  const std::vector<TermRef> &pendingLemmas() const { return Pending; }
+  bool isActivated(TermRef L) const { return Activated.count(L) != 0; }
+  /// Marks a pending lemma as asserted into the SAT core at the current
+  /// level. Counted in stats().NumLemmas at activation time, mirroring
+  /// when an up-front mode would have emitted it.
+  void markActivated(TermRef L);
 
 private:
   struct Undo {
@@ -102,6 +127,8 @@ private:
       ConstEqPush,
       WitnessAdd,
       LemmaAdd,
+      PendingAdd,
+      ActivatedAdd,
     };
     Kind K;
     TermRef A = nullptr;
@@ -110,16 +137,17 @@ private:
   };
 
   void collectNewSubterms(TermRef T, std::vector<TermRef> &Out);
-  void demand(TermRef A, TermRef I);
+  void demand(TermRef A, TermRef I, bool Seed = false);
   void markUp(TermRef T);
   void considerEqAtom(TermRef EqT);
-  void emitReadOverComposite(TermRef A, TermRef I);
+  void emitReadOverComposite(TermRef A, TermRef I, bool Defer);
   void emitEqLemma(TermRef EqT, TermRef I);
-  void emitLemma(TermRef L);
+  void emitLemma(TermRef L, bool Defer = false);
   void processWork();
+  bool eager() const { return InstMode == Mode::Eager; }
 
   TermManager &TM;
-  const bool Eager;
+  const Mode InstMode;
   ArrayReductionStats Stats;
 
   std::unordered_set<TermRef> KnownTerms;
@@ -136,9 +164,19 @@ private:
   /// demand on that side must emit the read-over-equality lemma late.
   std::unordered_map<TermRef, std::vector<TermRef>> ConstEqIndex;
   std::unordered_set<TermRef> WitnessedNegEqs;
+  /// Everything ever emitted on an active level, asserted OR pending
+  /// (dedup across both pools).
   std::unordered_set<TermRef> EmittedLemmas;
+  /// Lazy mode: deferred lemmas awaiting an in-search violation.
+  std::vector<TermRef> Pending;
+  std::unordered_set<TermRef> Activated;
 
-  std::vector<std::pair<TermRef, TermRef>> Work; // demand worklist
+  struct WorkItem {
+    TermRef A;
+    TermRef I;
+    bool Seed;
+  };
+  std::vector<WorkItem> Work; // demand worklist
   std::vector<TermRef> NewLemmas; // collected during the current assert
 
   std::vector<Undo> Trail;

@@ -12,37 +12,40 @@ using namespace ids;
 using namespace ids::smt;
 
 int CongruenceClosure::getId(TermRef T) {
-  auto It = Ids.find(T);
-  if (It != Ids.end())
-    return It->second;
+  int Existing = nodeOf(T);
+  if (Existing >= 0)
+    return Existing;
   // Register children first so signatures can reference them.
   for (TermRef Arg : T->getArgs())
     getId(Arg);
   int Id = static_cast<int>(NodeTerms.size());
-  Ids.emplace(T, Id);
+  if (T->getId() >= NodeOf.size())
+    NodeOf.resize(T->getId() + 1, -1);
+  NodeOf[T->getId()] = Id;
   NodeTerms.push_back(T);
   UnionParent.push_back(Id);
   ClassSize.push_back(1);
   ProofParent.push_back(-1);
   ProofReason.push_back(Reason());
   UseLists.emplace_back();
+  DiseqIdx.emplace_back();
   ValueNode.push_back(T->isValue() ? Id : -1);
   if (!Levels.empty())
     Trail.push_back({TrailEntry::Register, Id});
   if (!T->getArgs().empty()) {
     // Enter into the signature table and record use-lists.
     for (TermRef Arg : T->getArgs()) {
-      int Root = findRoot(Ids[Arg]);
+      int Root = findRoot(nodeOf(Arg));
       UseLists[Root].push_back(Id);
       if (!Levels.empty())
         Trail.push_back({TrailEntry::UseListPush, Root});
     }
-    std::vector<int> Sig = signatureOf(Id);
-    auto [SigIt, Inserted] = SigTable.emplace(Sig, Id);
+    signatureOf(Id, SigScratch);
+    auto [SigIt, Inserted] = SigTable.emplace(SigScratch, Id);
     if (Inserted && !Levels.empty()) {
       Trail.push_back(
           {TrailEntry::SigInsert, static_cast<int>(SigKeys.size())});
-      SigKeys.push_back(std::move(Sig));
+      SigKeys.push_back(SigIt->first);
     }
     if (!Inserted && findRoot(SigIt->second) != Id) {
       Reason R;
@@ -57,9 +60,9 @@ int CongruenceClosure::getId(TermRef T) {
 
 void CongruenceClosure::registerTerm(TermRef T) { getId(T); }
 
-std::vector<int> CongruenceClosure::signatureOf(int Node) {
+void CongruenceClosure::signatureOf(int Node, std::vector<int> &Sig) {
   TermRef T = NodeTerms[Node];
-  std::vector<int> Sig;
+  Sig.clear();
   Sig.reserve(T->getNumArgs() + 3);
   Sig.push_back(static_cast<int>(T->getKind()));
   // Distinguish different Apply symbols and different sorts of e.g. Select.
@@ -68,8 +71,7 @@ std::vector<int> CongruenceClosure::signatureOf(int Node) {
                                       ? static_cast<const void *>(T->getDecl())
                                       : static_cast<const void *>(T->getSort()))));
   for (TermRef Arg : T->getArgs())
-    Sig.push_back(findRoot(Ids[Arg]));
-  return Sig;
+    Sig.push_back(findRoot(nodeOf(Arg)));
 }
 
 int CongruenceClosure::findRoot(int Node) {
@@ -108,7 +110,8 @@ bool CongruenceClosure::assertDisequal(TermRef T1, TermRef T2, int Tag) {
   int A = getId(T1), B = getId(T2);
   if (Failed)
     return false;
-  if (findRoot(A) == findRoot(B)) {
+  int Ra = findRoot(A), Rb = findRoot(B);
+  if (Ra == Rb) {
     Failed = true;
     std::set<int> Tags;
     std::set<std::pair<int, int>> Seen;
@@ -117,9 +120,12 @@ bool CongruenceClosure::assertDisequal(TermRef T1, TermRef T2, int Tag) {
     ConflictTags.assign(Tags.begin(), Tags.end());
     return false;
   }
+  int Idx = static_cast<int>(Diseqs.size());
   Diseqs.emplace_back(A, B, Tag);
+  DiseqIdx[Ra].push_back(Idx);
+  DiseqIdx[Rb].push_back(Idx);
   if (!Levels.empty())
-    Trail.push_back({TrailEntry::Diseq});
+    Trail.push_back({TrailEntry::Diseq, Ra, Rb});
   return true;
 }
 
@@ -185,12 +191,12 @@ bool CongruenceClosure::mergeRoots(int A, int B) {
   std::vector<int> Moved;
   Moved.swap(UseLists[Ra]);
   for (int ParentNode : Moved) {
-    std::vector<int> Sig = signatureOf(ParentNode);
-    auto [It, Inserted] = SigTable.emplace(Sig, ParentNode);
+    signatureOf(ParentNode, SigScratch);
+    auto [It, Inserted] = SigTable.emplace(SigScratch, ParentNode);
     if (Inserted && Record) {
       Trail.push_back(
           {TrailEntry::SigInsert, static_cast<int>(SigKeys.size())});
-      SigKeys.push_back(std::move(Sig));
+      SigKeys.push_back(It->first);
     }
     if (!Inserted && findRoot(It->second) != findRoot(ParentNode)) {
       Reason R;
@@ -200,9 +206,15 @@ bool CongruenceClosure::mergeRoots(int A, int B) {
     }
     UseLists[Rb].push_back(ParentNode);
   }
+  // Move the absorbed root's disequality index onto the survivor; only
+  // these entries can have become violated by this merge.
+  int MovedDiseqs = static_cast<int>(DiseqIdx[Ra].size());
+  DiseqIdx[Rb].insert(DiseqIdx[Rb].end(), DiseqIdx[Ra].begin(),
+                      DiseqIdx[Ra].end());
+  DiseqIdx[Ra].clear();
   if (Record)
     Trail.push_back({TrailEntry::Merge, Ra, Rb, A, OldProofRoot, OldValueRb,
-                     static_cast<int>(Moved.size())});
+                     static_cast<int>(Moved.size()), MovedDiseqs});
 
   // Value clash detection (after the state is fully applied, so undo sees
   // one complete Merge entry regardless of the outcome).
@@ -216,11 +228,13 @@ bool CongruenceClosure::mergeRoots(int A, int B) {
     return false;
   }
 
-  return checkDiseqsAndValues(Rb);
+  return checkMovedDiseqs(Rb, MovedDiseqs);
 }
 
-bool CongruenceClosure::checkDiseqsAndValues(int /*NewRoot*/) {
-  for (auto &[DA, DB, DTag] : Diseqs) {
+bool CongruenceClosure::checkMovedDiseqs(int Root, int MovedCount) {
+  const std::vector<int> &L = DiseqIdx[Root];
+  for (size_t I = L.size() - MovedCount; I < L.size(); ++I) {
+    auto &[DA, DB, DTag] = Diseqs[L[I]];
     if (findRoot(DA) == findRoot(DB)) {
       Failed = true;
       std::set<int> Tags;
@@ -271,13 +285,14 @@ void CongruenceClosure::undoTo(size_t TrailSize) {
     case TrailEntry::Register: {
       assert(E.A == static_cast<int>(NodeTerms.size()) - 1 &&
              "registrations must unwind in stack order");
-      Ids.erase(NodeTerms[E.A]);
+      NodeOf[NodeTerms[E.A]->getId()] = -1;
       NodeTerms.pop_back();
       UnionParent.pop_back();
       ClassSize.pop_back();
       ProofParent.pop_back();
       ProofReason.pop_back();
       UseLists.pop_back();
+      DiseqIdx.pop_back();
       ValueNode.pop_back();
       break;
     }
@@ -295,6 +310,11 @@ void CongruenceClosure::undoTo(size_t TrailSize) {
       assert(LA.empty() && "absorbed root's use-list must still be empty");
       LA.insert(LA.end(), LB.end() - E.F, LB.end());
       LB.erase(LB.end() - E.F, LB.end());
+      std::vector<int> &DB = DiseqIdx[E.B];
+      std::vector<int> &DA = DiseqIdx[E.A];
+      assert(DA.empty() && "absorbed root's diseq index must still be empty");
+      DA.insert(DA.end(), DB.end() - E.G, DB.end());
+      DB.erase(DB.end() - E.G, DB.end());
       ValueNode[E.B] = E.E;
       ClassSize[E.B] -= ClassSize[E.A];
       UnionParent[E.A] = E.A;
@@ -305,6 +325,10 @@ void CongruenceClosure::undoTo(size_t TrailSize) {
       break;
     }
     case TrailEntry::Diseq:
+      // Merges after this entry have already been undone, so the index
+      // entries sit back under the roots recorded at assertion time.
+      DiseqIdx[E.A].pop_back();
+      DiseqIdx[E.B].pop_back();
       Diseqs.pop_back();
       break;
     case TrailEntry::Compress:
@@ -317,22 +341,26 @@ void CongruenceClosure::undoTo(size_t TrailSize) {
 bool CongruenceClosure::areEqual(TermRef T1, TermRef T2) {
   if (T1 == T2)
     return true;
-  auto It1 = Ids.find(T1), It2 = Ids.find(T2);
-  if (It1 == Ids.end() || It2 == Ids.end())
+  int N1 = nodeOf(T1), N2 = nodeOf(T2);
+  if (N1 < 0 || N2 < 0)
     return false;
-  return findRoot(It1->second) == findRoot(It2->second);
+  return findRoot(N1) == findRoot(N2);
 }
 
 bool CongruenceClosure::areDisequal(TermRef T1, TermRef T2) {
-  auto It1 = Ids.find(T1), It2 = Ids.find(T2);
-  if (It1 == Ids.end() || It2 == Ids.end())
+  int N1 = nodeOf(T1), N2 = nodeOf(T2);
+  if (N1 < 0 || N2 < 0)
     return false;
-  int Ra = findRoot(It1->second), Rb = findRoot(It2->second);
+  int Ra = findRoot(N1), Rb = findRoot(N2);
   if (Ra == Rb)
     return false;
   if (ValueNode[Ra] != -1 && ValueNode[Rb] != -1)
     return true; // distinct interpreted values
-  for (auto &[DA, DB, DTag] : Diseqs) {
+  // Scan the smaller of the two classes' disequality indices.
+  const std::vector<int> &L =
+      DiseqIdx[Ra].size() <= DiseqIdx[Rb].size() ? DiseqIdx[Ra] : DiseqIdx[Rb];
+  for (int Idx : L) {
+    auto &[DA, DB, DTag] = Diseqs[Idx];
     (void)DTag;
     int Da = findRoot(DA), Db = findRoot(DB);
     if ((Da == Ra && Db == Rb) || (Da == Rb && Db == Ra))
@@ -345,7 +373,7 @@ void CongruenceClosure::explainEquality(TermRef T1, TermRef T2,
                                         std::set<int> &TagsOut) {
   assert(areEqual(T1, T2) && "explaining an equality that does not hold");
   std::set<std::pair<int, int>> Seen;
-  explainPair(Ids[T1], Ids[T2], TagsOut, Seen);
+  explainPair(nodeOf(T1), nodeOf(T2), TagsOut, Seen);
 }
 
 void CongruenceClosure::explainPair(int A, int B, std::set<int> &TagsOut,
@@ -374,7 +402,7 @@ void CongruenceClosure::explainPath(int A, int B, std::set<int> &TagsOut,
       TermRef TB = NodeTerms[R.CongB];
       assert(TA->getNumArgs() == TB->getNumArgs());
       for (unsigned I = 0; I < TA->getNumArgs(); ++I)
-        explainPair(Ids[TA->getArg(I)], Ids[TB->getArg(I)], TagsOut,
+        explainPair(nodeOf(TA->getArg(I)), nodeOf(TB->getArg(I)), TagsOut,
                     SeenPairs);
     }
     return ProofParent[Node];
@@ -395,7 +423,7 @@ void CongruenceClosure::explainPath(int A, int B, std::set<int> &TagsOut,
 }
 
 TermRef CongruenceClosure::representative(TermRef T) {
-  auto It = Ids.find(T);
-  assert(It != Ids.end() && "term not registered");
-  return NodeTerms[findRoot(It->second)];
+  int N = nodeOf(T);
+  assert(N >= 0 && "term not registered");
+  return NodeTerms[findRoot(N)];
 }

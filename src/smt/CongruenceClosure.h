@@ -23,7 +23,6 @@
 
 #include "smt/Term.h"
 
-#include <map>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -63,7 +62,7 @@ public:
   const std::vector<int> &conflictTags() const { return ConflictTags; }
 
   /// True when \p T has been registered (directly or as a subterm).
-  bool isRegistered(TermRef T) const { return Ids.count(T) != 0; }
+  bool isRegistered(TermRef T) const { return nodeOf(T) >= 0; }
 
   /// True when both terms are registered and currently in the same class,
   /// or are the identical term.
@@ -83,6 +82,12 @@ public:
 
 private:
   int getId(TermRef T);
+  /// CC node of a registered term, or -1. Terms carry a dense per-manager
+  /// interning id, so this is a flat array read — no hashing.
+  int nodeOf(TermRef T) const {
+    unsigned TId = T->getId();
+    return TId < NodeOf.size() ? NodeOf[TId] : -1;
+  }
   int findRoot(int Node);
   bool mergeRoots(int A, int B);
   bool processPending();
@@ -91,8 +96,12 @@ private:
   void explainPair(int A, int B, std::set<int> &TagsOut,
                    std::set<std::pair<int, int>> &SeenPairs);
   int proofAncestorDepth(int Node);
-  bool checkDiseqsAndValues(int NewRoot);
-  std::vector<int> signatureOf(int Node);
+  /// Checks the last \p MovedCount entries of DiseqIdx[\p Root] for a
+  /// violated disequality (both endpoints now in Root's class).
+  bool checkMovedDiseqs(int Root, int MovedCount);
+  /// Fills \p Sig with the node's current signature (kind, symbol, child
+  /// roots). Caller-provided scratch so lookups allocate nothing.
+  void signatureOf(int Node, std::vector<int> &Sig);
 
   struct Reason {
     // Tag >= 0: input assertion; Tag == -1: congruence of (CongA, CongB).
@@ -109,12 +118,13 @@ private:
       SigInsert,   ///< SigIdx names the inserted key (in SigKeys)
       Merge,       ///< class of root A absorbed into root B; C is the
                    ///< proof child, D its former proof root, E the former
-                   ///< ValueNode[B], F the number of use-list entries moved
-      Diseq,       ///< a disequality was appended
+                   ///< ValueNode[B], F the number of use-list entries moved,
+                   ///< G the number of diseq-index entries moved
+      Diseq,       ///< a disequality was appended (indexed under roots A, B)
       Compress,    ///< UnionParent[A] changed from B (path compression)
     };
     Kind K;
-    int A = -1, B = -1, C = -1, D = -1, E = -1, F = 0;
+    int A = -1, B = -1, C = -1, D = -1, E = -1, F = 0, G = 0;
   };
   struct LevelMark {
     size_t TrailSize;
@@ -127,16 +137,32 @@ private:
   void rerootProofTree(int NewRoot);
 
   TermManager &TM;
-  std::unordered_map<TermRef, int> Ids;
+  /// Term interning id -> CC node (-1 when unregistered).
+  std::vector<int> NodeOf;
   std::vector<TermRef> NodeTerms;
+  std::vector<int> SigScratch; // signatureOf scratch
   std::vector<int> UnionParent;   // union-find with path compression
   std::vector<int> ClassSize;
   std::vector<int> ProofParent;   // explanation forest (no compression)
   std::vector<Reason> ProofReason;
   std::vector<std::vector<int>> UseLists; // parents per root
   std::vector<int> ValueNode;     // interpreted value in class, or -1
-  std::map<std::vector<int>, int> SigTable;
+  /// FNV-style hash over a signature vector (kind, symbol, child roots).
+  struct SigHash {
+    size_t operator()(const std::vector<int> &Sig) const {
+      size_t H = 0xcbf29ce484222325ull;
+      for (int V : Sig)
+        H = (H ^ static_cast<uint32_t>(V)) * 0x100000001b3ull;
+      return H;
+    }
+  };
+  std::unordered_map<std::vector<int>, int, SigHash> SigTable;
   std::vector<std::tuple<int, int, int>> Diseqs; // (a, b, tag)
+  /// Per-root index into Diseqs: the disequalities with one endpoint in
+  /// that root's class. A merge moves the absorbed root's entries onto the
+  /// surviving root, so violation checks touch only the moved entries
+  /// instead of scanning every disequality.
+  std::vector<std::vector<int>> DiseqIdx;
   std::vector<std::tuple<int, int, Reason>> Pending;
   Reason StagedReason; // reason of the merge currently being applied
 

@@ -25,9 +25,52 @@ Var SatSolver::newVar() {
   SeenBuffer.push_back(0);
   Watches.emplace_back();
   Watches.emplace_back();
-  Heap.push_back({0.0, V});
-  std::push_heap(Heap.begin(), Heap.end());
+  HeapPos.push_back(-1);
+  heapInsert(V);
   return V;
+}
+
+void SatSolver::heapSiftUp(int I) {
+  Var V = Heap[I];
+  double Act = Activity[V];
+  while (I > 0) {
+    int P = (I - 1) >> 1;
+    if (Activity[Heap[P]] >= Act)
+      break;
+    Heap[I] = Heap[P];
+    HeapPos[Heap[I]] = I;
+    I = P;
+  }
+  Heap[I] = V;
+  HeapPos[V] = I;
+}
+
+void SatSolver::heapSiftDown(int I) {
+  Var V = Heap[I];
+  double Act = Activity[V];
+  int N = static_cast<int>(Heap.size());
+  for (;;) {
+    int C = 2 * I + 1;
+    if (C >= N)
+      break;
+    if (C + 1 < N && Activity[Heap[C + 1]] > Activity[Heap[C]])
+      ++C;
+    if (Activity[Heap[C]] <= Act)
+      break;
+    Heap[I] = Heap[C];
+    HeapPos[Heap[I]] = I;
+    I = C;
+  }
+  Heap[I] = V;
+  HeapPos[V] = I;
+}
+
+void SatSolver::heapInsert(Var V) {
+  if (HeapPos[V] != -1)
+    return;
+  HeapPos[V] = static_cast<int>(Heap.size());
+  Heap.push_back(V);
+  heapSiftUp(static_cast<int>(Heap.size()) - 1);
 }
 
 void SatSolver::attachClause(int Idx) {
@@ -55,11 +98,9 @@ void SatSolver::bumpOcc(const std::vector<Lit> &Lits, int Delta) {
     Var V = L.var();
     VarOcc[V] += Delta;
     // A 0 -> 1 transition revives a variable that pickBranchLit may have
-    // discarded from the (lazy) heap while it was unconstrained.
-    if (Delta > 0 && VarOcc[V] == 1) {
-      Heap.push_back({Activity[V], V});
-      std::push_heap(Heap.begin(), Heap.end());
-    }
+    // discarded from the heap while it was unconstrained.
+    if (Delta > 0 && VarOcc[V] == 1)
+      heapInsert(V);
   }
 }
 
@@ -70,13 +111,83 @@ int SatSolver::allocClause(std::vector<Lit> Lits, bool Learned,
   if (!FreeClauseSlots.empty()) {
     Idx = FreeClauseSlots.back();
     FreeClauseSlots.pop_back();
-    Clauses[Idx] = {std::move(Lits), Learned, false, false, AssertLevel};
+    Clauses[Idx] = {std::move(Lits), Learned, false, false, AssertLevel, 0.0};
   } else {
     Idx = static_cast<int>(Clauses.size());
-    Clauses.push_back({std::move(Lits), Learned, false, false, AssertLevel});
+    Clauses.push_back(
+        {std::move(Lits), Learned, false, false, AssertLevel, 0.0});
   }
   ++NumLiveClauses;
+  if (Learned) {
+    ++NumLearnedLive;
+    // Fresh lemmas start hot so a reduceDB sweep right after learning
+    // cannot delete them before they had a chance to prune anything.
+    Clauses[Idx].Act = ClaInc;
+  }
   return Idx;
+}
+
+void SatSolver::removeClause(int Idx) {
+  Clause &C = Clauses[Idx];
+  assert(!C.Dead && "removing a dead clause");
+  if (C.Lits.size() >= 2)
+    detachClause(Idx);
+  bumpOcc(C.Lits, -1);
+  C.Dead = true;
+  C.Lits.clear();
+  C.Lits.shrink_to_fit();
+  --NumLiveClauses;
+  if (C.Learned)
+    --NumLearnedLive;
+  FreeClauseSlots.push_back(Idx);
+}
+
+void SatSolver::bumpClause(int Idx) {
+  Clause &C = Clauses[Idx];
+  C.Act += ClaInc;
+  if (C.Act > 1e20) {
+    for (Clause &D : Clauses)
+      D.Act *= 1e-20;
+    ClaInc *= 1e-20;
+  }
+}
+
+void SatSolver::decayClauseActivities() { ClaInc *= (1.0 / 0.999); }
+
+bool SatSolver::clauseLocked(int Idx) const {
+  const Clause &C = Clauses[Idx];
+  for (Lit L : C.Lits) {
+    Var V = L.var();
+    if (ReasonIdx[V] == Idx && Assign[V] != LBool::Undef)
+      return true;
+  }
+  return false;
+}
+
+void SatSolver::reduceDB() {
+  // Deletable: learned, longer than binary (short lemmas are cheap for
+  // BCP and typically the distilled theory facts), and not currently the
+  // reason of an assigned literal.
+  std::vector<int> Deletable;
+  for (size_t Idx = 0; Idx < Clauses.size(); ++Idx) {
+    const Clause &C = Clauses[Idx];
+    if (C.Dead || !C.Learned || C.Lits.size() <= 2)
+      continue;
+    if (clauseLocked(static_cast<int>(Idx)))
+      continue;
+    Deletable.push_back(static_cast<int>(Idx));
+  }
+  std::sort(Deletable.begin(), Deletable.end(),
+            [&](int A, int B) { return Clauses[A].Act < Clauses[B].Act; });
+  size_t Kill = Deletable.size() / 2;
+  for (size_t I = 0; I < Kill; ++I) {
+    removeClause(Deletable[I]);
+    ++LemmasDeleted;
+  }
+  ++ReduceDbSweeps;
+  // Grow the limit so deleted-but-still-needed theory lemmas (which the
+  // theory callback will regenerate) cannot make the search thrash.
+  MaxLearned += MaxLearned / 5 + 1;
 }
 
 void SatSolver::markUnsat(unsigned Level_) {
@@ -205,12 +316,13 @@ int SatSolver::propagate() {
 void SatSolver::bumpVar(Var V) {
   Activity[V] += VarInc;
   if (Activity[V] > 1e100) {
+    // Uniform rescale preserves the heap order, so no fix-up is needed.
     for (double &A : Activity)
       A *= 1e-100;
     VarInc *= 1e-100;
   }
-  Heap.push_back({Activity[V], V});
-  std::push_heap(Heap.begin(), Heap.end());
+  if (HeapPos[V] != -1)
+    heapSiftUp(HeapPos[V]);
 }
 
 void SatSolver::decayActivities() { VarInc *= (1.0 / 0.95); }
@@ -234,6 +346,8 @@ void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &LearnedOut,
   do {
     assert(Reason != -1 && "conflict analysis ran past a decision");
     Clause &C = Clauses[Reason];
+    if (C.Learned)
+      bumpClause(Reason);
     AssertLevelOut = std::max(AssertLevelOut, C.AssertLevel);
     for (Lit Q : C.Lits) {
       if (HaveP && Q == P)
@@ -285,8 +399,7 @@ void SatSolver::backtrack(int TargetLevel) {
     SavedPhase[V] = Assign[V] == LBool::True;
     Assign[V] = LBool::Undef;
     ReasonIdx[V] = -1;
-    Heap.push_back({Activity[V], V});
-    std::push_heap(Heap.begin(), Heap.end());
+    heapInsert(V);
   }
   Trail.resize(Bound);
   TrailLim.resize(TargetLevel);
@@ -295,10 +408,15 @@ void SatSolver::backtrack(int TargetLevel) {
 
 Lit SatSolver::pickBranchLit() {
   while (!Heap.empty()) {
-    std::pop_heap(Heap.begin(), Heap.end());
-    auto [Act, V] = Heap.back();
+    Var V = Heap[0];
+    Var Last = Heap.back();
     Heap.pop_back();
-    (void)Act;
+    HeapPos[V] = -1;
+    if (!Heap.empty()) {
+      Heap[0] = Last;
+      HeapPos[Last] = 0;
+      heapSiftDown(0);
+    }
     // Variables with no live clause are unconstrained: leaving them
     // unassigned keeps popped levels' atoms out of the theory entirely.
     if (Assign[V] == LBool::Undef && VarOcc[V] > 0)
@@ -372,14 +490,7 @@ void SatSolver::popAssertLevel() {
     if (C.Dead)
       continue;
     if (C.AssertLevel > NewLevel) {
-      if (C.Lits.size() >= 2)
-        detachClause(static_cast<int>(Idx));
-      bumpOcc(C.Lits, -1);
-      C.Dead = true;
-      C.Lits.clear();
-      C.Lits.shrink_to_fit();
-      --NumLiveClauses;
-      FreeClauseSlots.push_back(static_cast<int>(Idx));
+      removeClause(static_cast<int>(Idx));
     } else if (C.Learned && !C.CountedRetained) {
       ++LemmasRetained;
       C.CountedRetained = true;
@@ -405,8 +516,7 @@ void SatSolver::popAssertLevel() {
     SavedPhase[V] = Assign[V] == LBool::True;
     Assign[V] = LBool::Undef;
     ReasonIdx[V] = -1;
-    Heap.push_back({Activity[V], V});
-    std::push_heap(Heap.begin(), Heap.end());
+    heapInsert(V);
   }
   Trail = std::move(NewTrail);
   PropagateHead = 0;
@@ -465,11 +575,15 @@ SatSolver::Result SatSolver::solve(TheoryCallback *Theory) {
         enqueue(Clauses[Idx].Lits[0], Idx);
       }
       decayActivities();
+      decayClauseActivities();
+      if (ClauseDeletionEnabled && NumLearnedLive >= MaxLearned)
+        reduceDB();
       continue;
     }
 
     if (ConflictsThisRestart >= ConflictBudget && currentLevel() > 0) {
       ++RestartCount;
+      ++Restarts;
       ConflictBudget = 128 * luby(RestartCount);
       ConflictsThisRestart = 0;
       backtrack(0);
@@ -482,10 +596,21 @@ SatSolver::Result SatSolver::solve(TheoryCallback *Theory) {
       if (!Theory)
         return Result::Sat;
       std::vector<Lit> TheoryConflict;
-      if (Theory->onFullModel(TheoryConflict))
-        return Result::Sat;
+      if (Theory->onFullModel(TheoryConflict)) {
+        if (!Theory->hasPendingLemmas())
+          return Result::Sat;
+        // Lazy instantiation: the theory accepted this propositional
+        // model but queued lemma clauses the model violates. Assert them
+        // at the root and resume search instead of declaring Sat.
+        backtrack(0);
+        if (!Theory->flushPendingLemmas() || unsatAtCurrentLevel())
+          return Result::Unsat;
+        continue;
+      }
       if (!learnConflict(std::move(TheoryConflict)))
         return Result::Unsat;
+      if (ClauseDeletionEnabled && NumLearnedLive >= MaxLearned)
+        reduceDB();
       continue;
     }
     ++Decisions;

@@ -69,6 +69,17 @@ public:
   /// Returns true to accept the model. Returns false and fills
   /// \p ConflictOut (a clause that is currently all-false) to reject it.
   virtual bool onFullModel(std::vector<Lit> &ConflictOut) = 0;
+
+  /// Lazy theory instantiation: after onFullModel accepts a model, the
+  /// solver asks whether the theory queued lemma clauses that must be
+  /// asserted before the Sat verdict can stand. When true, the solver
+  /// backtracks to decision level zero, calls flushPendingLemmas(), and
+  /// resumes search instead of returning Sat.
+  virtual bool hasPendingLemmas() { return false; }
+  /// Asserts the queued lemmas (called at decision level zero). Returns
+  /// false if asserting them refuted the instance at the current
+  /// assertion level.
+  virtual bool flushPendingLemmas() { return true; }
 };
 
 /// CDCL solver with an assertion-level clause database. One-shot callers
@@ -131,11 +142,32 @@ public:
   /// the longest unchanged prefix between consecutive full models.
   const std::vector<Lit> &trail() const { return Trail; }
 
+  // ------------------------------------------------- Clause deletion --
+  /// Enables/disables the activity-based learned-clause sweep (on by
+  /// default). Differential baselines run with it off (--no-reduce-db).
+  void setClauseDeletion(bool Enabled) { ClauseDeletionEnabled = Enabled; }
+  /// Deletes the cold half of the deletable learned clauses: learned,
+  /// longer than two literals, and not locked (a locked clause is the
+  /// reason of a currently assigned literal — deleting it would orphan
+  /// the implication graph). solve() invokes this automatically when the
+  /// live learned set crosses a growing limit; exposed for tests.
+  void reduceDB();
+  /// Shrinks the learned-set limit that triggers reduceDB() (tests force
+  /// frequent sweeps with a tiny limit; the limit still grows 1.2x per
+  /// sweep, which keeps search terminating with regenerable theory
+  /// lemmas).
+  void setReduceDbLimit(unsigned Limit) { MaxLearned = Limit; }
+
   // Statistics (exposed for the micro-bench harness).
   uint64_t numConflicts() const { return Conflicts; }
   uint64_t numDecisions() const { return Decisions; }
   uint64_t numPropagations() const { return Propagations; }
   uint64_t numTheoryConflicts() const { return TheoryConflicts; }
+  uint64_t numRestarts() const { return Restarts; }
+  uint64_t numLemmasDeleted() const { return LemmasDeleted; }
+  uint64_t numReduceDbSweeps() const { return ReduceDbSweeps; }
+  /// Live learned clauses (dead slots excluded).
+  unsigned numLearnedClauses() const { return NumLearnedLive; }
   /// Distinct learned clauses that survived at least one pop: the
   /// measurable payoff of assertion-level-0 theory lemmas. Each lemma
   /// counts once (at the first pop it outlives), so the metric reflects
@@ -155,6 +187,10 @@ private:
     /// Maximum assertion level of the clauses this one was derived from
     /// (== the level it was added at, for input clauses).
     unsigned AssertLevel = 0;
+    /// EVSIDS-style clause activity: bumped when the clause participates
+    /// in a conflict derivation, decayed (via ClaInc scaling) with every
+    /// conflict. reduceDB() deletes the cold half by this score.
+    double Act = 0.0;
   };
   struct Watcher {
     int ClauseIdx;
@@ -170,6 +206,10 @@ private:
   Lit pickBranchLit();
   void bumpVar(Var V);
   void decayActivities();
+  void heapSiftUp(int I);
+  void heapSiftDown(int I);
+  /// Inserts \p V into the branching heap unless already present.
+  void heapInsert(Var V);
   void attachClause(int Idx);
   void detachClause(int Idx);
   int allocClause(std::vector<Lit> Lits, bool Learned, unsigned AssertLevel);
@@ -183,6 +223,14 @@ private:
   static uint64_t luby(uint64_t I);
 
   void bumpOcc(const std::vector<Lit> &Lits, int Delta);
+
+  void bumpClause(int Idx);
+  void decayClauseActivities();
+  /// A clause is locked while it is the reason of an assigned literal.
+  bool clauseLocked(int Idx) const;
+  /// Detaches, kills and recycles one clause (shared by popAssertLevel
+  /// and reduceDB).
+  void removeClause(int Idx);
 
   std::vector<Clause> Clauses;
   std::vector<int> FreeClauseSlots;
@@ -204,8 +252,20 @@ private:
 
   std::vector<double> Activity;
   std::vector<bool> SavedPhase;
-  std::vector<std::pair<double, Var>> Heap; // lazy max-heap with stale entries
+  /// Indexed binary max-heap over Activity: each variable appears at most
+  /// once and bumps sift it in place, so the heap never accumulates stale
+  /// duplicate entries the way a lazy heap does.
+  std::vector<Var> Heap;
+  std::vector<int> HeapPos; // var -> index in Heap, or -1
   double VarInc = 1.0;
+  double ClaInc = 1.0;
+
+  bool ClauseDeletionEnabled = true;
+  unsigned NumLearnedLive = 0;
+  /// Learned-set size that triggers the next reduceDB() sweep; grows 1.2x
+  /// per sweep so deletion of regenerable theory lemmas cannot livelock
+  /// the search.
+  unsigned MaxLearned = 2048;
 
   unsigned CurrentAssertLevel = 0;
   /// Lowest assertion level at which a refutation was derived, or -1.
@@ -216,6 +276,9 @@ private:
   uint64_t Propagations = 0;
   uint64_t TheoryConflicts = 0;
   uint64_t LemmasRetained = 0;
+  uint64_t Restarts = 0;
+  uint64_t LemmasDeleted = 0;
+  uint64_t ReduceDbSweeps = 0;
 
   std::vector<char> SeenBuffer; // scratch for analyze()
 };

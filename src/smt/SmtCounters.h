@@ -35,6 +35,11 @@ struct SmtCounters {
   trace::Counter &AssertsReused = trace::counter("smt.theory_asserts_reused");
   trace::Counter &LemmasRetained = trace::counter("smt.lemmas_retained");
   trace::Counter &MaxAtoms = trace::counter("smt.max_atoms");
+  trace::Counter &LemmasDeleted = trace::counter("smt.lemmas_deleted");
+  trace::Counter &ReduceDbSweeps = trace::counter("smt.reduce_db_sweeps");
+  trace::Counter &LazyInstantiations =
+      trace::counter("smt.lazy_instantiations");
+  trace::Counter &Restarts = trace::counter("smt.restarts");
 };
 
 inline SmtCounters &smtCounters() {

@@ -27,7 +27,13 @@ Solver::Result Solver::checkSat(TermRef Formula) {
   uint64_t PropsBefore = Core.St.EqualitiesPropagated;
   uint64_t RepairsBefore = Core.St.ModelRepairs;
   uint64_t GiveUpsBefore = Core.St.ModelGiveUps;
+  uint64_t DeletedBefore = Core.Sat.numLemmasDeleted();
+  uint64_t SweepsBefore = Core.Sat.numReduceDbSweeps();
+  uint64_t RestartsBefore = Core.Sat.numRestarts();
   unsigned ArrayLemmasBefore = Core.St.ArrayStats.NumLemmas;
+  Core.Sat.setClauseDeletion(Core.Opts.ClauseDeletion);
+  if (Core.Opts.ReduceDbLimit)
+    Core.Sat.setReduceDbLimit(Core.Opts.ReduceDbLimit);
   TermManager &TM = Core.TM;
   bool HadQuantifiers = TM.containsQuantifier(Formula);
   bool CompleteInst = true;
@@ -78,6 +84,9 @@ Solver::Result Solver::checkSat(TermRef Formula) {
   TC.ArrayLemmas.add(Core.St.ArrayStats.NumLemmas - ArrayLemmasBefore);
   TC.Instantiations.add(Core.St.Instantiations);
   TC.MaxAtoms.recordMax(Core.St.NumAtoms);
+  TC.LemmasDeleted.add(Core.Sat.numLemmasDeleted() - DeletedBefore);
+  TC.ReduceDbSweeps.add(Core.Sat.numReduceDbSweeps() - SweepsBefore);
+  TC.Restarts.add(Core.Sat.numRestarts() - RestartsBefore);
   if (Core.BudgetExhausted)
     return Result::Unknown;
   if (R == sat::SatSolver::Result::Unsat)

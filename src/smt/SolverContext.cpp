@@ -18,12 +18,21 @@ using namespace ids::smt;
 
 SolverContext::SolverContext(TermManager &TM, SolverOptions O)
     : Core(TM, std::move(O)),
-      Reducer(TM, Core.Opts.EagerArrayInstantiation),
+      Reducer(TM, Core.Opts.EagerArrayInstantiation
+                      ? ArrayReducer::Mode::Eager
+                      : (Core.Opts.LazyArrayInstantiation
+                             ? ArrayReducer::Mode::Lazy
+                             : ArrayReducer::Mode::Demand)),
       Engine(Core, /*Persistent=*/true) {
   assert(!Core.Opts.AllowQuantifiers &&
          "SolverContext is quantifier-free only");
   LevelAsserts.emplace_back();
   Core.EncodingLog = &EncodingLog;
+  Core.Sat.setClauseDeletion(Core.Opts.ClauseDeletion);
+  if (Core.Opts.ReduceDbLimit)
+    Core.Sat.setReduceDbLimit(Core.Opts.ReduceDbLimit);
+  if (Reducer.lazy())
+    Core.Reducer = &Reducer;
 }
 
 SolverContext::~SolverContext() = default;
@@ -89,7 +98,12 @@ SolverContext::Result SolverContext::checkSat() {
   uint64_t TConflictsBefore = Core.Sat.numTheoryConflicts();
   uint64_t PropsBefore = Core.St.EqualitiesPropagated;
   uint64_t RepairsBefore = Core.St.ModelRepairs;
+  uint64_t DeletedBefore = Core.Sat.numLemmasDeleted();
+  uint64_t SweepsBefore = Core.Sat.numReduceDbSweeps();
+  uint64_t RestartsBefore = Core.Sat.numRestarts();
+  uint64_t LazyBefore = Core.St.LazyInstantiations;
   unsigned ArrayLemmasBefore = Reducer.stats().NumLemmas;
+  Core.PendingInstantiations.clear();
   Core.BudgetExhausted = false;
   Core.TheoryCheckBase = Core.St.TheoryChecks;
   Core.SolveDeadline =
@@ -143,6 +157,7 @@ SolverContext::Result SolverContext::checkSat() {
   LastCheck.LemmasRetained = Core.Sat.numLemmasRetained() - RetainedBefore;
   LastCheck.NumAtoms = static_cast<unsigned>(Core.Atoms.size());
   LastCheck.NumArrayLemmas = Reducer.stats().NumLemmas;
+  LastCheck.LazyInstantiations = Core.St.LazyInstantiations - LazyBefore;
 
   SmtCounters &TC = smtCounters();
   TC.CheckSats.add();
@@ -157,6 +172,10 @@ SolverContext::Result SolverContext::checkSat() {
   TC.LemmasRetained.add(LastCheck.LemmasRetained);
   TC.ArrayLemmas.add(Reducer.stats().NumLemmas - ArrayLemmasBefore);
   TC.MaxAtoms.recordMax(LastCheck.NumAtoms);
+  TC.LemmasDeleted.add(Core.Sat.numLemmasDeleted() - DeletedBefore);
+  TC.ReduceDbSweeps.add(Core.Sat.numReduceDbSweeps() - SweepsBefore);
+  TC.Restarts.add(Core.Sat.numRestarts() - RestartsBefore);
+  TC.LazyInstantiations.add(LastCheck.LazyInstantiations);
   return R;
 }
 

@@ -94,6 +94,9 @@ public:
     uint64_t ModelGiveUps = 0;
     uint64_t TheoryAssertsReused = 0;
     uint64_t LemmasRetained = 0;
+    /// Deferred array lemmas asserted from inside this check's CDCL loop
+    /// (lazy instantiation mode; 0 in the up-front modes).
+    uint64_t LazyInstantiations = 0;
     unsigned NumAtoms = 0;       ///< atoms live in the CNF for this check
     unsigned NumArrayLemmas = 0; ///< cumulative reducer lemmas at check time
   };

@@ -43,6 +43,20 @@ struct SolverOptions {
   /// relevancy-driven one. The VC pipeline escalates to this when the
   /// relevancy-driven attempt reports Unknown.
   bool EagerArrayInstantiation = false;
+  /// Incremental contexts only: defer non-select-rooted array lemmas and
+  /// instantiate them from inside the CDCL loop on the first candidate
+  /// model that violates them (ArrayReducer::Mode::Lazy). Ignored when
+  /// EagerArrayInstantiation is set, and by the one-shot Solver.
+  bool LazyArrayInstantiation = false;
+  /// Activity-based deletion of cold learned clauses (reduceDB) in the
+  /// SAT core. On by default; --no-reduce-db is the differential
+  /// baseline.
+  bool ClauseDeletion = true;
+  /// Initial learned-set size that triggers a reduceDB sweep; 0 keeps
+  /// the SAT core's default. Tests force frequent sweeps on small
+  /// instances with a tiny limit (the limit still grows per sweep, so
+  /// search stays terminating).
+  unsigned ReduceDbLimit = 0;
 };
 
 struct SolverStats {
@@ -63,6 +77,9 @@ struct SolverStats {
   /// prefix, and learned clauses retained across pops (theory lemmas).
   uint64_t TheoryAssertsReused = 0;
   uint64_t LemmasRetained = 0;
+  /// Deferred array lemmas asserted from inside the CDCL loop (lazy
+  /// instantiation mode).
+  uint64_t LazyInstantiations = 0;
   ArrayReductionStats ArrayStats;
 };
 

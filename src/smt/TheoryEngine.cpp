@@ -354,33 +354,74 @@ bool TheoryEngine::equalityFixpoint(std::vector<sat::Lit> &ConflictOut) {
         Buckets[{T->getSort(), Arith->modelValue(ArithVars[T])}]
             .push_back(T);
     for (auto &[Key, Members] : Buckets) {
-      for (size_t I = 0; I < Members.size(); ++I) {
-        for (size_t J = I + 1; J < Members.size(); ++J) {
-          TermRef X = Members[I], Y = Members[J];
-          if (CC->areEqual(X, Y))
-            continue;
-          std::set<int> Expl;
-          bool ProbeUnknown = false;
-          if (!Arith->probeForcedEqual(ArithVars[X], ArithVars[Y], Expl,
-                                       &ProbeUnknown)) {
-            if (ProbeUnknown) {
-              // Undecided probe: a missed forced equality can cascade
-              // into a bogus blocking clause, so give up explicitly.
-              C.BudgetExhausted = true;
-              return true;
-            }
-            continue;
-          }
-          int CTag = newCompositeTag(Expl);
-          if (!CC->assertEqual(X, Y, CTag)) {
-            std::set<int> Tags(CC->conflictTags().begin(),
-                               CC->conflictTags().end());
-            clauseFromTags(Tags, ConflictOut);
-            return false;
-          }
-          Changed = true;
-          ++C.St.EqualitiesPropagated;
+      // Model-based refinement: when a probe finds a separating model,
+      // that model's values split the whole candidate group at once —
+      // members with different witness values cannot be forced equal. A
+      // bucket with no forced equalities then costs O(k) probes instead
+      // of the O(k^2) of probing every pair.
+      std::vector<std::vector<TermRef>> Groups;
+      Groups.push_back(std::move(Members));
+      while (!Groups.empty()) {
+        std::vector<TermRef> G = std::move(Groups.back());
+        Groups.pop_back();
+        // Collapse to one representative per CC class (CC-equal opaques
+        // were already equated on the arithmetic side above, so their
+        // probes are interchangeable).
+        std::vector<TermRef> Reps;
+        for (TermRef T : G) {
+          bool Dup = false;
+          for (TermRef R : Reps)
+            Dup = Dup || CC->areEqual(R, T);
+          if (!Dup)
+            Reps.push_back(T);
         }
+        if (Reps.size() < 2)
+          continue;
+        TermRef X = Reps[0], Y = Reps[1];
+        std::vector<int> ProbeVars;
+        ProbeVars.reserve(Reps.size());
+        for (TermRef T : Reps)
+          ProbeVars.push_back(ArithVars[T]);
+        std::set<int> Expl;
+        bool ProbeUnknown = false;
+        std::vector<Rational> Witness;
+        if (!Arith->probeForcedEqual(ArithVars[X], ArithVars[Y], Expl,
+                                     &ProbeUnknown, &ProbeVars, &Witness)) {
+          if (ProbeUnknown) {
+            // Undecided probe: a missed forced equality can cascade
+            // into a bogus blocking clause, so give up explicitly.
+            C.BudgetExhausted = true;
+            return true;
+          }
+          // Split on the separating model; X and Y land in different
+          // subgroups, so every iteration makes progress.
+          std::map<Rational, std::vector<TermRef>> Split;
+          for (size_t I = 0; I < Reps.size(); ++I)
+            Split[Witness[I]].push_back(Reps[I]);
+          if (Split.size() == 1) {
+            // Defensive: a witness that fails to separate would loop
+            // forever; fall back to discarding the probed pair.
+            Reps.erase(Reps.begin() + 1);
+            Groups.push_back(std::move(Reps));
+          } else {
+            for (auto &[W, Sub] : Split)
+              if (Sub.size() > 1)
+                Groups.push_back(std::move(Sub));
+          }
+          continue;
+        }
+        int CTag = newCompositeTag(Expl);
+        if (!CC->assertEqual(X, Y, CTag)) {
+          std::set<int> Tags(CC->conflictTags().begin(),
+                             CC->conflictTags().end());
+          clauseFromTags(Tags, ConflictOut);
+          return false;
+        }
+        Changed = true;
+        ++C.St.EqualitiesPropagated;
+        // Y is now CC-equal to X; the re-queued group collapses it away
+        // and goes on probing the remaining members.
+        Groups.push_back(std::move(Reps));
       }
     }
     if (!Changed)
@@ -503,24 +544,35 @@ Value TheoryEngine::buildClassArray(TermRef Root) {
   auto It = ClassArrays.find(Root);
   if (It != ClassArrays.end())
     return It->second;
+  if (!SelectsIndexValid) {
+    // One scan indexes every select under its base's class; the per-class
+    // builds below then touch only their own entries.
+    SelectsByRoot.clear();
+    for (TermRef T : CC->terms()) {
+      if (T->getKind() != TermKind::Select)
+        continue;
+      TermRef Base = T->getArg(0);
+      TermRef BRoot = CC->isRegistered(Base) ? CC->representative(Base) : Base;
+      SelectsByRoot[BRoot].push_back(T);
+    }
+    SelectsIndexValid = true;
+  }
   auto Arr = std::make_shared<ArrayValue>();
   Arr->Default = Model::defaultFor(Root->getSort()->getValue());
   // Pre-insert to break recursion on (impossible, but safe) cycles.
   ClassArrays.emplace(Root, Value::ofArray(Arr));
-  for (TermRef T : CC->terms()) {
-    if (T->getKind() != TermKind::Select)
-      continue;
-    TermRef Base = T->getArg(0);
-    if (!CC->areEqual(Base, Root))
-      continue;
-    Value Key = valueOfTerm(T->getArg(1));
-    Value Val = valueOfTerm(T);
-    auto EIt = Arr->Entries.find(Key);
-    if (EIt != Arr->Entries.end())
-      continue; // colliding entry; separateCollisions recomputes the pairs
+  auto SIt = SelectsByRoot.find(Root);
+  if (SIt != SelectsByRoot.end()) {
+    for (TermRef T : SIt->second) {
+      Value Key = valueOfTerm(T->getArg(1));
+      Value Val = valueOfTerm(T);
+      auto EIt = Arr->Entries.find(Key);
+      if (EIt != Arr->Entries.end())
+        continue; // colliding entry; separateCollisions recomputes the pairs
 
-    if (!(Val == Arr->Default))
-      Arr->Entries.emplace(std::move(Key), std::move(Val));
+      if (!(Val == Arr->Default))
+        Arr->Entries.emplace(std::move(Key), std::move(Val));
+    }
   }
   Value Result = Value::ofArray(Arr);
   ClassArrays[Root] = Result;
@@ -530,6 +582,7 @@ Value TheoryEngine::buildClassArray(TermRef Root) {
 void TheoryEngine::buildModel() {
   TermValues.clear();
   ClassArrays.clear();
+  SelectsIndexValid = false;
   LocIds.clear();
   NextLocId = 1;
   Model M;
@@ -560,6 +613,139 @@ void TheoryEngine::buildModel() {
         atomAssigned(static_cast<int>(I)))
       M.set(C.Atoms[I], Value::ofBool(atomValue(static_cast<int>(I))));
   C.CurrentModel = std::move(M);
+}
+
+Value TheoryEngine::lazyEval(TermRef T,
+                             std::unordered_map<TermRef, Value> &Hybrid,
+                             std::unordered_map<TermRef, Value> &Structural) {
+  auto It = Hybrid.find(T);
+  if (It != Hybrid.end())
+    return It->second;
+  Value V;
+  switch (T->getKind()) {
+  case TermKind::True:
+  case TermKind::False:
+  case TermKind::IntConst:
+  case TermKind::RatConst:
+    V = valueOfTerm(T);
+    break;
+  default:
+    if (CC->isRegistered(T) || C.AtomIndex.count(T) != 0) {
+      // The theory stack has a candidate value for this term; use it even
+      // though it may disagree with the term's structural semantics —
+      // that disagreement is what a violated lemma looks like.
+      V = valueOfTerm(T);
+      break;
+    }
+    switch (T->getKind()) {
+    case TermKind::Not: {
+      Value A = lazyEval(T->getArg(0), Hybrid, Structural);
+      if (A.K == Value::Kind::Bool) {
+        V = Value::ofBool(!A.B);
+        break;
+      }
+      V = C.CurrentModel.evalWithCache(T, Structural);
+      break;
+    }
+    case TermKind::And:
+    case TermKind::Or: {
+      bool IsAnd = T->getKind() == TermKind::And;
+      bool Acc = IsAnd;
+      bool Ok = true;
+      for (TermRef A : T->getArgs()) {
+        Value AV = lazyEval(A, Hybrid, Structural);
+        if (AV.K != Value::Kind::Bool) {
+          Ok = false;
+          break;
+        }
+        Acc = IsAnd ? (Acc && AV.B) : (Acc || AV.B);
+      }
+      V = Ok ? Value::ofBool(Acc)
+             : C.CurrentModel.evalWithCache(T, Structural);
+      break;
+    }
+    case TermKind::Implies: {
+      Value A = lazyEval(T->getArg(0), Hybrid, Structural);
+      Value B = lazyEval(T->getArg(1), Hybrid, Structural);
+      if (A.K == Value::Kind::Bool && B.K == Value::Kind::Bool) {
+        V = Value::ofBool(!A.B || B.B);
+        break;
+      }
+      V = C.CurrentModel.evalWithCache(T, Structural);
+      break;
+    }
+    case TermKind::Eq:
+      V = Value::ofBool(lazyEval(T->getArg(0), Hybrid, Structural) ==
+                        lazyEval(T->getArg(1), Hybrid, Structural));
+      break;
+    case TermKind::Select: {
+      Value AV = lazyEval(T->getArg(0), Hybrid, Structural);
+      Value KV = lazyEval(T->getArg(1), Hybrid, Structural);
+      if (AV.K == Value::Kind::Array) {
+        auto EIt = AV.Arr->Entries.find(KV);
+        V = EIt != AV.Arr->Entries.end() ? EIt->second : AV.Arr->Default;
+        break;
+      }
+      V = C.CurrentModel.evalWithCache(T, Structural);
+      break;
+    }
+    default:
+      // No candidate value anywhere in this subtree: plain structural
+      // evaluation under the candidate model.
+      V = C.CurrentModel.evalWithCache(T, Structural);
+      break;
+    }
+    break;
+  }
+  Hybrid.emplace(T, V);
+  return V;
+}
+
+bool TheoryEngine::collectViolatedLemmas() {
+  if (!Persistent || !C.Reducer || !C.Reducer->lazy())
+    return false;
+  const std::vector<TermRef> &Pool = C.Reducer->pendingLemmas();
+  if (Pool.empty())
+    return false;
+  std::unordered_map<TermRef, Value> Hybrid, Structural;
+  C.PendingInstantiations.clear();
+  for (TermRef L : Pool) {
+    if (C.Reducer->isActivated(L))
+      continue;
+    Value V = lazyEval(L, Hybrid, Structural);
+    if (V.K == Value::Kind::Bool && !V.B)
+      C.PendingInstantiations.push_back(L);
+  }
+  return !C.PendingInstantiations.empty();
+}
+
+bool TheoryEngine::queueAllPendingLemmas() {
+  if (!Persistent || !C.Reducer || !C.Reducer->lazy())
+    return false;
+  C.PendingInstantiations.clear();
+  for (TermRef L : C.Reducer->pendingLemmas())
+    if (!C.Reducer->isActivated(L))
+      C.PendingInstantiations.push_back(L);
+  return !C.PendingInstantiations.empty();
+}
+
+bool TheoryEngine::hasPendingLemmas() {
+  return !C.PendingInstantiations.empty();
+}
+
+bool TheoryEngine::flushPendingLemmas() {
+  std::vector<TermRef> Queue = std::move(C.PendingInstantiations);
+  C.PendingInstantiations.clear();
+  for (TermRef L : Queue) {
+    if (C.Reducer->isActivated(L))
+      continue;
+    C.Reducer->markActivated(L);
+    ++C.St.LazyInstantiations;
+    sat::Lit Root = C.litFor(L);
+    if (!C.Sat.addClause({Root}))
+      return false;
+  }
+  return true;
 }
 
 void TheoryEngine::popTheoryLevel() {
@@ -676,6 +862,12 @@ bool TheoryEngine::onFullModel(std::vector<sat::Lit> &ConflictOut) {
     Value V = C.CurrentModel.eval(C.EvalFormula);
     if (V.K == Value::Kind::Bool && V.B)
       return true; // genuine model
+    // Lazy array instantiation: before paying for collision repair, check
+    // whether the mismatch is a deferred lemma this candidate violates.
+    // Queued lemmas are flushed by the SAT core at decision level zero and
+    // the search resumes with the new constraints.
+    if (collectViolatedLemmas())
+      return true;
     ++C.St.ModelRepairs;
     if (logging::debugEnabled("smt") && C.St.ModelRepairs <= 4) {
       unsigned Shown = 0;
@@ -704,8 +896,11 @@ bool TheoryEngine::onFullModel(std::vector<sat::Lit> &ConflictOut) {
     ArithSolver::Result AR = Arith->check(Core);
     if (AR == ArithSolver::Result::Unknown) {
       // Undecided separation: blocking this assignment could turn a
-      // satisfiable formula into a bogus Unsat, so stop and report
-      // Unknown instead.
+      // satisfiable formula into a bogus Unsat. Before reporting Unknown,
+      // fall back to flushing every deferred array lemma — the extra
+      // constraints often decide what the separation probe could not.
+      if (queueAllPendingLemmas())
+        return true;
       C.BudgetExhausted = true;
       return true;
     }
@@ -716,6 +911,13 @@ bool TheoryEngine::onFullModel(std::vector<sat::Lit> &ConflictOut) {
     if (C.BudgetExhausted)
       return true;
   }
+  // Full-flush fallback: with lazy instantiation, give up only after the
+  // complete lemma set — everything the up-front closure would have
+  // asserted — is in the clause database. This bounds lazy mode at one
+  // round-trip worse than the up-front mode on any query, instead of
+  // trading speed for new Unknowns.
+  if (queueAllPendingLemmas())
+    return true;
   // The model builder could not produce a witness, and no sound
   // explanation clause is available: a blocking clause here would assert
   // "this assignment has no theory model" without proof, and on formulas

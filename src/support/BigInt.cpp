@@ -7,23 +7,71 @@
 #include "support/BigInt.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 
 using namespace ids;
 
 static constexpr uint32_t Base = 1000000000u; // 10^9
 
-BigInt::BigInt(int64_t Value) {
-  Negative = Value < 0;
-  // Avoid overflow on INT64_MIN by working in unsigned space.
-  uint64_t Magnitude =
-      Negative ? ~static_cast<uint64_t>(Value) + 1 : static_cast<uint64_t>(Value);
+/// |Value| in unsigned space (handles INT64_MIN without overflow).
+static uint64_t magnitudeOf(int64_t Value) {
+  return Value < 0 ? ~static_cast<uint64_t>(Value) + 1
+                   : static_cast<uint64_t>(Value);
+}
+
+BigInt BigInt::fromMagnitude(bool Neg, std::vector<uint32_t> L) {
+  trim(L);
+  // 2^63 has 19 decimal digits => at most 3 limbs can possibly fit int64.
+  if (L.size() <= 3) {
+    unsigned __int128 Magnitude = 0;
+    for (size_t I = L.size(); I-- > 0;)
+      Magnitude = Magnitude * Base + L[I];
+    unsigned __int128 Limit = static_cast<unsigned __int128>(1) << 63;
+    if (Neg ? Magnitude <= Limit : Magnitude < Limit) {
+      BigInt R;
+      R.Small = Neg ? static_cast<int64_t>(-static_cast<__int128>(Magnitude))
+                    : static_cast<int64_t>(Magnitude);
+      return R;
+    }
+  }
+  BigInt R;
+  R.IsBig = true;
+  R.Negative = Neg;
+  R.Limbs = std::move(L);
+  return R;
+}
+
+BigInt BigInt::fromUnsignedMagnitude(bool Neg, uint64_t Magnitude) {
+  uint64_t Limit = static_cast<uint64_t>(1) << 63;
+  if (Neg ? Magnitude <= Limit : Magnitude < Limit) {
+    BigInt R;
+    R.Small = Neg ? static_cast<int64_t>(~Magnitude + 1)
+                  : static_cast<int64_t>(Magnitude);
+    return R;
+  }
+  std::vector<uint32_t> L;
   while (Magnitude != 0) {
-    Limbs.push_back(static_cast<uint32_t>(Magnitude % Base));
+    L.push_back(static_cast<uint32_t>(Magnitude % Base));
     Magnitude /= Base;
   }
-  if (Limbs.empty())
-    Negative = false;
+  BigInt R;
+  R.IsBig = true;
+  R.Negative = Neg;
+  R.Limbs = std::move(L);
+  return R;
+}
+
+std::vector<uint32_t> BigInt::magnitudeLimbs() const {
+  if (IsBig)
+    return Limbs;
+  std::vector<uint32_t> L;
+  uint64_t Magnitude = magnitudeOf(Small);
+  while (Magnitude != 0) {
+    L.push_back(static_cast<uint32_t>(Magnitude % Base));
+    Magnitude /= Base;
+  }
+  return L;
 }
 
 BigInt BigInt::fromString(const std::string &Text) {
@@ -35,7 +83,7 @@ BigInt BigInt::fromString(const std::string &Text) {
     Start = 1;
   }
   assert(Start < Text.size() && "sign without digits");
-  BigInt Result;
+  std::vector<uint32_t> L;
   // Consume 9 decimal digits at a time from the least-significant end.
   size_t End = Text.size();
   while (End > Start) {
@@ -45,40 +93,18 @@ BigInt BigInt::fromString(const std::string &Text) {
       assert(Text[I] >= '0' && Text[I] <= '9' && "malformed decimal literal");
       Chunk = Chunk * 10 + static_cast<uint32_t>(Text[I] - '0');
     }
-    Result.Limbs.push_back(Chunk);
+    L.push_back(Chunk);
     End = ChunkBegin;
   }
   // We pushed most-significant chunks last while scanning right-to-left,
   // but each push corresponds to an increasing power of Base, which is
-  // exactly the little-endian layout; only trailing zeros need trimming.
-  trim(Result.Limbs);
-  Result.Negative = Neg && !Result.Limbs.empty();
-  return Result;
-}
-
-bool BigInt::toInt64(int64_t &Out) const {
-  // 2^63 has 19 decimal digits => at most 3 limbs can possibly fit.
-  if (Limbs.size() > 3)
-    return false;
-  unsigned __int128 Magnitude = 0;
-  for (size_t I = Limbs.size(); I-- > 0;)
-    Magnitude = Magnitude * Base + Limbs[I];
-  unsigned __int128 Limit = static_cast<unsigned __int128>(1) << 63;
-  if (Negative) {
-    if (Magnitude > Limit)
-      return false;
-    Out = static_cast<int64_t>(-static_cast<__int128>(Magnitude));
-    return true;
-  }
-  if (Magnitude >= Limit)
-    return false;
-  Out = static_cast<int64_t>(Magnitude);
-  return true;
+  // exactly the little-endian layout; fromMagnitude trims and smallifies.
+  return fromMagnitude(Neg, std::move(L));
 }
 
 std::string BigInt::toString() const {
-  if (Limbs.empty())
-    return "0";
+  if (!IsBig)
+    return std::to_string(Small);
   std::string Result;
   if (Negative)
     Result += '-';
@@ -93,10 +119,11 @@ std::string BigInt::toString() const {
 }
 
 BigInt BigInt::operator-() const {
-  BigInt Result = *this;
-  if (!Result.Limbs.empty())
-    Result.Negative = !Result.Negative;
-  return Result;
+  if (!IsBig && Small != INT64_MIN)
+    return BigInt(-Small);
+  if (isZero())
+    return BigInt();
+  return fromMagnitude(!negSign(), magnitudeLimbs());
 }
 
 int BigInt::compareMagnitude(const std::vector<uint32_t> &A,
@@ -154,42 +181,57 @@ std::vector<uint32_t> BigInt::subMagnitude(const std::vector<uint32_t> &A,
   return Result;
 }
 
-BigInt BigInt::operator+(const BigInt &RHS) const {
-  BigInt Result;
-  if (Negative == RHS.Negative) {
-    Result.Limbs = addMagnitude(Limbs, RHS.Limbs);
-    Result.Negative = Negative && !Result.Limbs.empty();
-    return Result;
-  }
-  int Cmp = compareMagnitude(Limbs, RHS.Limbs);
+BigInt BigInt::addBig(const BigInt &A, const BigInt &B) {
+  std::vector<uint32_t> MA = A.magnitudeLimbs();
+  std::vector<uint32_t> MB = B.magnitudeLimbs();
+  bool NA = A.negSign(), NB = B.negSign();
+  if (NA == NB)
+    return fromMagnitude(NA, addMagnitude(MA, MB));
+  int Cmp = compareMagnitude(MA, MB);
   if (Cmp == 0)
-    return Result; // zero
-  if (Cmp > 0) {
-    Result.Limbs = subMagnitude(Limbs, RHS.Limbs);
-    Result.Negative = Negative;
-  } else {
-    Result.Limbs = subMagnitude(RHS.Limbs, Limbs);
-    Result.Negative = RHS.Negative;
-  }
-  return Result;
+    return BigInt();
+  if (Cmp > 0)
+    return fromMagnitude(NA, subMagnitude(MA, MB));
+  return fromMagnitude(NB, subMagnitude(MB, MA));
 }
 
-BigInt BigInt::operator-(const BigInt &RHS) const { return *this + (-RHS); }
+BigInt BigInt::operator+(const BigInt &RHS) const {
+  if (!IsBig && !RHS.IsBig) {
+    int64_t R;
+    if (!__builtin_add_overflow(Small, RHS.Small, &R))
+      return BigInt(R);
+  }
+  return addBig(*this, RHS);
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const {
+  if (!IsBig && !RHS.IsBig) {
+    int64_t R;
+    if (!__builtin_sub_overflow(Small, RHS.Small, &R))
+      return BigInt(R);
+  }
+  return addBig(*this, -RHS);
+}
 
 BigInt BigInt::operator*(const BigInt &RHS) const {
-  BigInt Result;
+  if (!IsBig && !RHS.IsBig) {
+    int64_t R;
+    if (!__builtin_mul_overflow(Small, RHS.Small, &R))
+      return BigInt(R);
+  }
   if (isZero() || RHS.isZero())
-    return Result;
-  std::vector<uint64_t> Acc(Limbs.size() + RHS.Limbs.size(), 0);
-  for (size_t I = 0; I < Limbs.size(); ++I) {
+    return BigInt();
+  std::vector<uint32_t> MA = magnitudeLimbs();
+  std::vector<uint32_t> MB = RHS.magnitudeLimbs();
+  std::vector<uint64_t> Acc(MA.size() + MB.size(), 0);
+  for (size_t I = 0; I < MA.size(); ++I) {
     uint64_t Carry = 0;
-    for (size_t J = 0; J < RHS.Limbs.size(); ++J) {
-      uint64_t Cur = Acc[I + J] +
-                     static_cast<uint64_t>(Limbs[I]) * RHS.Limbs[J] + Carry;
+    for (size_t J = 0; J < MB.size(); ++J) {
+      uint64_t Cur = Acc[I + J] + static_cast<uint64_t>(MA[I]) * MB[J] + Carry;
       Acc[I + J] = Cur % Base;
       Carry = Cur / Base;
     }
-    size_t K = I + RHS.Limbs.size();
+    size_t K = I + MB.size();
     while (Carry) {
       uint64_t Cur = Acc[K] + Carry;
       Acc[K] = Cur % Base;
@@ -197,10 +239,8 @@ BigInt BigInt::operator*(const BigInt &RHS) const {
       ++K;
     }
   }
-  Result.Limbs.assign(Acc.begin(), Acc.end());
-  trim(Result.Limbs);
-  Result.Negative = (Negative != RHS.Negative) && !Result.Limbs.empty();
-  return Result;
+  std::vector<uint32_t> Product(Acc.begin(), Acc.end());
+  return fromMagnitude(negSign() != RHS.negSign(), std::move(Product));
 }
 
 std::vector<uint32_t>
@@ -292,24 +332,37 @@ BigInt::divModMagnitude(const std::vector<uint32_t> &A,
 
 BigInt BigInt::operator/(const BigInt &RHS) const {
   assert(!RHS.isZero() && "division by zero");
-  BigInt Result;
+  if (!IsBig && !RHS.IsBig) {
+    // INT64_MIN / -1 overflows int64; let the limb path produce +2^63.
+    if (!(Small == INT64_MIN && RHS.Small == -1))
+      return BigInt(Small / RHS.Small);
+  }
   std::vector<uint32_t> Rem;
-  Result.Limbs = divModMagnitude(Limbs, RHS.Limbs, Rem);
-  Result.Negative = (Negative != RHS.Negative) && !Result.Limbs.empty();
-  return Result;
+  std::vector<uint32_t> Quot =
+      divModMagnitude(magnitudeLimbs(), RHS.magnitudeLimbs(), Rem);
+  return fromMagnitude(negSign() != RHS.negSign(), std::move(Quot));
 }
 
 BigInt BigInt::operator%(const BigInt &RHS) const {
   assert(!RHS.isZero() && "division by zero");
-  BigInt Result;
+  if (!IsBig && !RHS.IsBig) {
+    if (Small == INT64_MIN && RHS.Small == -1)
+      return BigInt(); // quotient overflows; remainder is exactly 0
+    return BigInt(Small % RHS.Small);
+  }
   std::vector<uint32_t> Rem;
-  divModMagnitude(Limbs, RHS.Limbs, Rem);
-  Result.Limbs = Rem;
-  Result.Negative = Negative && !Result.Limbs.empty();
-  return Result;
+  divModMagnitude(magnitudeLimbs(), RHS.magnitudeLimbs(), Rem);
+  return fromMagnitude(negSign(), std::move(Rem));
 }
 
 int BigInt::compare(const BigInt &RHS) const {
+  if (!IsBig && !RHS.IsBig)
+    return Small < RHS.Small ? -1 : (Small > RHS.Small ? 1 : 0);
+  // Canonical representation: a big magnitude always exceeds any small one.
+  if (!IsBig)
+    return RHS.Negative ? 1 : -1;
+  if (!RHS.IsBig)
+    return Negative ? -1 : 1;
   if (Negative != RHS.Negative)
     return Negative ? -1 : 1;
   int MagCmp = compareMagnitude(Limbs, RHS.Limbs);
@@ -317,12 +370,21 @@ int BigInt::compare(const BigInt &RHS) const {
 }
 
 BigInt BigInt::abs() const {
-  BigInt Result = *this;
-  Result.Negative = false;
-  return Result;
+  if (!isNegative())
+    return *this;
+  return -*this;
 }
 
 BigInt BigInt::gcd(BigInt A, BigInt B) {
+  if (!A.IsBig && !B.IsBig) {
+    uint64_t X = magnitudeOf(A.Small), Y = magnitudeOf(B.Small);
+    while (Y != 0) {
+      uint64_t T = X % Y;
+      X = Y;
+      Y = T;
+    }
+    return fromUnsignedMagnitude(false, X);
+  }
   A = A.abs();
   B = B.abs();
   while (!B.isZero()) {
@@ -334,7 +396,15 @@ BigInt BigInt::gcd(BigInt A, BigInt B) {
 }
 
 size_t BigInt::hash() const {
-  size_t H = Negative ? 0x9e3779b97f4a7c15ull : 0;
+  size_t H = isNegative() ? 0x9e3779b97f4a7c15ull : 0;
+  if (!IsBig) {
+    uint64_t Magnitude = magnitudeOf(Small);
+    while (Magnitude != 0) {
+      H = H * 1000003ull + static_cast<uint32_t>(Magnitude % Base);
+      Magnitude /= Base;
+    }
+    return H;
+  }
   for (uint32_t Limb : Limbs)
     H = H * 1000003ull + Limb;
   return H;

@@ -11,9 +11,18 @@
 /// The simplex core and the rank monadic maps manipulate exact rational
 /// numbers whose numerators and denominators can grow without bound during
 /// pivoting, so a fixed-width representation is not safe. This is a small,
-/// portable sign-magnitude implementation (base 10^9 limbs) with the
-/// operations the solver stack needs: ring arithmetic, Euclidean division,
-/// gcd, comparisons, hashing, and decimal (de)serialisation.
+/// portable implementation with the operations the solver stack needs:
+/// ring arithmetic, Euclidean division, gcd, comparisons, hashing, and
+/// decimal (de)serialisation.
+///
+/// Values that fit in int64 (the overwhelming majority of what the solver
+/// touches: bounds, pivot coefficients, model values) are stored inline
+/// and computed with native machine arithmetic — no limb vector, no heap
+/// allocation, so copying solver state (tableau snapshots, bound trails)
+/// is trivially cheap. Only on overflow does a value spill to the
+/// sign-magnitude base-10^9 limb representation. The representation is
+/// canonical: a value is limb-backed iff it does not fit in int64, which
+/// keeps equality and hashing cheap.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,25 +36,31 @@
 
 namespace ids {
 
-/// Arbitrary-precision signed integer (sign + base-10^9 magnitude).
+/// Arbitrary-precision signed integer (inline int64 fast path, sign +
+/// base-10^9 magnitude spill representation).
 ///
-/// Invariants: \c Limbs has no trailing zero limb, and zero is represented
-/// with an empty \c Limbs and \c Negative == false.
+/// Invariants: \c IsBig is set iff the value does not fit in int64; when
+/// big, \c Limbs has no trailing zero limb and is non-empty.
 class BigInt {
 public:
   BigInt() = default;
-  BigInt(int64_t Value);
+  BigInt(int64_t Value) : Small(Value) {}
 
   /// Parses a decimal string with optional leading '-'. Asserts on
   /// malformed input; use only on trusted/validated text.
   static BigInt fromString(const std::string &Text);
 
-  bool isZero() const { return Limbs.empty(); }
-  bool isNegative() const { return Negative; }
-  bool isOne() const { return !Negative && Limbs.size() == 1 && Limbs[0] == 1; }
+  bool isZero() const { return !IsBig && Small == 0; }
+  bool isNegative() const { return IsBig ? Negative : Small < 0; }
+  bool isOne() const { return !IsBig && Small == 1; }
 
   /// Returns true and stores the value into \p Out when it fits in int64.
-  bool toInt64(int64_t &Out) const;
+  bool toInt64(int64_t &Out) const {
+    if (IsBig)
+      return false; // canonical: big values never fit
+    Out = Small;
+    return true;
+  }
 
   std::string toString() const;
 
@@ -64,7 +79,11 @@ public:
   BigInt &operator*=(const BigInt &RHS) { return *this = *this * RHS; }
 
   bool operator==(const BigInt &RHS) const {
-    return Negative == RHS.Negative && Limbs == RHS.Limbs;
+    if (!IsBig && !RHS.IsBig)
+      return Small == RHS.Small;
+    // Canonical representation: a big value never equals a small one.
+    return IsBig == RHS.IsBig && Negative == RHS.Negative &&
+           Limbs == RHS.Limbs;
   }
   bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
   bool operator<(const BigInt &RHS) const { return compare(RHS) < 0; }
@@ -82,6 +101,18 @@ public:
   size_t hash() const;
 
 private:
+  /// Canonicalising constructor from sign + magnitude limbs: smallifies
+  /// when the value fits in int64.
+  static BigInt fromMagnitude(bool Neg, std::vector<uint32_t> L);
+  /// Canonicalising constructor from sign + uint64 magnitude.
+  static BigInt fromUnsignedMagnitude(bool Neg, uint64_t Magnitude);
+  /// The value's sign regardless of representation (zero reads false).
+  bool negSign() const { return IsBig ? Negative : Small < 0; }
+  /// The value's magnitude as base-10^9 limbs (materialised for small).
+  std::vector<uint32_t> magnitudeLimbs() const;
+  /// Slow-path addition through the limb representation.
+  static BigInt addBig(const BigInt &A, const BigInt &B);
+
   /// Compares magnitudes only.
   static int compareMagnitude(const std::vector<uint32_t> &A,
                               const std::vector<uint32_t> &B);
@@ -96,8 +127,10 @@ private:
                                                const std::vector<uint32_t> &B,
                                                std::vector<uint32_t> &Rem);
 
-  bool Negative = false;
-  std::vector<uint32_t> Limbs; // little-endian, base 10^9
+  int64_t Small = 0;           // value when !IsBig
+  bool IsBig = false;
+  bool Negative = false;       // sign when IsBig
+  std::vector<uint32_t> Limbs; // little-endian, base 10^9; empty when small
 };
 
 } // namespace ids

@@ -41,15 +41,16 @@ struct SeqCounts {
 /// Runs \p Sequences random assertion-stack scripts. Each script
 /// interleaves push/assert/pop with checkSat calls; every verdict is
 /// cross-checked one-shot.
-SeqCounts runIncrementalDifferential(uint32_t Seed, unsigned Sequences,
-                                     unsigned OpsPerSequence,
-                                     unsigned Depth) {
+SeqCounts runIncrementalDifferential(
+    uint32_t Seed, unsigned Sequences, unsigned OpsPerSequence,
+    unsigned Depth, const SolverOptions &CtxOpts = SolverOptions(),
+    const SolverOptions &RefOpts = SolverOptions()) {
   std::mt19937 Rng(Seed);
   SeqCounts C;
   for (unsigned S = 0; S < Sequences; ++S) {
     TermManager TM;
     FormulaGen Gen(TM, Rng);
-    SolverOptions Opts;
+    SolverOptions Opts = CtxOpts;
     Opts.MaxTheoryChecks = 20000; // bound pathological instances
     SolverContext Ctx(TM, Opts);
     // Active stack mirror: one vector of formulas per level.
@@ -64,7 +65,9 @@ SeqCounts runIncrementalDifferential(uint32_t Seed, unsigned Sequences,
           Active.push_back(F);
       TermRef Conj = TM.mkAnd(Active);
       TermManager Fresh;
-      Solver OneShot(Fresh, Opts);
+      SolverOptions OneShotOpts = RefOpts;
+      OneShotOpts.MaxTheoryChecks = Opts.MaxTheoryChecks;
+      Solver OneShot(Fresh, OneShotOpts);
       SolverResult Ref = OneShot.checkSat(Fresh.import(Conj));
       switch (Inc) {
       case SolverResult::Sat:
@@ -161,4 +164,39 @@ TEST(IncrFuzzTest, DifferentialArrayHeavy) {
                                            /*Depth=*/4);
   EXPECT_EQ(C.Mismatches, 0u);
   EXPECT_GT(C.Checks, 100u);
+}
+
+// The two solver fast paths under incremental solving, each checked
+// against the most conservative one-shot reference (blind eager array
+// instantiation, no clause deletion) — the configuration the earlier
+// goldens were recorded with.
+
+TEST(IncrFuzzTest, DifferentialLazyArrays) {
+  SolverOptions Ctx;
+  Ctx.LazyArrayInstantiation = true;
+  SolverOptions Ref;
+  Ref.EagerArrayInstantiation = true;
+  Ref.ClauseDeletion = false;
+  SeqCounts C = runIncrementalDifferential(/*Seed=*/0x5EED4, /*Sequences=*/80,
+                                           /*OpsPerSequence=*/14,
+                                           /*Depth=*/4, Ctx, Ref);
+  EXPECT_EQ(C.Mismatches, 0u);
+  EXPECT_GT(C.Checks, 150u);
+}
+
+TEST(IncrFuzzTest, DifferentialDeletionStress) {
+  // A tiny reduceDB trigger forces sweeps on every nontrivial search, so
+  // the pop interaction (deleted clauses vs assertion-level retraction)
+  // is actually exercised at fuzz scale.
+  SolverOptions Ctx;
+  Ctx.LazyArrayInstantiation = true;
+  Ctx.ReduceDbLimit = 4;
+  SolverOptions Ref;
+  Ref.EagerArrayInstantiation = true;
+  Ref.ClauseDeletion = false;
+  SeqCounts C = runIncrementalDifferential(/*Seed=*/0x5EED5, /*Sequences=*/80,
+                                           /*OpsPerSequence=*/14,
+                                           /*Depth=*/3, Ctx, Ref);
+  EXPECT_EQ(C.Mismatches, 0u);
+  EXPECT_GT(C.Checks, 150u);
 }
