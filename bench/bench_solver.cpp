@@ -6,18 +6,20 @@
 ///
 /// \file
 /// Per-procedure solver benchmark across the SAT-core configurations:
-/// the default (lazy array instantiation + activity-based clause
-/// deletion), --eager-arrays (up-front array demand closure) and
-/// --no-reduce-db (learned clauses kept forever). For every target
-/// procedure and configuration it reports wall-clock seconds plus the
-/// solver counters that explain the difference — conflicts,
-/// propagations, lemmas deleted, reduceDB sweeps, restarts and lazy
-/// instantiations — and writes everything to BENCH_solver.json.
+/// the default (lazy array instantiation + clause deletion + theory
+/// propagation), --eager-arrays (up-front array demand closure),
+/// --no-reduce-db (learned clauses kept forever) and --no-theory-prop
+/// (lazy full-model theory checks only). For every target procedure and
+/// configuration it reports wall-clock seconds plus the solver counters
+/// that explain the difference — conflicts, propagations, lemmas
+/// deleted, reduceDB sweeps, restarts, lazy instantiations, theory
+/// propagations — and writes everything to BENCH_solver.json.
 ///
-/// The run doubles as a differential check: the three configurations
-/// must agree on every verdict (a lazy-mode or deletion-induced verdict
-/// flip is exactly the regression this benchmark exists to catch), and
-/// any disagreement or Failed verdict makes the exit code nonzero.
+/// The run doubles as a differential check: the four configurations
+/// must agree on every verdict (a lazy-mode, deletion- or
+/// propagation-induced verdict flip is exactly the regression this
+/// benchmark exists to catch), and any disagreement or Failed verdict
+/// makes the exit code nonzero.
 ///
 /// Usage: bench_solver [benchmark:procedure ...]
 /// Default targets are the two heaviest procedures of the suite
@@ -48,14 +50,16 @@ struct ConfigSpec {
   const char *Name;
   bool LazyArrays;
   bool ReduceDb;
+  bool TheoryProp;
 };
 
-// The three corners that matter: the production solver, and one
+// The four corners that matter: the production solver, and one
 // baseline per tentpole feature (each disables exactly one of them).
 const ConfigSpec Configs[] = {
-    {"default", true, true},
-    {"eager-arrays", false, true},
-    {"no-reduce-db", true, false},
+    {"default", true, true, true},
+    {"eager-arrays", false, true, true},
+    {"no-reduce-db", true, false, true},
+    {"no-theory-prop", true, true, false},
 };
 
 const char *statusName(driver::Status St) {
@@ -75,7 +79,8 @@ const char *statusName(driver::Status St) {
 const char *const CounterKeys[] = {
     "smt.conflicts",      "smt.propagations",     "smt.lemmas_deleted",
     "smt.reduce_db_sweeps", "smt.restarts",       "smt.lazy_instantiations",
-    "smt.decisions",      "smt.theory_checks",
+    "smt.decisions",      "smt.theory_checks",    "smt.theory_propagations",
+    "smt.propagation_conflicts", "smt.cc_registrations_reused",
 };
 
 std::vector<uint64_t> snapshotCounters() {
@@ -145,6 +150,7 @@ int main(int Argc, char **Argv) {
       Opts.CheckImpacts = false;
       Opts.LazyArrays = C.LazyArrays;
       Opts.ReduceDb = C.ReduceDb;
+      Opts.TheoryProp = C.TheoryProp;
       // Same guard rails as bench_table2: a configuration that cannot
       // finish reports a bounded 'unknown', not an open-ended run.
       Opts.QueryTimeoutSeconds = 300;
@@ -189,12 +195,15 @@ int main(int Argc, char **Argv) {
       Runs.push(std::move(Run));
 
       printf("  %-14s %-9s %8.2fs  conflicts=%llu propagations=%llu "
-             "lemmas_deleted=%llu lazy_inst=%llu\n",
+             "lemmas_deleted=%llu lazy_inst=%llu theory_props=%llu "
+             "theory_checks=%llu\n",
              C.Name, statusName(P->St), Seconds,
              (unsigned long long)(After[0] - Before[0]),
              (unsigned long long)(After[1] - Before[1]),
              (unsigned long long)(After[2] - Before[2]),
-             (unsigned long long)(After[5] - Before[5]));
+             (unsigned long long)(After[5] - Before[5]),
+             (unsigned long long)(After[8] - Before[8]),
+             (unsigned long long)(After[7] - Before[7]));
 
       if (P->St == driver::Status::Failed)
         Ok = false;

@@ -92,6 +92,10 @@ const char *driver::usageText() {
       "                      search; the lazy mode's differential baseline)\n"
       "             --no-reduce-db (disable activity-based learned-clause\n"
       "                      deletion in the SAT core)\n"
+      "             --no-theory-prop (disable DPLL(T) theory propagation\n"
+      "                      and incremental registration in batch\n"
+      "                      contexts; the purely lazy differential\n"
+      "                      baseline)\n"
       "             --stats (print per-procedure pipeline statistics and\n"
       "                      the cumulative metrics registry)\n"
       "observability: --trace-out FILE (Chrome trace-event JSON of every\n"
@@ -166,6 +170,8 @@ CliArgs driver::parseCli(int Argc, const char *const *Argv) {
       A.Opts.LazyArrays = false;
     } else if (Arg == "--no-reduce-db") {
       A.Opts.ReduceDb = false;
+    } else if (Arg == "--no-theory-prop") {
+      A.Opts.TheoryProp = false;
     } else if (Arg == "--no-reverify-cache") {
       A.Opts.ReuseProcVerdicts = false;
     } else if (Arg == "--stats") {

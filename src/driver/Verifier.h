@@ -106,6 +106,10 @@ struct VerifyOptions {
   /// Activity-based learned-clause deletion in the SAT core;
   /// --no-reduce-db disables it (differential baseline).
   bool ReduceDb = true;
+  /// DPLL(T) theory propagation + incremental frame-pinned registration in
+  /// batch contexts; --no-theory-prop restores the purely lazy full-model
+  /// behavior (differential baseline).
+  bool TheoryProp = true;
   unsigned Jobs = 0;        ///< --jobs N; 0 auto-detects hardware threads
   /// Restrict verification to this procedure (empty = all).
   std::string OnlyProc;

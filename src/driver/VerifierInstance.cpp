@@ -49,6 +49,7 @@ pipeline::Options pipelineOptions(const VerifyOptions &Opts) {
   P.QueryTimeoutSeconds = Opts.QueryTimeoutSeconds;
   P.LazyArrays = Opts.LazyArrays;
   P.ReduceDb = Opts.ReduceDb;
+  P.TheoryProp = Opts.TheoryProp;
   return P;
 }
 

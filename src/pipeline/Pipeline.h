@@ -70,6 +70,10 @@ struct Options {
   /// Activity-based learned-clause deletion in the SAT core
   /// (--no-reduce-db disables, the differential baseline).
   bool ReduceDb = true;
+  /// DPLL(T) theory propagation + frame-pinned incremental registration
+  /// in batched incremental contexts (--no-theory-prop disables, the
+  /// differential baseline restoring purely lazy full-model checking).
+  bool TheoryProp = true;
   /// Attribution label for spans and slow-query records (the procedure
   /// or impact-check name this batch of obligations belongs to). Purely
   /// observational; empty is fine.
@@ -101,6 +105,13 @@ struct Stats {
   /// Deferred array lemmas asserted from inside the CDCL loop (lazy
   /// instantiation mode; 0 under --eager-arrays).
   uint64_t LazyArrayLemmas = 0;
+  /// Theory-propagation activity inside batch contexts (0 under
+  /// --no-theory-prop): literals asserted from partial-trail entailment,
+  /// conflicts caught before a full propositional model, and term
+  /// registrations skipped thanks to frame-pinned shared prefixes.
+  uint64_t TheoryPropagations = 0;
+  uint64_t PropagationConflicts = 0;
+  uint64_t CcRegistrationsReused = 0;
   /// Sat answers from an incremental batch re-confirmed on a fresh
   /// one-shot solver (clean countermodel, independent of context state).
   unsigned IncrSatRechecks = 0;

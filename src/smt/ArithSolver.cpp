@@ -135,6 +135,9 @@ bool ArithSolver::assertLower(int Var, DeltaRat Value, int Tag,
   if (!Marks.empty())
     BoundTrail.push_back({Var, /*IsLower=*/true, Lower[Var]});
   Lower[Var] = {Value, Tag, true};
+  if (!SuppressBoundLog && Var < static_cast<int>(Watched.size()) &&
+      Watched[Var])
+    BoundLog.push_back(Var);
   if (!IsBasic[Var] && Beta[Var] < Value)
     updateNonbasic(Var, Value);
   return true;
@@ -160,6 +163,9 @@ bool ArithSolver::assertUpper(int Var, DeltaRat Value, int Tag,
   if (!Marks.empty())
     BoundTrail.push_back({Var, /*IsLower=*/false, Upper[Var]});
   Upper[Var] = {Value, Tag, true};
+  if (!SuppressBoundLog && Var < static_cast<int>(Watched.size()) &&
+      Watched[Var])
+    BoundLog.push_back(Var);
   if (!IsBasic[Var] && Value < Beta[Var])
     updateNonbasic(Var, Value);
   return true;
@@ -231,6 +237,21 @@ bool ArithSolver::assertAtom(const LinTerm &Poly, Op O, int Tag) {
     Diseqs.emplace_back(Var, BoundVal, Tag);
     return true;
   }
+  if (!Ok) {
+    TriviallyUnsat = true;
+    TrivialConflict = Dummy;
+    return false;
+  }
+  return true;
+}
+
+bool ArithSolver::assertCachedBound(int Var, bool IsUpper,
+                                    const DeltaRat &Value, int Tag) {
+  if (TriviallyUnsat)
+    return false;
+  std::set<int> Dummy;
+  bool Ok = IsUpper ? assertUpper(Var, Value, Tag, &Dummy)
+                    : assertLower(Var, Value, Tag, &Dummy);
   if (!Ok) {
     TriviallyUnsat = true;
     TrivialConflict = Dummy;
@@ -534,11 +555,31 @@ void ArithSolver::pop() {
   }
 }
 
+namespace {
+/// Raises a flag for the current scope (exception-free code, but early
+/// returns abound in the search entry points).
+struct ScopedFlag {
+  bool &Flag;
+  bool Saved;
+  explicit ScopedFlag(bool &Flag) : Flag(Flag), Saved(Flag) { Flag = true; }
+  ~ScopedFlag() { Flag = Saved; }
+};
+} // namespace
+
+void ArithSolver::watchVar(int Var) {
+  if (Var >= static_cast<int>(Watched.size()))
+    Watched.resize(Var + 1, 0);
+  Watched[Var] = 1;
+}
+
 ArithSolver::Result ArithSolver::check(std::set<int> &ConflictOut) {
   if (TriviallyUnsat) {
     ConflictOut = TrivialConflict;
     return Result::Unsat;
   }
+  // Cut bounds asserted by the internal search are transient; keep them
+  // out of the watcher change log.
+  ScopedFlag Suppress(SuppressBoundLog);
   return search(ConflictOut, 0);
 }
 
@@ -618,6 +659,8 @@ bool ArithSolver::probeForcedEqual(int Var1, int Var2,
                                    const std::vector<int> *WitnessVars,
                                    std::vector<Rational> *WitnessOut) {
   constexpr int ProbeTag = -3;
+  // Probe bounds are transient (see check()).
+  ScopedFlag Suppress(SuppressBoundLog);
   LinTerm Diff;
   Diff.add(Var1, Rational(1));
   Diff.add(Var2, Rational(-1));

@@ -136,6 +136,48 @@ public:
   uint64_t numPivots() const { return Pivots; }
   uint64_t numBranches() const { return Branches; }
 
+  // ------------------------------------------------- Bound watching --
+  /// True when an asserted atom already produced a trivial bound-vs-bound
+  /// conflict (no simplex needed); trivialCore() holds its tags. The
+  /// theory-propagation path uses this as a cheap conflict probe after
+  /// each asserted atom, without paying for a full check().
+  bool inConflict() const { return TriviallyUnsat; }
+  const std::set<int> &trivialCore() const { return TrivialConflict; }
+
+  /// Marks \p Var: every externally asserted strengthening of its bounds
+  /// is appended to boundChangeLog(). Internal search/probe cuts are
+  /// excluded (they are retracted before control returns).
+  void watchVar(int Var);
+  /// Watched variables whose bounds were strengthened since the last
+  /// clear; may contain duplicates and entries whose strengthening was
+  /// since popped (consumers revalidate against the live bounds).
+  const std::vector<int> &boundChangeLog() const { return BoundLog; }
+  void clearBoundChangeLog() { BoundLog.clear(); }
+
+  /// Live bound accessors for entailment tests against watched atoms.
+  bool lowerActive(int Var) const { return Lower[Var].Active; }
+  bool upperActive(int Var) const { return Upper[Var].Active; }
+  const DeltaRat &lowerValue(int Var) const { return Lower[Var].Value; }
+  const DeltaRat &upperValue(int Var) const { return Upper[Var].Value; }
+  int lowerTag(int Var) const { return Lower[Var].Tag; }
+  int upperTag(int Var) const { return Upper[Var].Tag; }
+
+  /// Public wrapper over the slack-variable interning: returns the solver
+  /// variable representing \p Poly's variable part and the scale applied
+  /// (slack == Scale * var part). Slack definitions persist across pops,
+  /// so this is safe to call at registration time.
+  int ensureSlack(const LinTerm &Poly, Rational &ScaleOut) {
+    return slackFor(Poly, ScaleOut);
+  }
+
+  /// Asserts a pre-lowered bound — the (slack var, direction, delta
+  /// value) triple assertAtom would derive, computed once at registration
+  /// time. The theory-propagation re-sync path re-asserts atoms after
+  /// every backjump; this skips re-normalizing the polynomial (gcd,
+  /// slack-map lookup) each time.
+  bool assertCachedBound(int Var, bool IsUpper, const DeltaRat &Value,
+                         int Tag);
+
 private:
   struct Bound {
     DeltaRat Value;
@@ -199,6 +241,13 @@ private:
   std::vector<std::tuple<int, Rational, int>> Diseqs; // (var, value, tag)
   std::vector<BoundUndo> BoundTrail;
   std::vector<LevelMark> Marks;
+  /// Bound-watch state: flags per var, plus the change log of watched
+  /// vars whose bounds were externally strengthened. SuppressBoundLog is
+  /// raised around the internal search/probe (their cut bounds are
+  /// transient and must not wake watchers).
+  std::vector<char> Watched;
+  std::vector<int> BoundLog;
+  bool SuppressBoundLog = false;
   bool TriviallyUnsat = false;
   std::set<int> TrivialConflict;
   uint64_t Pivots = 0;

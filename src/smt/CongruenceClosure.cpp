@@ -29,6 +29,7 @@ int CongruenceClosure::getId(TermRef T) {
   ProofReason.push_back(Reason());
   UseLists.emplace_back();
   DiseqIdx.emplace_back();
+  EqWatches.emplace_back();
   ValueNode.push_back(T->isValue() ? Id : -1);
   if (!Levels.empty())
     Trail.push_back({TrailEntry::Register, Id});
@@ -126,6 +127,16 @@ bool CongruenceClosure::assertDisequal(TermRef T1, TermRef T2, int Tag) {
   DiseqIdx[Rb].push_back(Idx);
   if (!Levels.empty())
     Trail.push_back({TrailEntry::Diseq, Ra, Rb});
+  // Watched equalities spanning exactly these two classes just became
+  // entailed false.
+  const std::vector<EqWatch> &WL =
+      EqWatches[Ra].size() <= EqWatches[Rb].size() ? EqWatches[Ra]
+                                                   : EqWatches[Rb];
+  for (const EqWatch &W : WL) {
+    int Wa = findRoot(W.Na), Wb = findRoot(W.Nb);
+    if ((Wa == Ra && Wb == Rb) || (Wa == Rb && Wb == Ra))
+      PendingEntailed.emplace_back(W.AtomId, false);
+  }
   return true;
 }
 
@@ -212,9 +223,16 @@ bool CongruenceClosure::mergeRoots(int A, int B) {
   DiseqIdx[Rb].insert(DiseqIdx[Rb].end(), DiseqIdx[Ra].begin(),
                       DiseqIdx[Ra].end());
   DiseqIdx[Ra].clear();
+  // Same movement for the equality watches: only watches touching the
+  // absorbed class can change status on this merge.
+  int MovedWatches = static_cast<int>(EqWatches[Ra].size());
+  EqWatches[Rb].insert(EqWatches[Rb].end(), EqWatches[Ra].begin(),
+                       EqWatches[Ra].end());
+  EqWatches[Ra].clear();
   if (Record)
     Trail.push_back({TrailEntry::Merge, Ra, Rb, A, OldProofRoot, OldValueRb,
-                     static_cast<int>(Moved.size()), MovedDiseqs});
+                     static_cast<int>(Moved.size()), MovedDiseqs,
+                     MovedWatches});
 
   // Value clash detection (after the state is fully applied, so undo sees
   // one complete Merge entry regardless of the outcome).
@@ -228,7 +246,20 @@ bool CongruenceClosure::mergeRoots(int A, int B) {
     return false;
   }
 
-  return checkMovedDiseqs(Rb, MovedDiseqs);
+  if (!checkMovedDiseqs(Rb, MovedDiseqs))
+    return false;
+
+  // Moved watches may have flipped to entailed (their two classes just
+  // merged, or the merge brought a value/disequality into reach).
+  const std::vector<EqWatch> &WRb = EqWatches[Rb];
+  for (size_t I = WRb.size() - MovedWatches; I < WRb.size(); ++I) {
+    int Wa = findRoot(WRb[I].Na), Wb = findRoot(WRb[I].Nb);
+    if (Wa == Wb)
+      PendingEntailed.emplace_back(WRb[I].AtomId, true);
+    else if (rootsDisequal(Wa, Wb))
+      PendingEntailed.emplace_back(WRb[I].AtomId, false);
+  }
+  return true;
 }
 
 bool CongruenceClosure::checkMovedDiseqs(int Root, int MovedCount) {
@@ -293,6 +324,7 @@ void CongruenceClosure::undoTo(size_t TrailSize) {
       ProofReason.pop_back();
       UseLists.pop_back();
       DiseqIdx.pop_back();
+      EqWatches.pop_back();
       ValueNode.pop_back();
       break;
     }
@@ -315,6 +347,11 @@ void CongruenceClosure::undoTo(size_t TrailSize) {
       assert(DA.empty() && "absorbed root's diseq index must still be empty");
       DA.insert(DA.end(), DB.end() - E.G, DB.end());
       DB.erase(DB.end() - E.G, DB.end());
+      std::vector<EqWatch> &WB = EqWatches[E.B];
+      std::vector<EqWatch> &WA = EqWatches[E.A];
+      assert(WA.empty() && "absorbed root's watch list must still be empty");
+      WA.insert(WA.end(), WB.end() - E.H, WB.end());
+      WB.erase(WB.end() - E.H, WB.end());
       ValueNode[E.B] = E.E;
       ClassSize[E.B] -= ClassSize[E.A];
       UnionParent[E.A] = E.A;
@@ -334,6 +371,9 @@ void CongruenceClosure::undoTo(size_t TrailSize) {
     case TrailEntry::Compress:
       UnionParent[E.A] = E.B;
       break;
+    case TrailEntry::WatchPush:
+      EqWatches[E.A].pop_back();
+      break;
     }
   }
 }
@@ -347,11 +387,7 @@ bool CongruenceClosure::areEqual(TermRef T1, TermRef T2) {
   return findRoot(N1) == findRoot(N2);
 }
 
-bool CongruenceClosure::areDisequal(TermRef T1, TermRef T2) {
-  int N1 = nodeOf(T1), N2 = nodeOf(T2);
-  if (N1 < 0 || N2 < 0)
-    return false;
-  int Ra = findRoot(N1), Rb = findRoot(N2);
+bool CongruenceClosure::rootsDisequal(int Ra, int Rb) {
   if (Ra == Rb)
     return false;
   if (ValueNode[Ra] != -1 && ValueNode[Rb] != -1)
@@ -367,6 +403,114 @@ bool CongruenceClosure::areDisequal(TermRef T1, TermRef T2) {
       return true;
   }
   return false;
+}
+
+bool CongruenceClosure::areDisequal(TermRef T1, TermRef T2) {
+  int N1 = nodeOf(T1), N2 = nodeOf(T2);
+  if (N1 < 0 || N2 < 0)
+    return false;
+  return rootsDisequal(findRoot(N1), findRoot(N2));
+}
+
+void CongruenceClosure::watchEquality(int AtomId, TermRef X, TermRef Y) {
+  if (Failed)
+    return;
+  int Na = getId(X), Nb = getId(Y);
+  if (Failed)
+    return; // registration itself can conflict; the assert path reports it
+  int Ra = findRoot(Na), Rb = findRoot(Nb);
+  EqWatch W{AtomId, Na, Nb};
+  if (Ra == Rb) {
+    // Already equal: fire now, and keep one watch in case an undo splits
+    // the class and a later merge re-joins it.
+    PendingEntailed.emplace_back(AtomId, true);
+    EqWatches[Ra].push_back(W);
+    if (!Levels.empty())
+      Trail.push_back({TrailEntry::WatchPush, Ra});
+    return;
+  }
+  if (rootsDisequal(Ra, Rb))
+    PendingEntailed.emplace_back(AtomId, false);
+  EqWatches[Ra].push_back(W);
+  EqWatches[Rb].push_back(W);
+  if (!Levels.empty()) {
+    Trail.push_back({TrailEntry::WatchPush, Ra});
+    Trail.push_back({TrailEntry::WatchPush, Rb});
+  }
+}
+
+bool CongruenceClosure::explainDisequality(TermRef T1, TermRef T2,
+                                           std::set<int> &TagsOut) {
+  int N1 = nodeOf(T1), N2 = nodeOf(T2);
+  assert(N1 >= 0 && N2 >= 0 && "explaining unregistered terms");
+  int Ra = findRoot(N1), Rb = findRoot(N2);
+  assert(Ra != Rb && "explaining a disequality of one class");
+  std::set<std::pair<int, int>> Seen;
+  if (ValueNode[Ra] != -1 && ValueNode[Rb] != -1) {
+    // Distinct interpreted values: T1 equals one value, T2 the other.
+    explainPair(N1, ValueNode[Ra], TagsOut, Seen);
+    explainPair(N2, ValueNode[Rb], TagsOut, Seen);
+    return true;
+  }
+  const std::vector<int> &L =
+      DiseqIdx[Ra].size() <= DiseqIdx[Rb].size() ? DiseqIdx[Ra] : DiseqIdx[Rb];
+  for (int Idx : L) {
+    auto &[DA, DB, DTag] = Diseqs[Idx];
+    int Da = findRoot(DA), Db = findRoot(DB);
+    if (Da == Ra && Db == Rb) {
+      TagsOut.insert(DTag);
+      explainPair(N1, DA, TagsOut, Seen);
+      explainPair(N2, DB, TagsOut, Seen);
+      return true;
+    }
+    if (Da == Rb && Db == Ra) {
+      TagsOut.insert(DTag);
+      explainPair(N1, DB, TagsOut, Seen);
+      explainPair(N2, DA, TagsOut, Seen);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CongruenceClosure::diseqWitness(TermRef T1, TermRef T2,
+                                     DiseqWitness &Out) {
+  int N1 = nodeOf(T1), N2 = nodeOf(T2);
+  assert(N1 >= 0 && N2 >= 0 && "witnessing unregistered terms");
+  int Ra = findRoot(N1), Rb = findRoot(N2);
+  assert(Ra != Rb && "witnessing a disequality of one class");
+  if (ValueNode[Ra] != -1 && ValueNode[Rb] != -1) {
+    Out.Tag = -1;
+    Out.A1 = N1;
+    Out.B1 = ValueNode[Ra];
+    Out.A2 = N2;
+    Out.B2 = ValueNode[Rb];
+    return true;
+  }
+  const std::vector<int> &L =
+      DiseqIdx[Ra].size() <= DiseqIdx[Rb].size() ? DiseqIdx[Ra] : DiseqIdx[Rb];
+  for (int Idx : L) {
+    auto &[DA, DB, DTag] = Diseqs[Idx];
+    int Da = findRoot(DA), Db = findRoot(DB);
+    if (Da == Ra && Db == Rb) {
+      Out = {DTag, N1, DA, N2, DB};
+      return true;
+    }
+    if (Da == Rb && Db == Ra) {
+      Out = {DTag, N1, DB, N2, DA};
+      return true;
+    }
+  }
+  return false;
+}
+
+void CongruenceClosure::explainWitness(const DiseqWitness &W,
+                                       std::set<int> &TagsOut) {
+  std::set<std::pair<int, int>> Seen;
+  if (W.Tag >= 0)
+    TagsOut.insert(W.Tag);
+  explainPair(W.A1, W.B1, TagsOut, Seen);
+  explainPair(W.A2, W.B2, TagsOut, Seen);
 }
 
 void CongruenceClosure::explainEquality(TermRef T1, TermRef T2,

@@ -74,6 +74,51 @@ public:
   /// Explanation (set of tags) for an equality that currently holds.
   void explainEquality(TermRef T1, TermRef T2, std::set<int> &TagsOut);
 
+  /// Explanation for a disequality that currently holds (areDisequal):
+  /// the tag of a witnessing input disequality plus the equality paths
+  /// from T1/T2 to its endpoints, or the paths to the two distinct
+  /// interpreted values. Returns false if no witness was found (caller
+  /// should then skip the propagation).
+  bool explainDisequality(TermRef T1, TermRef T2, std::set<int> &TagsOut);
+
+  /// A pinned disequality witness: the separating input disequality's tag
+  /// (or -1 for a distinct-interpreted-values clash) plus the two proof
+  /// path endpoint pairs (A1 ~ B1 and A2 ~ B2) that tie the queried terms
+  /// to it. Because proof-forest paths between two connected nodes are
+  /// frozen while both stay connected (later merges only join previously
+  /// disconnected classes), a witness captured now can be explained
+  /// LATER — after further merges — and still yield exactly the tags
+  /// that justified the disequality at capture time. This is what makes
+  /// lazy propagation reasons sound.
+  struct DiseqWitness {
+    int Tag = -1;
+    int A1 = -1, B1 = -1;
+    int A2 = -1, B2 = -1;
+  };
+  /// Finds a witness for a currently-holding disequality without walking
+  /// the proof paths (the expensive part of explainDisequality). Returns
+  /// false if none is found.
+  bool diseqWitness(TermRef T1, TermRef T2, DiseqWitness &Out);
+  /// Expands a pinned witness into tags: the witness tag plus both
+  /// equality paths.
+  void explainWitness(const DiseqWitness &W, std::set<int> &TagsOut);
+
+  // ---------------------------------------------- Equality watching --
+  /// Registers both terms and watches their classes: whenever a merge or
+  /// disequality assertion makes X == Y entailed true or false, the pair
+  /// (AtomId, polarity) is appended to pendingEntailed(). Watches are
+  /// trailed (undone by pop) and fire immediately when the status is
+  /// already decided at registration time. Best-effort: a missed
+  /// propagation is harmless, the full-model check remains the backstop.
+  void watchEquality(int AtomId, TermRef X, TermRef Y);
+  /// Atoms whose watched equality became entailed, with the entailed
+  /// polarity. May contain duplicates and stale entries (generated under
+  /// state that was since popped); consumers must revalidate.
+  const std::vector<std::pair<int, bool>> &pendingEntailed() const {
+    return PendingEntailed;
+  }
+  void clearPendingEntailed() { PendingEntailed.clear(); }
+
   /// Representative term of T's class (for model construction).
   TermRef representative(TermRef T);
 
@@ -91,6 +136,9 @@ private:
   int findRoot(int Node);
   bool mergeRoots(int A, int B);
   bool processPending();
+  /// areDisequal on class roots (no term lookup): distinct interpreted
+  /// values, or a witnessing input disequality between the two classes.
+  bool rootsDisequal(int Ra, int Rb);
   void explainPath(int A, int B, std::set<int> &TagsOut,
                    std::set<std::pair<int, int>> &SeenPairs);
   void explainPair(int A, int B, std::set<int> &TagsOut,
@@ -119,12 +167,14 @@ private:
       Merge,       ///< class of root A absorbed into root B; C is the
                    ///< proof child, D its former proof root, E the former
                    ///< ValueNode[B], F the number of use-list entries moved,
-                   ///< G the number of diseq-index entries moved
+                   ///< G the number of diseq-index entries moved, H the
+                   ///< number of equality watches moved
       Diseq,       ///< a disequality was appended (indexed under roots A, B)
       Compress,    ///< UnionParent[A] changed from B (path compression)
+      WatchPush,   ///< an equality watch was pushed onto EqWatches[A]
     };
     Kind K;
-    int A = -1, B = -1, C = -1, D = -1, E = -1, F = 0, G = 0;
+    int A = -1, B = -1, C = -1, D = -1, E = -1, F = 0, G = 0, H = 0;
   };
   struct LevelMark {
     size_t TrailSize;
@@ -163,6 +213,17 @@ private:
   /// surviving root, so violation checks touch only the moved entries
   /// instead of scanning every disequality.
   std::vector<std::vector<int>> DiseqIdx;
+  /// A watched equality atom: fire (AtomId, polarity) when nodes A and B
+  /// land in one class (true) or in provably distinct classes (false).
+  struct EqWatch {
+    int AtomId;
+    int Na;
+    int Nb;
+  };
+  /// Per-root equality watches, moved small-into-large on merges exactly
+  /// like DiseqIdx (Merge trail field H records the moved count).
+  std::vector<std::vector<EqWatch>> EqWatches;
+  std::vector<std::pair<int, bool>> PendingEntailed;
   std::vector<std::tuple<int, int, Reason>> Pending;
   Reason StagedReason; // reason of the merge currently being applied
 

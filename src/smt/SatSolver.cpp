@@ -20,6 +20,7 @@ Var SatSolver::newVar() {
   ReasonIdx.push_back(-1);
   RootAssertLevel.push_back(0);
   VarOcc.push_back(0);
+  IsTheoryVar.push_back(0);
   Activity.push_back(0.0);
   SavedPhase.push_back(false);
   SeenBuffer.push_back(0);
@@ -105,20 +106,25 @@ void SatSolver::bumpOcc(const std::vector<Lit> &Lits, int Delta) {
 }
 
 int SatSolver::allocClause(std::vector<Lit> Lits, bool Learned,
-                           unsigned AssertLevel) {
-  bumpOcc(Lits, +1);
+                           unsigned AssertLevel, bool ReasonOnly) {
+  // ReasonOnly clauses are invisible to the clause economy: no watches,
+  // no VarOcc (they must not revive stale-atom suppression), no learned
+  // count (they are freed on unassignment, not by reduceDB).
+  if (!ReasonOnly)
+    bumpOcc(Lits, +1);
   int Idx;
   if (!FreeClauseSlots.empty()) {
     Idx = FreeClauseSlots.back();
     FreeClauseSlots.pop_back();
-    Clauses[Idx] = {std::move(Lits), Learned, false, false, AssertLevel, 0.0};
+    Clauses[Idx] = {std::move(Lits), Learned,     false, false,
+                    ReasonOnly,      AssertLevel, 0.0};
   } else {
     Idx = static_cast<int>(Clauses.size());
-    Clauses.push_back(
-        {std::move(Lits), Learned, false, false, AssertLevel, 0.0});
+    Clauses.push_back({std::move(Lits), Learned, false, false, ReasonOnly,
+                       AssertLevel, 0.0});
   }
   ++NumLiveClauses;
-  if (Learned) {
+  if (Learned && !ReasonOnly) {
     ++NumLearnedLive;
     // Fresh lemmas start hot so a reduceDB sweep right after learning
     // cannot delete them before they had a chance to prune anything.
@@ -130,14 +136,16 @@ int SatSolver::allocClause(std::vector<Lit> Lits, bool Learned,
 void SatSolver::removeClause(int Idx) {
   Clause &C = Clauses[Idx];
   assert(!C.Dead && "removing a dead clause");
-  if (C.Lits.size() >= 2)
-    detachClause(Idx);
-  bumpOcc(C.Lits, -1);
+  if (!C.ReasonOnly) {
+    if (C.Lits.size() >= 2)
+      detachClause(Idx);
+    bumpOcc(C.Lits, -1);
+  }
   C.Dead = true;
   C.Lits.clear();
   C.Lits.shrink_to_fit();
   --NumLiveClauses;
-  if (C.Learned)
+  if (C.Learned && !C.ReasonOnly)
     --NumLearnedLive;
   FreeClauseSlots.push_back(Idx);
 }
@@ -171,7 +179,7 @@ void SatSolver::reduceDB() {
   std::vector<int> Deletable;
   for (size_t Idx = 0; Idx < Clauses.size(); ++Idx) {
     const Clause &C = Clauses[Idx];
-    if (C.Dead || !C.Learned || C.Lits.size() <= 2)
+    if (C.Dead || !C.Learned || C.ReasonOnly || C.Lits.size() <= 2)
       continue;
     if (clauseLocked(static_cast<int>(Idx)))
       continue;
@@ -261,6 +269,10 @@ void SatSolver::enqueue(Lit L, int Reason) {
     RootAssertLevel[V] = AL;
   }
   Trail.push_back(L);
+  if (TheoryPropEnabled && IsTheoryVar[V]) {
+    TheoryTrail.push_back(L);
+    TheoryTrailSrc.push_back(static_cast<int>(Trail.size()) - 1);
+  }
 }
 
 int SatSolver::propagate() {
@@ -344,6 +356,8 @@ void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &LearnedOut,
   AssertLevelOut = 0;
 
   do {
+    if (Reason == ReasonTheory)
+      Reason = materializeReason(P.var());
     assert(Reason != -1 && "conflict analysis ran past a decision");
     Clause &C = Clauses[Reason];
     if (C.Learned)
@@ -390,6 +404,20 @@ void SatSolver::analyze(int ConflictIdx, std::vector<Lit> &LearnedOut,
     std::swap(LearnedOut[1], LearnedOut[MaxIdx]);
 }
 
+int SatSolver::materializeReason(Var V) {
+  assert(ActiveTheory && "theory-propagated literal without a theory");
+  assert(Assign[V] != LBool::Undef && "materializing for an unassigned var");
+  Lit P(V, Assign[V] == LBool::False);
+  std::vector<Lit> Reason;
+  ActiveTheory->explainPropagation(P, Reason);
+  assert(!Reason.empty() && Reason[0] == P &&
+         "theory reason must lead with the propagated literal");
+  int Idx = allocClause(std::move(Reason), /*Learned=*/true,
+                        /*AssertLevel=*/0, /*ReasonOnly=*/true);
+  ReasonIdx[V] = Idx;
+  return Idx;
+}
+
 void SatSolver::backtrack(int TargetLevel) {
   if (currentLevel() <= TargetLevel)
     return;
@@ -398,12 +426,28 @@ void SatSolver::backtrack(int TargetLevel) {
     Var V = Trail[I].var();
     SavedPhase[V] = Assign[V] == LBool::True;
     Assign[V] = LBool::Undef;
+    // A materialized theory reason lives exactly as long as its literal's
+    // assignment; free it here so reasons cannot pile up across restarts.
+    int RIdx = ReasonIdx[V];
+    if (RIdx >= 0 && Clauses[RIdx].ReasonOnly)
+      removeClause(RIdx);
     ReasonIdx[V] = -1;
     heapInsert(V);
   }
   Trail.resize(Bound);
   TrailLim.resize(TargetLevel);
   PropagateHead = Trail.size();
+  // Pop the retracted theory-trail suffix and flag the shrink.
+  size_t N = TheoryTrail.size();
+  while (N > 0 && TheoryTrailSrc[N - 1] >= static_cast<int>(Bound))
+    --N;
+  if (N != TheoryTrail.size()) {
+    TheoryTrail.resize(N);
+    TheoryTrailSrc.resize(N);
+    ++TheoryTrailResetsCount;
+  }
+  if (TheoryPropSeen > N)
+    TheoryPropSeen = N;
 }
 
 Lit SatSolver::pickBranchLit() {
@@ -443,6 +487,14 @@ bool SatSolver::learnConflict(std::vector<Lit> Lits) {
   if (Final.empty()) {
     markUnsat(AssertLv);
     return false;
+  }
+  // Theory-aware branching: atoms the theory had to refute are the ones
+  // worth deciding early. Gated on the propagation flag so the
+  // --no-theory-prop baseline keeps the historical branching order.
+  if (TheoryPropEnabled) {
+    for (Lit L : Final)
+      bumpVar(L.var());
+    decayActivities();
   }
   // Find the two highest levels.
   std::sort(Final.begin(), Final.end(), [&](Lit A, Lit B) {
@@ -491,7 +543,7 @@ void SatSolver::popAssertLevel() {
       continue;
     if (C.AssertLevel > NewLevel) {
       removeClause(static_cast<int>(Idx));
-    } else if (C.Learned && !C.CountedRetained) {
+    } else if (C.Learned && !C.ReasonOnly && !C.CountedRetained) {
       ++LemmasRetained;
       C.CountedRetained = true;
     }
@@ -505,6 +557,12 @@ void SatSolver::popAssertLevel() {
   NewTrail.reserve(Trail.size());
   for (Lit L : Trail) {
     Var V = L.var();
+    // Free the materialized theory reason either way: survivors never
+    // consult their reason again at level 0, and retracted entries lose
+    // their assignment.
+    int RIdx = ReasonIdx[V];
+    if (RIdx >= 0 && !Clauses[RIdx].Dead && Clauses[RIdx].ReasonOnly)
+      removeClause(RIdx);
     if (RootAssertLevel[V] <= NewLevel) {
       // Reason clauses of surviving entries may have been freed and their
       // slots reused; the reason is never consulted again at level 0, but
@@ -520,6 +578,19 @@ void SatSolver::popAssertLevel() {
   }
   Trail = std::move(NewTrail);
   PropagateHead = 0;
+
+  // Rebuild the theory trail from the surviving root assignments.
+  TheoryTrail.clear();
+  TheoryTrailSrc.clear();
+  if (TheoryPropEnabled) {
+    for (size_t I = 0; I < Trail.size(); ++I)
+      if (IsTheoryVar[Trail[I].var()]) {
+        TheoryTrail.push_back(Trail[I]);
+        TheoryTrailSrc.push_back(static_cast<int>(I));
+      }
+  }
+  ++TheoryTrailResetsCount;
+  TheoryPropSeen = 0;
 
   if (UnsatAssertLevel >= 0 &&
       static_cast<unsigned>(UnsatAssertLevel) > NewLevel)
@@ -545,6 +616,7 @@ uint64_t SatSolver::luby(uint64_t I) {
 SatSolver::Result SatSolver::solve(TheoryCallback *Theory) {
   if (unsatAtCurrentLevel())
     return Result::Unsat;
+  ActiveTheory = Theory;
   backtrack(0);
   PropagateHead = 0; // replay root propagation (clauses may have changed)
   uint64_t RestartCount = 0;
@@ -579,6 +651,60 @@ SatSolver::Result SatSolver::solve(TheoryCallback *Theory) {
       if (ClauseDeletionEnabled && NumLearnedLive >= MaxLearned)
         reduceDB();
       continue;
+    }
+
+    // DPLL(T) theory propagation at the BCP fixpoint: ask the theory for
+    // literals entailed by the partial trail (or an outright conflict)
+    // before spending a decision. Skipped while no new theory atom was
+    // assigned since the last call. This is an optimization only — the
+    // full-model check below remains the soundness backstop.
+    if (Theory && TheoryPropEnabled && TheoryPropSeen != TheoryTrail.size()) {
+      TheoryPropSeen = TheoryTrail.size();
+      TheoryImpliedBuf.clear();
+      TheoryConflictBuf.clear();
+      if (!Theory->propagatePartial(TheoryImpliedBuf, TheoryConflictBuf)) {
+        ++TheoryPropConflicts;
+        if (!learnConflict(std::move(TheoryConflictBuf)))
+          return Result::Unsat;
+        if (ClauseDeletionEnabled && NumLearnedLive >= MaxLearned)
+          reduceDB();
+        continue;
+      }
+      bool Changed = false;
+      bool PropConflict = false;
+      for (Lit L : TheoryImpliedBuf) {
+        LBool Val = value(L);
+        if (Val == LBool::True)
+          continue;
+        if (Val == LBool::False) {
+          // Two theories entailed opposite polarities (e.g. CC says equal,
+          // arithmetic says apart): the reason clause for L is all-false —
+          // a genuine theory conflict on the current trail.
+          std::vector<Lit> Reason;
+          Theory->explainPropagation(L, Reason);
+          ++TheoryPropConflicts;
+          if (!learnConflict(std::move(Reason)))
+            return Result::Unsat;
+          PropConflict = true;
+          break;
+        }
+        ++TheoryPropagations;
+        if (currentLevel() == 0) {
+          // Root propagation: materialize the reason eagerly so enqueue
+          // derives the assignment's RootAssertLevel from the cited atoms
+          // (a lazy reason could outlive a pop otherwise).
+          std::vector<Lit> Reason;
+          Theory->explainPropagation(L, Reason);
+          int Idx = allocClause(std::move(Reason), /*Learned=*/true,
+                                /*AssertLevel=*/0, /*ReasonOnly=*/true);
+          enqueue(L, Idx);
+        } else {
+          enqueue(L, ReasonTheory);
+        }
+        Changed = true;
+      }
+      if (PropConflict || Changed)
+        continue; // run BCP over the new assignments before deciding
     }
 
     if (ConflictsThisRestart >= ConflictBudget && currentLevel() > 0) {

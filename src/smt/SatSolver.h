@@ -70,6 +70,29 @@ public:
   /// \p ConflictOut (a clause that is currently all-false) to reject it.
   virtual bool onFullModel(std::vector<Lit> &ConflictOut) = 0;
 
+  /// DPLL(T) theory propagation, called at BCP fixpoints on the partial
+  /// trail. Returns false and fills \p ConflictOut (all-false clause) when
+  /// the partial assignment is already theory-inconsistent; otherwise
+  /// returns true and appends to \p ImpliedOut unassigned literals
+  /// entailed by the current trail. Reasons are requested lazily via
+  /// explainPropagation. Propagation is an optimization only: a theory
+  /// that never propagates is still complete through onFullModel.
+  virtual bool propagatePartial(std::vector<Lit> &ImpliedOut,
+                                std::vector<Lit> &ConflictOut) {
+    (void)ImpliedOut;
+    (void)ConflictOut;
+    return true;
+  }
+
+  /// Produces the reason clause for a literal previously returned by
+  /// propagatePartial: ReasonOut[0] == P, every other literal is the
+  /// negation of a trail literal that was assigned before P. The clause
+  /// must be theory-valid (assertion level 0).
+  virtual void explainPropagation(Lit P, std::vector<Lit> &ReasonOut) {
+    (void)P;
+    (void)ReasonOut;
+  }
+
   /// Lazy theory instantiation: after onFullModel accepts a model, the
   /// solver asks whether the theory queued lemma clauses that must be
   /// asserted before the Sat verdict can stand. When true, the solver
@@ -142,6 +165,26 @@ public:
   /// the longest unchanged prefix between consecutive full models.
   const std::vector<Lit> &trail() const { return Trail; }
 
+  // ---------------------------------------------- Theory propagation --
+  /// Enables the propagatePartial hook and theory-trail maintenance.
+  /// Off by default; --no-theory-prop is the differential baseline.
+  void setTheoryPropagation(bool Enabled) { TheoryPropEnabled = Enabled; }
+  bool theoryPropagation() const { return TheoryPropEnabled; }
+  /// Declares \p V a theory atom: its assignments are mirrored onto the
+  /// theory trail (the subsequence of the trail the theory cares about).
+  void markTheoryVar(Var V) { IsTheoryVar[V] = 1; }
+  /// True while the variable occurs in a live clause. The theory engine
+  /// uses this to avoid propagating atoms whose clauses all died with
+  /// popped assertion levels (stale-atom suppression).
+  bool varActive(Var V) const { return VarOcc[V] > 0; }
+  /// Theory-atom subsequence of the trail, in assignment order. Valid
+  /// only with theory propagation enabled.
+  const std::vector<Lit> &theoryTrail() const { return TheoryTrail; }
+  /// Bumped whenever the theory trail shrinks (backtrack or pop): the
+  /// engine's cue that a previously synced prefix may be gone. While it
+  /// is unchanged the theory trail has only grown.
+  uint64_t theoryTrailResets() const { return TheoryTrailResetsCount; }
+
   // ------------------------------------------------- Clause deletion --
   /// Enables/disables the activity-based learned-clause sweep (on by
   /// default). Differential baselines run with it off (--no-reduce-db).
@@ -163,6 +206,8 @@ public:
   uint64_t numDecisions() const { return Decisions; }
   uint64_t numPropagations() const { return Propagations; }
   uint64_t numTheoryConflicts() const { return TheoryConflicts; }
+  uint64_t numTheoryPropagations() const { return TheoryPropagations; }
+  uint64_t numTheoryPropConflicts() const { return TheoryPropConflicts; }
   uint64_t numRestarts() const { return Restarts; }
   uint64_t numLemmasDeleted() const { return LemmasDeleted; }
   uint64_t numReduceDbSweeps() const { return ReduceDbSweeps; }
@@ -184,6 +229,10 @@ private:
     /// Already counted toward LemmasRetained (each lemma counts once, at
     /// the first pop it survives).
     bool CountedRetained = false;
+    /// Lazily materialized theory-propagation reason: never attached to
+    /// the watch lists, excluded from VarOcc and the learned-clause
+    /// economy, and freed as soon as its literal is unassigned.
+    bool ReasonOnly = false;
     /// Maximum assertion level of the clauses this one was derived from
     /// (== the level it was added at, for input clauses).
     unsigned AssertLevel = 0;
@@ -197,9 +246,17 @@ private:
     Lit Blocker;
   };
 
+  /// Reason sentinel for a theory-propagated literal whose reason clause
+  /// has not been materialized yet (analyze() asks the theory on demand).
+  static constexpr int ReasonTheory = -2;
+
   void enqueue(Lit L, int Reason);
   /// Returns the index of a conflicting clause, or -1.
   int propagate();
+  /// Asks the active theory for the reason clause of the propagated
+  /// variable \p V and installs it as a ReasonOnly clause; returns its
+  /// index (also written back to ReasonIdx[V]).
+  int materializeReason(Var V);
   void analyze(int ConflictIdx, std::vector<Lit> &LearnedOut,
                int &BacktrackLevel, unsigned &AssertLevelOut);
   void backtrack(int Level);
@@ -212,7 +269,8 @@ private:
   void heapInsert(Var V);
   void attachClause(int Idx);
   void detachClause(int Idx);
-  int allocClause(std::vector<Lit> Lits, bool Learned, unsigned AssertLevel);
+  int allocClause(std::vector<Lit> Lits, bool Learned, unsigned AssertLevel,
+                  bool ReasonOnly = false);
   int currentLevel() const { return static_cast<int>(TrailLim.size()); }
   /// Learns a clause whose literals are all currently false (theory
   /// conflict), backjumping appropriately. Returns false on a refutation
@@ -279,6 +337,24 @@ private:
   uint64_t Restarts = 0;
   uint64_t LemmasDeleted = 0;
   uint64_t ReduceDbSweeps = 0;
+
+  // Theory propagation state.
+  bool TheoryPropEnabled = false;
+  std::vector<char> IsTheoryVar;
+  /// Theory-atom subsequence of the trail, plus each entry's index into
+  /// Trail (so backtrack can pop exactly the retracted suffix).
+  std::vector<Lit> TheoryTrail;
+  std::vector<int> TheoryTrailSrc;
+  uint64_t TheoryTrailResetsCount = 0;
+  /// Theory-trail size at the last propagatePartial call: the hook is
+  /// skipped while no new theory atom was assigned.
+  size_t TheoryPropSeen = 0;
+  /// The callback of the running solve(), for lazy reason materialization.
+  TheoryCallback *ActiveTheory = nullptr;
+  uint64_t TheoryPropagations = 0;
+  uint64_t TheoryPropConflicts = 0;
+  std::vector<Lit> TheoryImpliedBuf;
+  std::vector<Lit> TheoryConflictBuf;
 
   std::vector<char> SeenBuffer; // scratch for analyze()
 };

@@ -40,6 +40,12 @@ struct SmtCounters {
   trace::Counter &LazyInstantiations =
       trace::counter("smt.lazy_instantiations");
   trace::Counter &Restarts = trace::counter("smt.restarts");
+  trace::Counter &TheoryPropagations =
+      trace::counter("smt.theory_propagations");
+  trace::Counter &PropagationConflicts =
+      trace::counter("smt.propagation_conflicts");
+  trace::Counter &CcRegistrationsReused =
+      trace::counter("smt.cc_registrations_reused");
 };
 
 inline SmtCounters &smtCounters() {

@@ -29,6 +29,7 @@ SolverContext::SolverContext(TermManager &TM, SolverOptions O)
   LevelAsserts.emplace_back();
   Core.EncodingLog = &EncodingLog;
   Core.Sat.setClauseDeletion(Core.Opts.ClauseDeletion);
+  Core.Sat.setTheoryPropagation(Core.Opts.TheoryPropagation);
   if (Core.Opts.ReduceDbLimit)
     Core.Sat.setReduceDbLimit(Core.Opts.ReduceDbLimit);
   if (Reducer.lazy())
@@ -44,6 +45,7 @@ void SolverContext::push() {
   }
   Core.Sat.pushAssertLevel();
   Reducer.push();
+  Engine.pushAssertionFrame();
   LevelAsserts.emplace_back();
   EncodingMarks.push_back(EncodingLog.size());
 }
@@ -54,6 +56,7 @@ void SolverContext::pop() {
   NeedReset = false;
   Core.Sat.popAssertLevel();
   Reducer.pop();
+  Engine.popAssertionFrame();
   LevelAsserts.pop_back();
   // Invalidate Tseitin encodings whose defining clauses just died.
   size_t Mark = EncodingMarks.back();
@@ -80,6 +83,20 @@ void SolverContext::assertTerm(TermRef F) {
     sat::Lit LL = Core.litFor(L);
     Core.Sat.addClause({LL});
   }
+  // Pre-register the theory structure of everything just encoded (a no-op
+  // under --no-theory-prop): term graph and watches land at the current
+  // assertion frame, so batch members re-register only their own delta on
+  // top of the pinned shared prefix.
+  Engine.preRegister(Lifted);
+  for (TermRef L : Lemmas)
+    Engine.preRegister(L);
+  flushRegistrationCounter();
+}
+
+void SolverContext::flushRegistrationCounter() {
+  smtCounters().CcRegistrationsReused.add(Core.St.CcRegistrationsReused -
+                                          CcReusedFlushed);
+  CcReusedFlushed = Core.St.CcRegistrationsReused;
 }
 
 SolverContext::Result SolverContext::checkSat() {
@@ -102,6 +119,8 @@ SolverContext::Result SolverContext::checkSat() {
   uint64_t SweepsBefore = Core.Sat.numReduceDbSweeps();
   uint64_t RestartsBefore = Core.Sat.numRestarts();
   uint64_t LazyBefore = Core.St.LazyInstantiations;
+  uint64_t TheoryPropsBefore = Core.Sat.numTheoryPropagations();
+  uint64_t PropConflictsBefore = Core.Sat.numTheoryPropConflicts();
   unsigned ArrayLemmasBefore = Reducer.stats().NumLemmas;
   Core.PendingInstantiations.clear();
   Core.BudgetExhausted = false;
@@ -149,6 +168,8 @@ SolverContext::Result SolverContext::checkSat() {
   }
 
   Core.St.LemmasRetained = Core.Sat.numLemmasRetained();
+  Core.St.TheoryPropagations = Core.Sat.numTheoryPropagations();
+  Core.St.PropagationConflicts = Core.Sat.numTheoryPropConflicts();
   Core.St.ArrayStats = Reducer.stats();
   LastCheck.R = R;
   LastCheck.TheoryChecks = Core.St.TheoryChecks - ChecksBefore;
@@ -158,6 +179,10 @@ SolverContext::Result SolverContext::checkSat() {
   LastCheck.NumAtoms = static_cast<unsigned>(Core.Atoms.size());
   LastCheck.NumArrayLemmas = Reducer.stats().NumLemmas;
   LastCheck.LazyInstantiations = Core.St.LazyInstantiations - LazyBefore;
+  LastCheck.TheoryPropagations =
+      Core.Sat.numTheoryPropagations() - TheoryPropsBefore;
+  LastCheck.PropagationConflicts =
+      Core.Sat.numTheoryPropConflicts() - PropConflictsBefore;
 
   SmtCounters &TC = smtCounters();
   TC.CheckSats.add();
@@ -176,6 +201,10 @@ SolverContext::Result SolverContext::checkSat() {
   TC.ReduceDbSweeps.add(Core.Sat.numReduceDbSweeps() - SweepsBefore);
   TC.Restarts.add(Core.Sat.numRestarts() - RestartsBefore);
   TC.LazyInstantiations.add(LastCheck.LazyInstantiations);
+  TC.TheoryPropagations.add(LastCheck.TheoryPropagations);
+  TC.PropagationConflicts.add(LastCheck.PropagationConflicts);
+  // In-search lemma flushes pre-register too; pick up their reuse delta.
+  flushRegistrationCounter();
   return R;
 }
 

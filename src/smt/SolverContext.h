@@ -97,6 +97,11 @@ public:
     /// Deferred array lemmas asserted from inside this check's CDCL loop
     /// (lazy instantiation mode; 0 in the up-front modes).
     uint64_t LazyInstantiations = 0;
+    /// Theory-propagation activity inside this check (0 with
+    /// --no-theory-prop): literals asserted from partial-trail entailment
+    /// and conflicts caught before a full propositional model.
+    uint64_t TheoryPropagations = 0;
+    uint64_t PropagationConflicts = 0;
     unsigned NumAtoms = 0;       ///< atoms live in the CNF for this check
     unsigned NumArrayLemmas = 0; ///< cumulative reducer lemmas at check time
   };
@@ -126,6 +131,11 @@ private:
   std::vector<size_t> EncodingMarks;
   CheckStats LastCheck;
   bool NeedReset = false; ///< a solve left its assignment in place
+  /// CcRegistrationsReused already folded into the metrics registry
+  /// (registration reuse accrues in assertTerm AND during in-search lemma
+  /// flushes, so both checkSat and assertTerm flush the delta).
+  uint64_t CcReusedFlushed = 0;
+  void flushRegistrationCounter();
 };
 
 } // namespace smt

@@ -52,6 +52,13 @@ struct SolverOptions {
   /// SAT core. On by default; --no-reduce-db is the differential
   /// baseline.
   bool ClauseDeletion = true;
+  /// DPLL(T) theory propagation in incremental contexts: assert atoms
+  /// entailed by the partial trail (CC equality watches, arithmetic bound
+  /// watches) instead of waiting for a full propositional model, with
+  /// incremental registration pinned per assertion frame. On by default;
+  /// --no-theory-prop is the differential baseline and restores the
+  /// purely lazy full-model behavior bit for bit.
+  bool TheoryPropagation = true;
   /// Initial learned-set size that triggers a reduceDB sweep; 0 keeps
   /// the SAT core's default. Tests force frequent sweeps on small
   /// instances with a tiny limit (the limit still grows per sweep, so
@@ -80,6 +87,13 @@ struct SolverStats {
   /// Deferred array lemmas asserted from inside the CDCL loop (lazy
   /// instantiation mode).
   uint64_t LazyInstantiations = 0;
+  /// Theory-propagation counters (incremental contexts): literals asserted
+  /// from partial-trail entailment, conflicts detected during partial
+  /// sync/propagation, and term registrations skipped because the term
+  /// graph was already pinned at a lower assertion frame.
+  uint64_t TheoryPropagations = 0;
+  uint64_t PropagationConflicts = 0;
+  uint64_t CcRegistrationsReused = 0;
   ArrayReductionStats ArrayStats;
 };
 

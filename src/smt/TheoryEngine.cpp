@@ -99,6 +99,7 @@ sat::Lit SolverCore::litFor(TermRef T) {
     // Theory atom.
     sat::Var V = Sat.newVar();
     Result = sat::Lit(V, false);
+    Sat.markTheoryVar(V);
     AtomIndex.emplace(T, static_cast<int>(Atoms.size()));
     Atoms.push_back(T);
     AtomVar.push_back(V);
@@ -120,7 +121,8 @@ constexpr int SeparationTag = -7;
 } // namespace ids::smt
 
 TheoryEngine::TheoryEngine(SolverCore &C, bool Persistent)
-    : C(C), TM(C.TM), Persistent(Persistent) {
+    : C(C), TM(C.TM), Persistent(Persistent),
+      PropMode(Persistent && C.Opts.TheoryPropagation) {
   if (Persistent) {
     CC = std::make_unique<CongruenceClosure>(TM);
     Arith = std::make_unique<ArithSolver>();
@@ -251,6 +253,19 @@ bool TheoryEngine::assertOneAtom(int AtomIdx,
   }
   case TermKind::Le:
   case TermKind::Lt: {
+    // Re-sync fast path: preRegister cached the lowered (slack var,
+    // direction, bound) for both polarities, so re-asserting after a
+    // backjump skips polynomial renormalization entirely.
+    if (PropMode) {
+      auto WIt = ArithWatchOf.find(AtomIdx);
+      if (WIt != ArithWatchOf.end()) {
+        const PolarityWatch &PW = V ? WIt->second.Pos : WIt->second.Neg;
+        if (PW.W >= 0) {
+          Arith->assertCachedBound(PW.W, PW.IsUpper, PW.B, Tag);
+          break;
+        }
+      }
+    }
     TermRef X = A->getArg(0), Y = A->getArg(1);
     bool IsLe = A->getKind() == TermKind::Le;
     LinTerm P;
@@ -744,6 +759,10 @@ bool TheoryEngine::flushPendingLemmas() {
     sat::Lit Root = C.litFor(L);
     if (!C.Sat.addClause({Root}))
       return false;
+    // Lazy lemmas carry fresh select terms: pin their registrations at the
+    // current frame so later propagation sees them without scratch churn.
+    if (PropMode)
+      preRegister(L);
   }
   return true;
 }
@@ -770,12 +789,44 @@ size_t TheoryEngine::syncToTrail() {
   for (size_t A = MappedAtoms; A < C.AtomVar.size(); ++A)
     VarToAtom[C.AtomVar[A]] = static_cast<int>(A);
   MappedAtoms = C.AtomVar.size();
-  // Project the SAT trail onto theory atoms (assignment order).
-  CurAtomTrail.clear();
-  for (sat::Lit L : C.Sat.trail()) {
-    int A = VarToAtom[L.var()];
-    if (A >= 0)
+  // Project the SAT trail onto theory atoms (assignment order). With
+  // propagation on, the SAT core maintains that projection already (the
+  // theory trail), and its reset counter tells us when the synced prefix
+  // is known intact — the common case between consecutive propagation
+  // calls is pure growth, which skips the elementwise compare.
+  if (PropMode) {
+    const std::vector<sat::Lit> &TT = C.Sat.theoryTrail();
+    uint64_t Resets = C.Sat.theoryTrailResets();
+    if (PropSyncValid && Resets == TrailResetsSeen &&
+        SyncedAtoms.size() <= TT.size()) {
+      // Pure growth since the last sync: the synced prefix is known
+      // intact (no reset), and CurAtomTrail[0..synced) still mirrors
+      // SyncedAtoms from that sync — project only the new suffix. This
+      // is the per-BCP-fixpoint steady state; projecting the whole
+      // trail here was quadratic over a solve.
+      CurAtomTrail.resize(SyncedAtoms.size());
+      for (size_t I = SyncedAtoms.size(); I < TT.size(); ++I) {
+        int A = VarToAtom[TT[I].var()];
+        assert(A >= 0 && "theory trail holds a non-atom var");
+        CurAtomTrail.push_back({A, !TT[I].negated()});
+      }
+      return SyncedAtoms.size();
+    }
+    CurAtomTrail.clear();
+    for (sat::Lit L : TT) {
+      int A = VarToAtom[L.var()];
+      assert(A >= 0 && "theory trail holds a non-atom var");
       CurAtomTrail.push_back({A, !L.negated()});
+    }
+    TrailResetsSeen = Resets;
+    PropSyncValid = true;
+  } else {
+    CurAtomTrail.clear();
+    for (sat::Lit L : C.Sat.trail()) {
+      int A = VarToAtom[L.var()];
+      if (A >= 0)
+        CurAtomTrail.push_back({A, !L.negated()});
+    }
   }
   size_t K = 0;
   while (K < SyncedAtoms.size() && K < CurAtomTrail.size() &&
@@ -786,6 +837,35 @@ size_t TheoryEngine::syncToTrail() {
     SyncedAtoms.pop_back();
   }
   return K;
+}
+
+bool TheoryEngine::syncAssert(std::vector<sat::Lit> &ConflictOut,
+                              bool CountReuse) {
+  size_t K = syncToTrail();
+  if (CountReuse)
+    C.St.TheoryAssertsReused += K;
+  for (size_t I = K; I < CurAtomTrail.size(); ++I) {
+    CC->push();
+    Arith->push();
+    LevelOpaqueSize.push_back(OpaqueNumeric.size());
+    SyncedAtoms.push_back(CurAtomTrail[I]);
+    if (!assertOneAtom(CurAtomTrail[I].first, ConflictOut))
+      return false;
+  }
+  return true;
+}
+
+void TheoryEngine::resetSyncedLevels() {
+  if (!Persistent)
+    return;
+  if (ScratchPushed) {
+    popTheoryLevel();
+    ScratchPushed = false;
+  }
+  while (!SyncedAtoms.empty()) {
+    popTheoryLevel();
+    SyncedAtoms.pop_back();
+  }
 }
 
 bool TheoryEngine::onFullModel(std::vector<sat::Lit> &ConflictOut) {
@@ -828,16 +908,8 @@ bool TheoryEngine::onFullModel(std::vector<sat::Lit> &ConflictOut) {
   } else {
     // Persistent mode: pop to the longest common trail prefix and assert
     // only the diverging suffix, one undo level per atom.
-    size_t K = syncToTrail();
-    C.St.TheoryAssertsReused += K;
-    for (size_t I = K; I < CurAtomTrail.size(); ++I) {
-      CC->push();
-      Arith->push();
-      LevelOpaqueSize.push_back(OpaqueNumeric.size());
-      SyncedAtoms.push_back(CurAtomTrail[I]);
-      if (!assertOneAtom(CurAtomTrail[I].first, ConflictOut))
-        return false;
-    }
+    if (!syncAssert(ConflictOut, /*CountReuse=*/true))
+      return false;
     // Everything below is assignment-specific (exchange equalities,
     // probes, repair separations, branch cuts left by Sat checks): scratch
     // level, popped at the start of the next sync.
@@ -967,4 +1039,373 @@ bool TheoryEngine::separateCollisions() {
     }
   }
   return Repaired;
+}
+
+//===----------------------------------------------------------------------===//
+// Theory propagation + incremental registration (PropMode)
+//===----------------------------------------------------------------------===//
+
+bool TheoryEngine::ccWatchValid(int AtomIdx) const {
+  auto It = CcWatchEpoch.find(AtomIdx);
+  if (It == CcWatchEpoch.end())
+    return false;
+  if (It->second == 0)
+    return true; // registered with no frame open: pinned permanently
+  return std::find(FrameEpochs.begin(), FrameEpochs.end(), It->second) !=
+         FrameEpochs.end();
+}
+
+void TheoryEngine::pushAssertionFrame() {
+  if (!PropMode)
+    return;
+  resetSyncedLevels();
+  CC->push();
+  Arith->push();
+  LevelOpaqueSize.push_back(OpaqueNumeric.size());
+  FrameEpochs.push_back(NextEpoch++);
+}
+
+void TheoryEngine::popAssertionFrame() {
+  if (!PropMode)
+    return;
+  resetSyncedLevels();
+  popTheoryLevel();
+  FrameEpochs.pop_back();
+}
+
+void TheoryEngine::preRegister(TermRef F) {
+  if (!PropMode)
+    return;
+  // Registration must happen from the frame base: anything trailed under a
+  // synced atom level would silently die with the next sync's pops.
+  resetSyncedLevels();
+  int Epoch = FrameEpochs.empty() ? 0 : FrameEpochs.back();
+
+  // Mirrors assertOneAtom's polarity lowering and ArithSolver::assertAtom's
+  // bound normalization exactly, so the watch tests the same (var, bound)
+  // the eventual assert would install.
+  auto makeBoundWatch = [&](TermRef A, bool V) -> PolarityWatch {
+    PolarityWatch PW;
+    TermRef X = A->getArg(0), Y = A->getArg(1);
+    bool IsLe = A->getKind() == TermKind::Le;
+    auto Sub = [&](TermRef Lhs, TermRef Rhs) {
+      LinTerm L = polyOf(Lhs);
+      LinTerm R = polyOf(Rhs);
+      L.Const -= R.Const;
+      for (const auto &[Var, Coeff] : R.Coeffs)
+        L.add(Var, -Coeff);
+      return L;
+    };
+    LinTerm P;
+    ArithSolver::Op O;
+    if (V) {
+      P = Sub(X, Y);
+      O = IsLe ? ArithSolver::Op::Le : ArithSolver::Op::Lt;
+    } else {
+      P = Sub(Y, X);
+      O = IsLe ? ArithSolver::Op::Lt : ArithSolver::Op::Le;
+    }
+    if (O == ArithSolver::Op::Lt && X->getSort()->isInt()) {
+      P.Const += Rational(1);
+      O = ArithSolver::Op::Le;
+    }
+    if (P.Coeffs.empty())
+      return PW; // constant atom: nothing to watch
+    Rational Scale;
+    Rational BoundVal;
+    int W;
+    if (P.Coeffs.size() == 1) {
+      W = P.Coeffs.begin()->first;
+      Rational Coef = P.Coeffs.begin()->second;
+      BoundVal = -P.Const / Coef;
+      Scale = Coef;
+    } else {
+      W = Arith->ensureSlack(P, Scale);
+      BoundVal = -P.Const * Scale;
+    }
+    bool Flip = Scale.isNegative();
+    PW.W = W;
+    PW.IsUpper = !Flip;
+    PW.B = O == ArithSolver::Op::Le
+               ? DeltaRat(BoundVal)
+               : (Flip ? DeltaRat(BoundVal, Rational(1))
+                       : DeltaRat(BoundVal, Rational(-1)));
+    return PW;
+  };
+
+  std::vector<TermRef> Work{F};
+  std::unordered_set<TermRef> Seen;
+  while (!Work.empty()) {
+    TermRef T = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(T).second)
+      continue;
+    if (T->getKind() == TermKind::True || T->getKind() == TermKind::False)
+      continue;
+    if (isBoolStructure(T)) {
+      for (TermRef A : T->getArgs())
+        Work.push_back(A);
+      continue;
+    }
+    auto AIt = C.AtomIndex.find(T);
+    if (AIt == C.AtomIndex.end())
+      continue; // not interned as an atom (nothing will ever assert it)
+    int AtomIdx = AIt->second;
+    auto registerOperand = [&](TermRef Operand) {
+      if (CC->isRegistered(Operand))
+        ++C.St.CcRegistrationsReused;
+      else
+        CC->registerTerm(Operand);
+    };
+    switch (T->getKind()) {
+    case TermKind::Eq: {
+      TermRef X = T->getArg(0), Y = T->getArg(1);
+      registerOperand(X);
+      registerOperand(Y);
+      if (X->getSort()->isNumeric()) {
+        (void)polyOf(X);
+        (void)polyOf(Y);
+      }
+      if (!ccWatchValid(AtomIdx)) {
+        CC->watchEquality(AtomIdx, X, Y);
+        CcWatchEpoch[AtomIdx] = Epoch;
+      }
+      break;
+    }
+    case TermKind::Le:
+    case TermKind::Lt: {
+      if (ArithWatchOf.count(AtomIdx)) {
+        // Watch thresholds are permanent (slack definitions survive pops);
+        // just re-pin the operand leaves in the current frame.
+        (void)polyOf(T->getArg(0));
+        (void)polyOf(T->getArg(1));
+        break;
+      }
+      ArithWatch W;
+      W.Pos = makeBoundWatch(T, true);
+      W.Neg = makeBoundWatch(T, false);
+      if (W.Pos.W >= 0) {
+        Arith->watchVar(W.Pos.W);
+        VarWatchers[W.Pos.W].push_back(AtomIdx);
+      }
+      if (W.Neg.W >= 0 && W.Neg.W != W.Pos.W) {
+        Arith->watchVar(W.Neg.W);
+        VarWatchers[W.Neg.W].push_back(AtomIdx);
+      }
+      ArithWatchOf.emplace(AtomIdx, std::move(W));
+      break;
+    }
+    default: {
+      if (!T->getSort()->isBool())
+        break;
+      registerOperand(T);
+      if (!ccWatchValid(AtomIdx)) {
+        CC->watchEquality(AtomIdx, T, TM.mkTrue());
+        CcWatchEpoch[AtomIdx] = Epoch;
+      }
+      break;
+    }
+    }
+  }
+}
+
+bool TheoryEngine::proposeEntailment(int AtomIdx, bool Polarity,
+                                     const std::set<int> &Tags,
+                                     std::vector<sat::Lit> &ImpliedOut) {
+  sat::Lit P(C.AtomVar[AtomIdx], !Polarity);
+  if (!ProposedLits.insert(P.Code).second)
+    return false;
+  std::vector<sat::Lit> Reason{P};
+  for (int T : Tags) {
+    // Every cited tag must be a live, currently SAT-assigned input atom:
+    // composite/separation tags or an unassigned citation would make the
+    // reason clause unsound, so the propagation is skipped (the full-model
+    // check remains the backstop).
+    if (T < 0 || T >= static_cast<int>(C.Atoms.size()) || T == AtomIdx ||
+        !atomAssigned(T))
+      return false;
+    Reason.push_back(sat::Lit(C.AtomVar[T], atomValue(T)));
+  }
+  PendingExpl E;
+  E.K = PendingExpl::Kind::Lits;
+  E.Lits = std::move(Reason);
+  PendingReasons[P.Code] = std::move(E);
+  ImpliedOut.push_back(P);
+  return true;
+}
+
+void TheoryEngine::proposeCcEntailment(int AtomIdx, bool Polarity,
+                                       std::vector<sat::Lit> &ImpliedOut) {
+  sat::Var V = C.AtomVar[AtomIdx];
+  if (C.Sat.value(sat::Lit(V, false)) != sat::LBool::Undef ||
+      !C.Sat.varActive(V))
+    return;
+  TermRef A = C.Atoms[AtomIdx];
+  TermRef X, Y;
+  if (A->getKind() == TermKind::Eq) {
+    X = A->getArg(0);
+    Y = A->getArg(1);
+  } else if (A->getSort()->isBool() && A->getKind() != TermKind::Le &&
+             A->getKind() != TermKind::Lt) {
+    X = A;
+    Y = TM.mkTrue();
+  } else {
+    return;
+  }
+  if (!CC->isRegistered(X) || !CC->isRegistered(Y))
+    return;
+  // Revalidate against the live closure (pending entries may be stale —
+  // generated under merges that were since popped), but do NOT walk the
+  // proof paths here: the endpoints (and, for disequalities, the pinned
+  // witness) are stored and expanded only if conflict analysis ever asks
+  // for the reason. At propose time every tag on those paths is a plain
+  // input-atom tag asserted from the synced trail — scratch levels are
+  // popped before propagation — so the expansion is sound without the
+  // eager per-tag validation proposeEntailment performs for arith.
+  sat::Lit P(C.AtomVar[AtomIdx], !Polarity);
+  if (!ProposedLits.insert(P.Code).second)
+    return;
+  PendingExpl E;
+  if (Polarity) {
+    if (!CC->areEqual(X, Y))
+      return;
+    E.K = PendingExpl::Kind::CcEq;
+    E.X = X;
+    E.Y = Y;
+  } else {
+    if (!CC->areDisequal(X, Y))
+      return;
+    if (!CC->diseqWitness(X, Y, E.W))
+      return;
+    E.K = PendingExpl::Kind::CcDiseq;
+  }
+  PendingReasons[P.Code] = std::move(E);
+  ImpliedOut.push_back(P);
+}
+
+void TheoryEngine::proposeArithEntailment(int AtomIdx,
+                                          std::vector<sat::Lit> &ImpliedOut) {
+  auto WIt = ArithWatchOf.find(AtomIdx);
+  if (WIt == ArithWatchOf.end())
+    return;
+  sat::Var V = C.AtomVar[AtomIdx];
+  if (C.Sat.value(sat::Lit(V, false)) != sat::LBool::Undef ||
+      !C.Sat.varActive(V))
+    return;
+  auto entailingTag = [&](const PolarityWatch &PW) -> int {
+    if (PW.W < 0 || PW.W >= Arith->numVars())
+      return -1;
+    if (PW.IsUpper) {
+      if (Arith->upperActive(PW.W) && Arith->upperValue(PW.W) <= PW.B)
+        return Arith->upperTag(PW.W);
+    } else {
+      if (Arith->lowerActive(PW.W) && PW.B <= Arith->lowerValue(PW.W))
+        return Arith->lowerTag(PW.W);
+    }
+    return -1;
+  };
+  bool Polarity = true;
+  int Tag = entailingTag(WIt->second.Pos);
+  if (Tag < 0) {
+    Polarity = false;
+    Tag = entailingTag(WIt->second.Neg);
+  }
+  if (Tag < 0)
+    return;
+  std::set<int> Tags{Tag};
+  proposeEntailment(AtomIdx, Polarity, Tags, ImpliedOut);
+}
+
+bool TheoryEngine::propagatePartial(std::vector<sat::Lit> &ImpliedOut,
+                                    std::vector<sat::Lit> &ConflictOut) {
+  if (!PropMode || C.BudgetExhausted)
+    return true;
+  // Cheap deadline probe: propagation runs orders of magnitude more often
+  // than full-model checks, so the clock is only consulted periodically.
+  if (C.SolveDeadline != 0 && (++PropCalls & 1023) == 0 &&
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now().time_since_epoch())
+              .count() > C.SolveDeadline) {
+    C.BudgetExhausted = true;
+    return true;
+  }
+  if (!syncAssert(ConflictOut, /*CountReuse=*/false))
+    return false;
+  // Strict conflict-clause construction for the partial-trail state: only
+  // plain input-atom tags, every one currently assigned. Anything else
+  // (composite, separation, stale) aborts the early conflict and defers to
+  // the full-model check.
+  auto conflictFromTags = [&](const std::set<int> &Tags) -> bool {
+    ConflictOut.clear();
+    for (int T : Tags) {
+      if (T < 0 || T >= static_cast<int>(C.Atoms.size()) || !atomAssigned(T))
+        return false;
+      ConflictOut.push_back(sat::Lit(C.AtomVar[T], atomValue(T)));
+    }
+    return true;
+  };
+  if (CC->inConflict()) {
+    std::set<int> Tags(CC->conflictTags().begin(), CC->conflictTags().end());
+    if (conflictFromTags(Tags))
+      return false;
+    return true;
+  }
+  if (Arith->inConflict()) {
+    if (conflictFromTags(Arith->trivialCore()))
+      return false;
+    return true;
+  }
+  // Drain the entailment candidates both engines queued while asserting.
+  ProposedLits.clear();
+  if (!CC->pendingEntailed().empty()) {
+    for (auto [AtomId, Pol] : CC->pendingEntailed())
+      proposeCcEntailment(AtomId, Pol, ImpliedOut);
+    CC->clearPendingEntailed();
+  }
+  if (!Arith->boundChangeLog().empty()) {
+    for (int W : Arith->boundChangeLog()) {
+      auto It = VarWatchers.find(W);
+      if (It == VarWatchers.end())
+        continue;
+      for (int AtomId : It->second)
+        proposeArithEntailment(AtomId, ImpliedOut);
+    }
+    Arith->clearBoundChangeLog();
+  }
+  return true;
+}
+
+void TheoryEngine::explainPropagation(sat::Lit P,
+                                      std::vector<sat::Lit> &ReasonOut) {
+  auto It = PendingReasons.find(P.Code);
+  assert(It != PendingReasons.end() && "no captured reason for literal");
+  if (It == PendingReasons.end()) {
+    // Unreachable by construction (a reason is captured before the literal
+    // is ever proposed); a degenerate unit reason keeps release builds
+    // from crashing in conflict analysis.
+    ReasonOut.assign(1, P);
+    return;
+  }
+  const PendingExpl &E = It->second;
+  if (E.K == PendingExpl::Kind::Lits) {
+    ReasonOut = E.Lits;
+    return;
+  }
+  // Lazy CC reason: expand the frozen proof paths now. Every tag produced
+  // is a plain input-atom index that was asserted from the synced trail
+  // before P was implied, and is still assigned while P is.
+  std::set<int> Tags;
+  if (E.K == PendingExpl::Kind::CcEq)
+    CC->explainEquality(E.X, E.Y, Tags);
+  else
+    CC->explainWitness(E.W, Tags);
+  ReasonOut.clear();
+  ReasonOut.push_back(P);
+  for (int T : Tags) {
+    assert(T >= 0 && T < static_cast<int>(C.Atoms.size()) &&
+           "lazy CC reason cites a non-atom tag");
+    assert(atomAssigned(T) && "lazy CC reason cites an unassigned atom");
+    assert(C.AtomVar[T] != P.var() && "lazy CC reason cites the implied atom");
+    ReasonOut.push_back(sat::Lit(C.AtomVar[T], atomValue(T)));
+  }
 }

@@ -103,6 +103,31 @@ public:
   bool hasPendingLemmas() override;
   bool flushPendingLemmas() override;
 
+  /// DPLL(T) theory propagation (persistent mode with TheoryPropagation
+  /// on; a no-op otherwise): syncs the theory stack to the partial SAT
+  /// trail, reports conflicts early, and proposes unassigned atoms whose
+  /// truth value is already entailed — CC-entailed (dis)equalities via the
+  /// equality watches, bound-implied arithmetic atoms via the bound-change
+  /// log. Best-effort: every missed propagation is caught by onFullModel.
+  bool propagatePartial(std::vector<sat::Lit> &ImpliedOut,
+                        std::vector<sat::Lit> &ConflictOut) override;
+  void explainPropagation(sat::Lit P,
+                          std::vector<sat::Lit> &ReasonOut) override;
+
+  // ------------------------------------------- Incremental registration --
+  /// Brackets one SolverContext assertion level. Registrations (term
+  /// graph, equality watches, arith vars) made while a frame is open are
+  /// retracted when it pops; registrations made with no frame open — the
+  /// shared prefix of a batched obligation group — are pinned permanently,
+  /// so each batch member's checks only register its own delta.
+  void pushAssertionFrame();
+  void popAssertionFrame();
+  /// Pre-registers the theory atoms reachable in \p F (called after the
+  /// formula was Tseitin-encoded, so every atom is interned): CC term
+  /// graph and equality watches for Eq/boolean atoms, slack variables and
+  /// bound watches for inequality atoms. Idempotent per atom and frame.
+  void preRegister(TermRef F);
+
 private:
   bool atomValue(int AtomIdx) const {
     return C.Sat.modelValue(C.AtomVar[AtomIdx]);
@@ -155,6 +180,36 @@ private:
   /// atoms already in sync (the reuse window).
   size_t syncToTrail();
   void popTheoryLevel();
+  /// syncToTrail + per-atom push/assert of the diverging suffix (the
+  /// shared core of onFullModel and propagatePartial). Returns false with
+  /// \p ConflictOut filled on a theory conflict. \p CountReuse guards the
+  /// TheoryAssertsReused statistic (full-model checks only, preserving its
+  /// historical meaning).
+  bool syncAssert(std::vector<sat::Lit> &ConflictOut, bool CountReuse);
+  /// Pops the scratch level and every synced atom level, returning the
+  /// engines to the current assertion-frame base. Registration (frames,
+  /// preRegister) must happen from this state so nothing gets trailed
+  /// under an atom level that a later sync pops.
+  void resetSyncedLevels();
+  /// True while the equality watch registered for \p AtomIdx is alive
+  /// (registered at base, or under a still-open frame).
+  bool ccWatchValid(int AtomIdx) const;
+  /// Revalidates and proposes one CC-entailed equality atom: rechecks the
+  /// entailment against the live closure, builds the reason clause from
+  /// the explanation tags, and appends the implied literal.
+  void proposeCcEntailment(int AtomIdx, bool Polarity,
+                           std::vector<sat::Lit> &ImpliedOut);
+  /// Same for a bound-watched inequality atom: an O(1) compare of the
+  /// watched variable's live bound against the atom's precomputed
+  /// threshold, reason = the single entailing bound's tag.
+  void proposeArithEntailment(int AtomIdx,
+                              std::vector<sat::Lit> &ImpliedOut);
+  /// Common filter + reason construction for both proposal paths; returns
+  /// false when the atom is assigned/stale or a cited tag fails
+  /// validation (out of atom range, unassigned, or self-referential).
+  bool proposeEntailment(int AtomIdx, bool Polarity,
+                         const std::set<int> &Tags,
+                         std::vector<sat::Lit> &ImpliedOut);
 
   SolverCore &C;
   TermManager &TM;
@@ -181,6 +236,55 @@ private:
   bool ScratchPushed = false;
   std::vector<int> VarToAtom; // sat var -> atom idx (or -1)
   size_t MappedAtoms = 0;     // VarToAtom covers atoms below this index
+
+  // Theory-propagation state (persistent mode, TheoryPropagation on).
+  /// Propagation mode: persistent engines plus the propagatePartial hook.
+  /// False keeps the engine byte-identical to the propagation-free
+  /// behavior (--no-theory-prop, the differential baseline).
+  const bool PropMode;
+  uint64_t PropCalls = 0; // deadline probe divisor
+  /// SatSolver::theoryTrailResets() at the last sync. While unchanged the
+  /// theory trail only grew, so the synced prefix is known intact and the
+  /// elementwise prefix compare is skipped.
+  uint64_t TrailResetsSeen = 0;
+  bool PropSyncValid = false;
+  /// Open assertion frames as monotone epoch ids. An equality watch
+  /// registered under epoch E is alive while E is still open (or E == 0,
+  /// the permanent base); watches die silently with their frame's CC
+  /// trail, so liveness is tracked engine-side to re-register on demand.
+  std::vector<int> FrameEpochs;
+  int NextEpoch = 1;
+  std::unordered_map<int, int> CcWatchEpoch; // atom idx -> epoch
+  /// One precomputed bound-entailment test per inequality-atom polarity:
+  /// the atom under that polarity asserts (IsUpper ? W <= B : W >= B), so
+  /// it is entailed as soon as the live bound on W is at least as strong.
+  struct PolarityWatch {
+    int W = -1; // arith var; -1 = constant atom, no watch
+    bool IsUpper = false;
+    DeltaRat B;
+  };
+  struct ArithWatch {
+    PolarityWatch Pos, Neg;
+  };
+  std::unordered_map<int, ArithWatch> ArithWatchOf; // atom idx -> watch
+  std::unordered_map<int, std::vector<int>> VarWatchers; // var -> atom ids
+  /// Deferred propagation reason, keyed by the implied literal's code:
+  /// either an eagerly captured literal vector (arith single-tag reasons)
+  /// or pinned CC endpoints whose frozen proof-forest paths are expanded
+  /// only if conflict analysis ever asks for the reason — the vast
+  /// majority of propagations never are. Sound because paths between two
+  /// connected nodes are frozen while both stay connected, the cited tags
+  /// are plain atom indices assigned before the implied literal, and they
+  /// stay assigned as long as it is (trail prefix order).
+  struct PendingExpl {
+    enum class Kind { Lits, CcEq, CcDiseq };
+    Kind K = Kind::Lits;
+    std::vector<sat::Lit> Lits;        // Kind::Lits: implied literal first
+    TermRef X = nullptr, Y = nullptr;  // Kind::CcEq endpoints
+    CongruenceClosure::DiseqWitness W; // Kind::CcDiseq pinned witness
+  };
+  std::unordered_map<int, PendingExpl> PendingReasons;
+  std::unordered_set<int> ProposedLits; // per-call dedup scratch
 
   // Model scratch.
   std::unordered_map<TermRef, Value> TermValues;

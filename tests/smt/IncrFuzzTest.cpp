@@ -184,6 +184,24 @@ TEST(IncrFuzzTest, DifferentialLazyArrays) {
   EXPECT_GT(C.Checks, 150u);
 }
 
+TEST(IncrFuzzTest, DifferentialTheoryProp) {
+  // Theory propagation under full push/assert/pop interleavings, against
+  // the propagation-free one-shot reference. This is where the lazy
+  // reason-clause machinery earns its keep: frames pop mid-script, so
+  // preRegister pins, watch epochs and ReasonOnly clause scrubbing on
+  // popAssertLevel are all exercised at fuzz scale.
+  SolverOptions Ctx;
+  Ctx.TheoryPropagation = true;
+  Ctx.LazyArrayInstantiation = true;
+  SolverOptions Ref;
+  Ref.TheoryPropagation = false;
+  SeqCounts C = runIncrementalDifferential(/*Seed=*/0x5EED6, /*Sequences=*/100,
+                                           /*OpsPerSequence=*/14,
+                                           /*Depth=*/4, Ctx, Ref);
+  EXPECT_EQ(C.Mismatches, 0u);
+  EXPECT_GT(C.Checks, 150u);
+}
+
 TEST(IncrFuzzTest, DifferentialDeletionStress) {
   // A tiny reduceDB trigger forces sweeps on every nontrivial search, so
   // the pop interaction (deleted clauses vs assertion-level retraction)

@@ -389,6 +389,41 @@ TEST_F(ContextTest, PerCheckStatsAreDeltas) {
   Ctx.pop();
 }
 
+TEST_F(ContextTest, TheoryPropReasonsAcrossPop) {
+  // An equality chain entails the a=c atom, which theory propagation
+  // asserts at the root instead of leaving it to a decision. A later
+  // level contradicts it, so conflict analysis must consume the
+  // propagated literal's lazily explained reason under an open assertion
+  // level — and the pop must retract the level without stranding any
+  // propagation bookkeeping (verdicts flip back cleanly).
+  SolverOptions PropOpts = Opts;
+  PropOpts.TheoryPropagation = true;
+  SolverContext Ctx(TM, PropOpts);
+  TermRef A = TM.mkVar("a", TM.intSort());
+  TermRef B = TM.mkVar("b", TM.intSort());
+  TermRef C = TM.mkVar("c", TM.intSort());
+  TermRef D = TM.mkVar("d", TM.boolSort());
+  Ctx.assertTerm(TM.mkEq(A, B));
+  Ctx.assertTerm(TM.mkEq(B, C));
+  Ctx.assertTerm(TM.mkOr(TM.mkEq(A, C), D));
+  ASSERT_EQ(Ctx.checkSat(), SolverResult::Sat);
+  EXPECT_GT(Ctx.lastCheckStats().TheoryPropagations, 0u);
+
+  Ctx.push();
+  Ctx.assertTerm(TM.mkNot(TM.mkEq(A, C)));
+  EXPECT_EQ(Ctx.checkSat(), SolverResult::Unsat);
+  Ctx.pop();
+  EXPECT_EQ(Ctx.checkSat(), SolverResult::Sat);
+
+  // Same shape through the arithmetic side: c = a + 1 contradicts the
+  // chain via bounds rather than congruence.
+  Ctx.push();
+  Ctx.assertTerm(TM.mkEq(C, TM.mkAdd(A, TM.mkIntConst(1))));
+  EXPECT_EQ(Ctx.checkSat(), SolverResult::Unsat);
+  Ctx.pop();
+  EXPECT_EQ(Ctx.checkSat(), SolverResult::Sat);
+}
+
 TEST_F(ContextTest, AgreesWithOneShotOnConjunction) {
   // Incremental verdicts must match a fresh one-shot solve of the active
   // conjunction at every step of a scripted push/pop sequence.

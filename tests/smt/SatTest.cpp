@@ -241,6 +241,109 @@ TEST(SatTest, ReduceDbSweepsAcrossAssertLevels) {
   EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
 }
 
+namespace {
+/// External-propagation theory: whenever A is false on the partial trail,
+/// every variable in Implied is propagated true. Reason clauses
+/// (A or V) are only materialized through explainPropagation — the lazy
+/// DPLL(T) contract — and the full-model hook is the semantic backstop
+/// that rejects models violating an implication.
+class ImplyOnFalse : public TheoryCallback {
+public:
+  ImplyOnFalse(Var A, std::vector<Var> Implied, const SatSolver &S)
+      : A(A), Implied(std::move(Implied)), S(S) {}
+  bool onFullModel(std::vector<Lit> &ConflictOut) override {
+    if (!S.modelValue(A))
+      for (Var V : Implied)
+        if (!S.modelValue(V)) {
+          ConflictOut = {Lit(A, false), Lit(V, false)};
+          return false;
+        }
+    return true;
+  }
+  bool propagatePartial(std::vector<Lit> &ImpliedOut,
+                        std::vector<Lit> &ConflictOut) override {
+    (void)ConflictOut;
+    if (S.value(Lit(A, false)) == LBool::False)
+      for (Var V : Implied)
+        if (S.value(Lit(V, false)) == LBool::Undef)
+          ImpliedOut.push_back(Lit(V, false));
+    return true;
+  }
+  void explainPropagation(Lit P, std::vector<Lit> &ReasonOut) override {
+    ++Explains;
+    LastExplained = P;
+    ReasonOut = {P, Lit(A, false)};
+  }
+  Var A;
+  std::vector<Var> Implied;
+  const SatSolver &S;
+  unsigned Explains = 0;
+  Lit LastExplained;
+};
+} // namespace
+
+TEST(SatTest, TheoryPropagationLazyReason) {
+  // Decision order is deterministic (equal activities break ties by
+  // variable index, initial phase false): A is decided false, the theory
+  // propagates both B and E true at the BCP fixpoint, and the clause
+  // (not-B or not-E) is then conflicting. Because both current-level
+  // antecedents are theory-propagated, 1UIP analysis must fetch their
+  // reasons lazily, resolve through them and learn the unit (A). A
+  // binary clause over a single propagated literal would not do: BCP
+  // wins the race and derives its negation before the theory runs.
+  SatSolver S;
+  S.setTheoryPropagation(true);
+  Var A = S.newVar(), B = S.newVar(), E = S.newVar(), C = S.newVar();
+  S.markTheoryVar(A);
+  S.markTheoryVar(B);
+  S.markTheoryVar(E);
+  ASSERT_TRUE(S.addClause({Lit(A, false), Lit(C, false)})); // keeps A alive
+  ASSERT_TRUE(S.addClause({Lit(B, true), Lit(E, true)}));
+  ImplyOnFalse T(A, {B, E}, S);
+  EXPECT_EQ(S.solve(&T), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_GT(T.Explains, 0u);
+}
+
+TEST(SatTest, TheoryPropReasonsAcrossPopAssertLevel) {
+  // Root-level theory implications and their materialized reason clauses
+  // must die with the assertion level whose clauses forced them.
+  SatSolver S;
+  S.setTheoryPropagation(true);
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.markTheoryVar(A);
+  S.markTheoryVar(B);
+  // Keep both theory vars alive without constraining them: (A or C) and
+  // (B or C) are satisfied by C alone.
+  ASSERT_TRUE(S.addClause({Lit(A, false), Lit(C, false)}));
+  ASSERT_TRUE(S.addClause({Lit(B, false), Lit(C, false)}));
+  ImplyOnFalse T(A, {B}, S);
+
+  // Level 1 forces A false at the root; the theory then propagates B true
+  // as a ROOT implication, whose reason clause is materialized eagerly at
+  // enqueue and must be recorded against the live assertion level.
+  S.pushAssertLevel();
+  ASSERT_TRUE(S.addClause({Lit(A, true)}));
+  EXPECT_EQ(S.solve(&T), SatSolver::Result::Sat);
+  EXPECT_FALSE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+
+  // Popping the level kills the unit not-A; the theory-implied B must be
+  // unassigned with it — a stale root implication would make the next
+  // level's unit not-B incorrectly unsatisfiable.
+  S.resetToRoot();
+  S.popAssertLevel();
+  S.pushAssertLevel();
+  ASSERT_TRUE(S.addClause({Lit(B, true)}));
+  EXPECT_EQ(S.solve(&T), SatSolver::Result::Sat);
+  EXPECT_FALSE(S.modelValue(B));
+  EXPECT_TRUE(S.modelValue(A)); // A false would re-imply B via the theory
+
+  S.resetToRoot();
+  S.popAssertLevel();
+  EXPECT_EQ(S.solve(&T), SatSolver::Result::Sat);
+}
+
 /// Property test: aggressive deletion with an assertion-level pop in the
 /// middle agrees with the brute-force oracle at every stage — this is
 /// the deleted-then-repropagated interaction (a lemma deleted during the
