@@ -104,15 +104,22 @@ void VerifierInstance::recordVerdict(const ProcKey &K, const ProcVerdict &V) {
 
 void VerifierInstance::appendVerdictLocked(const ProcKey &K,
                                            const ProcVerdict &V) {
-  fprintf(VerdictAppend, "P %016" PRIx64 " %016" PRIx64 " %c %u %zu %zu\n",
-          K.Lo, K.Hi, V.St == Status::Verified ? 'V' : 'F', V.NumObligations,
-          V.FailedObligation.size(), V.Counterexample.size());
-  fwrite(V.FailedObligation.data(), 1, V.FailedObligation.size(),
-         VerdictAppend);
-  fputc('\n', VerdictAppend);
-  fwrite(V.Counterexample.data(), 1, V.Counterexample.size(), VerdictAppend);
-  fputc('\n', VerdictAppend);
-  fflush(VerdictAppend);
+  // One buffer, one fwrite, one write(2) on the unbuffered O_APPEND
+  // stream: concurrent --cache-dir processes append record-at-a-time
+  // instead of interleaving the four-part record mid-line (the same
+  // discipline as QueryCache::appendLocked).
+  char Header[96];
+  int Len = snprintf(Header, sizeof(Header),
+                     "P %016" PRIx64 " %016" PRIx64 " %c %u %zu %zu\n", K.Lo,
+                     K.Hi, V.St == Status::Verified ? 'V' : 'F',
+                     V.NumObligations, V.FailedObligation.size(),
+                     V.Counterexample.size());
+  std::string Rec(Header, Len);
+  Rec += V.FailedObligation;
+  Rec += '\n';
+  Rec += V.Counterexample;
+  Rec += '\n';
+  fwrite(Rec.data(), 1, Rec.size(), VerdictAppend);
 }
 
 size_t VerifierInstance::loadVerdictsLocked(std::FILE *F) {
@@ -173,9 +180,10 @@ bool VerifierInstance::attachCacheDir(const std::string &Dir,
     Error = "cannot open verdict file '" + Path + "' for writing";
     return false;
   }
+  // Unbuffered: each appendVerdictLocked record is a single write(2).
+  setvbuf(VerdictAppend, nullptr, _IONBF, 0);
   if (Fresh)
     fprintf(VerdictAppend, "%s\n", VerdictHeader);
-  fflush(VerdictAppend);
   return true;
 }
 

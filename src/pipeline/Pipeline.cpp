@@ -6,17 +6,18 @@
 
 #include "pipeline/Pipeline.h"
 
-#include "pipeline/Scheduler.h"
 #include "pipeline/Simplify.h"
 #include "pipeline/Slice.h"
 #include "smt/Solver.h"
 #include "smt/SolverContext.h"
+#include "support/JobManager.h"
 #include "support/Log.h"
 #include "support/Trace.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 
@@ -129,13 +130,17 @@ void Stats::merge(const Stats &O) {
 
 namespace {
 
-/// Solves batches of queries with dedup, caching and parallel dispatch.
-/// Queries are terms of the caller's manager; every solve happens in a
-/// private per-task manager populated via TermManager::import.
+/// Solves batches of queries with dedup, caching and parallel dispatch
+/// through the work-stealing JobManager. Queries are terms of the
+/// caller's manager, which must stay FROZEN for the duration of solve():
+/// every solve happens in a private snapshot-overlay manager that shares
+/// the frozen base read-only and pays only for its own delta — the
+/// per-task full-formula TermManager::import copy is gone.
 class BatchSolver {
 public:
-  BatchSolver(const Options &Opts, QueryCache *Cache, Stats &St)
-      : Opts(Opts), Cache(Opts.Cache ? Cache : nullptr), St(St) {}
+  BatchSolver(const TermManager &TM, const Options &Opts, QueryCache *Cache,
+              Stats &St)
+      : TM(TM), Opts(Opts), Cache(Opts.Cache ? Cache : nullptr), St(St) {}
 
   std::vector<QueryCache::Outcome> solve(const std::vector<TermRef> &Queries) {
     size_t N = Queries.size();
@@ -187,20 +192,25 @@ public:
       for (size_t Idx : G)
         InGroup[Idx] = 1;
 
-    std::vector<std::function<void()>> Tasks;
-    Tasks.reserve(RunList.size());
-    for (size_t Idx : RunList) {
-      if (InGroup[Idx])
-        continue;
-      Tasks.push_back([this, &Queries, &Out, Idx] {
-        Out[Idx] = runQuery(Queries[Idx]);
-      });
+    // Dispatch: singleton queries are independent stealable tasks; each
+    // prefix group becomes a dependency chain (prefix solve, then the
+    // members in order — they share one SolverContext, so the chain IS
+    // the mutual exclusion) whose links any worker can pick up, with
+    // escalations and Sat rechecks spawned as independent tasks that
+    // float off the group's critical path instead of blocking it.
+    {
+      jobs::JobManager JM(Opts.Jobs);
+      for (size_t Idx : RunList) {
+        if (InGroup[Idx])
+          continue;
+        JM.submit([this, &Queries, &Out, Idx] {
+          Out[Idx] = runQuery(Queries[Idx]);
+        });
+      }
+      for (const std::vector<size_t> &G : Groups)
+        submitGroup(JM, Queries, G, Out);
+      JM.wait();
     }
-    for (const std::vector<size_t> &G : Groups)
-      Tasks.push_back([this, &Queries, &Out, &G] {
-        runGroup(Queries, G, Out);
-      });
-    Scheduler(Opts.Jobs).run(Tasks);
 
     St.Queries += static_cast<unsigned>(RunList.size());
     St.EscalatedQueries += Escalations.exchange(0, std::memory_order_relaxed);
@@ -241,17 +251,20 @@ public:
 
 private:
   QueryCache::Outcome attempt(TermRef Query, bool Eager, bool &GaveUp) {
-    TermManager Local;
+    // Snapshot overlay over the frozen base manager: the query term is
+    // directly valid in the overlay's view, so there is no per-task
+    // formula copy — the solver's own delta (CNF literals, lemma terms)
+    // is all this task ever interns.
+    TermManager Local(TM, TermManager::Snapshot{});
     Solver::Options SOpts;
     SOpts.AllowQuantifiers = Opts.AllowQuantifiers;
     SOpts.MaxTheoryChecks = Opts.MaxTheoryChecks;
     SOpts.TimeoutSeconds = Opts.QueryTimeoutSeconds;
     SOpts.EagerArrayInstantiation = Eager;
     SOpts.ClauseDeletion = Opts.ReduceDb;
-    TermRef Q = Local.import(Query);
     Solver S(Local, SOpts);
     QueryCache::Outcome O;
-    O.R = S.checkSat(Q);
+    O.R = S.checkSat(Query);
     O.NumAtoms = S.stats().NumAtoms;
     O.NumArrayLemmas = S.stats().ArrayStats.NumLemmas;
     GaveUp = S.stats().ModelGiveUps > 0;
@@ -363,48 +376,17 @@ private:
     return Groups;
   }
 
-  /// Solves one shared-prefix batch on a single incremental context in a
-  /// private TermManager: prefix at level 0, one push/check/pop round per
-  /// member. Sat answers are re-confirmed one-shot (clean countermodel);
-  /// model give-ups escalate to the eager instantiation exactly like the
-  /// one-shot path.
-  void runGroup(const std::vector<TermRef> &Queries,
-                const std::vector<size_t> &Members,
-                std::vector<QueryCache::Outcome> &Out) {
-    trace::ScopedSpan GroupSp("pipeline.batch_group");
-    std::vector<std::vector<TermRef>> Conj;
-    Conj.reserve(Members.size());
-    size_t Lcp = SIZE_MAX;
-    for (size_t Idx : Members)
-      Conj.push_back(conjunctsOf(Queries[Idx]));
-    for (const auto &C : Conj) {
-      size_t L = 0;
-      while (L < Conj[0].size() && L < C.size() && Conj[0][L] == C[L])
-        ++L;
-      Lcp = std::min(Lcp, L);
-    }
-    if (GroupSp.active()) {
-      GroupSp.arg("proc", Opts.TraceLabel);
-      GroupSp.arg("size", double(Members.size()));
-      GroupSp.arg("lcp", double(Lcp));
-    }
-
+  /// Shared state of one in-flight prefix group: the overlay manager and
+  /// incremental context every member task reuses. Owned by shared_ptr —
+  /// the last finished task (finalizer, or a straggling escalation)
+  /// releases it.
+  struct GroupState {
+    explicit GroupState(const TermManager &Base)
+        : Local(Base, TermManager::Snapshot{}) {}
     TermManager Local;
-    Solver::Options SOpts;
-    SOpts.AllowQuantifiers = false;
-    SOpts.MaxTheoryChecks = Opts.MaxTheoryChecks;
-    SOpts.TimeoutSeconds = Opts.QueryTimeoutSeconds;
-    SOpts.LazyArrayInstantiation = Opts.LazyArrays;
-    SOpts.ClauseDeletion = Opts.ReduceDb;
-    SOpts.TheoryPropagation = Opts.TheoryProp;
-    SolverContext Ctx(Local, SOpts);
-    {
-      std::vector<TermRef> Prefix;
-      Prefix.reserve(Lcp);
-      for (size_t K = 0; K < Lcp; ++K)
-        Prefix.push_back(Local.import(Conj[0][K]));
-      Ctx.assertTerm(Local.mkAnd(std::move(Prefix)));
-    }
+    std::unique_ptr<SolverContext> Ctx;
+    std::vector<std::vector<TermRef>> Conj;
+    size_t Lcp = 0;
     // Per-query stats deltas: the context's atom/lemma counters are
     // cumulative over every member ever pushed, so reporting them raw
     // inflates later members with earlier members' residue and makes
@@ -414,40 +396,123 @@ private:
     // just before its push). Prefix-demanded lemmas first discovered
     // while solving member one are attributed to member one — the same
     // lemmas a one-shot solve of prefix+claim would instantiate.
-    const unsigned PrefixAtoms = Ctx.numAtoms();
-    const unsigned PrefixLemmas = Ctx.numArrayLemmas();
+    unsigned PrefixAtoms = 0;
+    unsigned PrefixLemmas = 0;
+  };
 
+  /// Submits one shared-prefix batch as a task chain: a prefix task that
+  /// asserts the common conjuncts at level 0, then one task per member
+  /// (chained — members share the context, so the dependency edge is the
+  /// mutual exclusion, but each link is stealable by any idle worker),
+  /// then a finalizer folding the context's cumulative stats. Sat
+  /// answers are re-confirmed one-shot (clean countermodel) and model
+  /// give-ups escalate to the eager instantiation exactly like the
+  /// one-shot path — both as independent spawned tasks, so a heavy
+  /// escalation no longer stalls the remaining members of its batch.
+  void submitGroup(jobs::JobManager &JM, const std::vector<TermRef> &Queries,
+                   const std::vector<size_t> &Members,
+                   std::vector<QueryCache::Outcome> &Out) {
+    auto GS = std::make_shared<GroupState>(TM);
+    GS->Conj.reserve(Members.size());
+    size_t Lcp = SIZE_MAX;
+    for (size_t Idx : Members)
+      GS->Conj.push_back(conjunctsOf(Queries[Idx]));
+    for (const auto &C : GS->Conj) {
+      size_t L = 0;
+      while (L < GS->Conj[0].size() && L < C.size() && GS->Conj[0][L] == C[L])
+        ++L;
+      Lcp = std::min(Lcp, L);
+    }
+    GS->Lcp = Lcp;
+
+    jobs::JobManager::TaskId Prev =
+        JM.submit([this, GS, Size = Members.size()] {
+          trace::ScopedSpan GroupSp("pipeline.batch_group");
+          if (GroupSp.active()) {
+            GroupSp.arg("proc", Opts.TraceLabel);
+            GroupSp.arg("size", double(Size));
+            GroupSp.arg("lcp", double(GS->Lcp));
+          }
+          Solver::Options SOpts;
+          SOpts.AllowQuantifiers = false;
+          SOpts.MaxTheoryChecks = Opts.MaxTheoryChecks;
+          SOpts.TimeoutSeconds = Opts.QueryTimeoutSeconds;
+          SOpts.LazyArrayInstantiation = Opts.LazyArrays;
+          SOpts.ClauseDeletion = Opts.ReduceDb;
+          SOpts.TheoryPropagation = Opts.TheoryProp;
+          GS->Ctx.reset(new SolverContext(GS->Local, SOpts));
+          std::vector<TermRef> Prefix(GS->Conj[0].begin(),
+                                      GS->Conj[0].begin() + GS->Lcp);
+          GS->Ctx->assertTerm(GS->Local.mkAnd(std::move(Prefix)));
+          GS->PrefixAtoms = GS->Ctx->numAtoms();
+          GS->PrefixLemmas = GS->Ctx->numArrayLemmas();
+        });
     for (size_t M = 0; M < Members.size(); ++M) {
       size_t Idx = Members[M];
-      trace::ScopedSpan Sp("pipeline.solve");
-      const uint64_t T0 = trace::nowUs();
-      const unsigned AtomsBefore = Ctx.numAtoms();
-      const unsigned LemmasBefore = Ctx.numArrayLemmas();
-      Ctx.push();
-      for (size_t K = Lcp; K < Conj[M].size(); ++K)
-        Ctx.assertTerm(Local.import(Conj[M][K]));
-      Solver::Result R = Ctx.checkSat();
-      const SolverContext::CheckStats &CS = Ctx.lastCheckStats();
-      Ctx.pop();
-      GroupLazyLemmas.fetch_add(CS.LazyInstantiations,
-                                std::memory_order_relaxed);
-      GroupTheoryProps.fetch_add(CS.TheoryPropagations,
+      Prev = JM.submit(
+          [this, GS, &JM, &Queries, &Out, M, Idx] {
+            runGroupMember(*GS, JM, Queries, Out, M, Idx);
+          },
+          {Prev});
+    }
+    JM.submit(
+        [this, GS] {
+          GroupLemmasRetained.fetch_add(GS->Ctx->stats().LemmasRetained,
+                                        std::memory_order_relaxed);
+          GroupCcReused.fetch_add(GS->Ctx->stats().CcRegistrationsReused,
+                                  std::memory_order_relaxed);
+        },
+        {Prev});
+  }
+
+  /// One member round on the group's shared context: push, assert the
+  /// member's delta past the common prefix, check, pop.
+  void runGroupMember(GroupState &GS, jobs::JobManager &JM,
+                      const std::vector<TermRef> &Queries,
+                      std::vector<QueryCache::Outcome> &Out, size_t M,
+                      size_t Idx) {
+    SolverContext &Ctx = *GS.Ctx;
+    trace::ScopedSpan Sp("pipeline.solve");
+    const uint64_t T0 = trace::nowUs();
+    const unsigned AtomsBefore = Ctx.numAtoms();
+    const unsigned LemmasBefore = Ctx.numArrayLemmas();
+    Ctx.push();
+    for (size_t K = GS.Lcp; K < GS.Conj[M].size(); ++K)
+      Ctx.assertTerm(GS.Conj[M][K]);
+    Solver::Result R = Ctx.checkSat();
+    const SolverContext::CheckStats &CS = Ctx.lastCheckStats();
+    Ctx.pop();
+    GroupLazyLemmas.fetch_add(CS.LazyInstantiations,
+                              std::memory_order_relaxed);
+    GroupTheoryProps.fetch_add(CS.TheoryPropagations,
+                               std::memory_order_relaxed);
+    GroupPropConflicts.fetch_add(CS.PropagationConflicts,
                                  std::memory_order_relaxed);
-      GroupPropConflicts.fetch_add(CS.PropagationConflicts,
-                                   std::memory_order_relaxed);
-      const unsigned DeltaAtoms =
-          PrefixAtoms + (CS.NumAtoms - std::min(CS.NumAtoms, AtomsBefore));
-      const unsigned DeltaLemmas =
-          PrefixLemmas +
-          (CS.NumArrayLemmas - std::min(CS.NumArrayLemmas, LemmasBefore));
-      if (R == Solver::Result::Unsat) {
-        Out[Idx].R = R;
-        Out[Idx].NumAtoms = DeltaAtoms;
-        Out[Idx].NumArrayLemmas = DeltaLemmas;
-      } else if (R == Solver::Result::Unknown && CS.ModelGiveUps > 0) {
-        // Same escalation rule as the one-shot path: a model give-up is
-        // worth the quadratic eager instantiation; a budget or timeout
-        // Unknown would just exhaust again.
+    // The batched round's own result; only the terminal branches publish
+    // it to Out[Idx]. When a follow-up task (escalation / Sat recheck)
+    // is spawned, THAT task is the sole writer of Out[Idx] — the member
+    // task records its span/slow rows from this local copy so the two
+    // never race on the shared slot.
+    QueryCache::Outcome Batched;
+    Batched.R = R;
+    Batched.NumAtoms =
+        GS.PrefixAtoms + (CS.NumAtoms - std::min(CS.NumAtoms, AtomsBefore));
+    Batched.NumArrayLemmas =
+        GS.PrefixLemmas +
+        (CS.NumArrayLemmas - std::min(CS.NumArrayLemmas, LemmasBefore));
+    if (R == Solver::Result::Unsat) {
+      Out[Idx] = Batched;
+    } else if (R == Solver::Result::Unknown && CS.ModelGiveUps > 0) {
+      // Same escalation rule as the one-shot path: a model give-up is
+      // worth the quadratic eager instantiation; a budget or timeout
+      // Unknown would just exhaust again. The escalation solves fresh
+      // against the frozen base, so it runs as its own stealable task
+      // off the group chain instead of stalling the remaining members;
+      // its slow-query row is the member's one record.
+      if (Sp.active())
+        Sp.arg("escalating", 1.0);
+      JM.submit([this, &Queries, &Out, Idx] {
+        const uint64_t E0 = trace::nowUs();
         bool GaveUp = false;
         {
           trace::ScopedSpan Esc("pipeline.escalate");
@@ -458,28 +523,29 @@ private:
           Out[Idx] = attempt(Queries[Idx], /*Eager=*/true, GaveUp);
         }
         Escalations.fetch_add(1, std::memory_order_relaxed);
-      } else if (R == Solver::Result::Sat) {
-        // A batch-context model ranges over every atom the context has
-        // ever seen (stale claims included); re-solve fresh for a clean,
-        // independently validated countermodel. The recheck logs its own
-        // slow-query row tagged recheck:true and does not bump
-        // pipeline.slow_queries — the batched row below is the real
-        // record, one per member.
+        double Sec = double(trace::nowUs() - E0) / 1e6;
+        maybeRecordSlow(Queries[Idx], Sec, Sec, Out[Idx], /*Batched=*/true);
+      });
+      finishQuerySpan(Sp, Queries[Idx], Batched, /*Batched=*/true);
+      return;
+    } else if (R == Solver::Result::Sat) {
+      // A batch-context model ranges over every atom the context has
+      // ever seen (stale claims included); re-solve fresh for a clean,
+      // independently validated countermodel — as its own stealable
+      // task. The recheck logs its own slow-query row tagged
+      // recheck:true and does not bump pipeline.slow_queries — the
+      // member's batched row below is the real record, one per member.
+      JM.submit([this, &Queries, &Out, Idx] {
         Out[Idx] = runQuery(Queries[Idx], /*Recheck=*/true);
         SatRechecks.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        Out[Idx].R = Solver::Result::Unknown;
-        Out[Idx].NumAtoms = DeltaAtoms;
-        Out[Idx].NumArrayLemmas = DeltaLemmas;
-      }
-      finishQuerySpan(Sp, Queries[Idx], Out[Idx], /*Batched=*/true);
-      maybeRecordSlow(Queries[Idx], double(trace::nowUs() - T0) / 1e6,
-                      /*EscalateSec=*/0, Out[Idx], /*Batched=*/true);
+      });
+    } else {
+      Batched.R = Solver::Result::Unknown;
+      Out[Idx] = Batched;
     }
-    GroupLemmasRetained.fetch_add(Ctx.stats().LemmasRetained,
-                                  std::memory_order_relaxed);
-    GroupCcReused.fetch_add(Ctx.stats().CcRegistrationsReused,
-                            std::memory_order_relaxed);
+    finishQuerySpan(Sp, Queries[Idx], Batched, /*Batched=*/true);
+    maybeRecordSlow(Queries[Idx], double(trace::nowUs() - T0) / 1e6,
+                    /*EscalateSec=*/0, Batched, /*Batched=*/true);
   }
 
   QueryCache::Outcome runQuery(TermRef Query, bool Recheck = false) {
@@ -574,6 +640,9 @@ private:
     trace::appendSlowQuery(Rec);
   }
 
+  /// The caller's manager, frozen for the lifetime of this solver: the
+  /// shared read-only base every per-task overlay snapshots from.
+  const TermManager &TM;
   const Options &Opts;
   QueryCache *Cache;
   Stats &St;
@@ -689,7 +758,17 @@ pipeline::Result pipeline::solveObligations(
   }
 
   // ---- Stage 3: solve the main queries. ----
-  BatchSolver Batch(Opts, Cache, R.St);
+  // Every query term (main, and the Stage-4 resolution queries, which
+  // reuse the Stage-1 originals) is already built: freeze the manager so
+  // worker tasks can share it read-only through snapshot overlays. The
+  // guard thaws on every exit path — callers reuse the manager across
+  // solveObligations calls.
+  struct FreezeGuard {
+    TermManager &TM;
+    explicit FreezeGuard(TermManager &TM) : TM(TM) { TM.freeze(); }
+    ~FreezeGuard() { TM.thaw(); }
+  } Freeze{TM};
+  BatchSolver Batch(TM, Opts, Cache, R.St);
   std::vector<TermRef> MainQueries;
   MainQueries.reserve(Units.size());
   for (const Unit &U : Units)

@@ -9,8 +9,12 @@
 /// obligation is simplified (Simplify.h), sliced to the claim's cone of
 /// influence (Slice.h), deduplicated against a structural query cache
 /// (QueryCache.h), and the surviving queries are dispatched across a
-/// worker pool (Scheduler.h) — each worker solving in a private
-/// TermManager populated via TermManager::import. Every stage is
+/// work-stealing job system (support/JobManager.h) — singleton queries
+/// as independent tasks, shared-prefix batches as dependency chains
+/// whose prefix solve completes before the members dispatch — each task
+/// solving in a snapshot overlay of the (frozen) caller TermManager, so
+/// workers share the read-mostly term structure and pay only for their
+/// own delta. Every stage is
 /// independently disableable (`--no-simp`, `--no-slice`, `--no-cache`,
 /// `--jobs 1`) so the transforms can be tested differentially.
 ///

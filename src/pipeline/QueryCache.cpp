@@ -78,16 +78,29 @@ QueryCache::DiskStats QueryCache::diskStats() const {
 }
 
 void QueryCache::appendLocked(const Key &K, const Outcome &O) {
+  // The whole record is marshalled into one buffer and handed to the
+  // unbuffered append stream as a SINGLE fwrite — one write(2) on an
+  // O_APPEND descriptor, which the kernel serializes at EOF. The mutex
+  // serializes writers within this process; the single-write record is
+  // what keeps concurrent --cache-dir PROCESSES from interleaving the
+  // multi-line Sat records mid-record (a torn tail from a crash is still
+  // possible and still tolerated by loadLocked).
+  char Header[96];
+  int Len;
+  if (O.R == smt::Solver::Result::Sat)
+    Len = snprintf(Header, sizeof(Header),
+                   "S %016" PRIx64 " %016" PRIx64 " %u %u %zu\n", K.Lo, K.Hi,
+                   O.NumAtoms, O.NumArrayLemmas, O.ModelText.size());
+  else
+    Len = snprintf(Header, sizeof(Header),
+                   "U %016" PRIx64 " %016" PRIx64 " %u %u\n", K.Lo, K.Hi,
+                   O.NumAtoms, O.NumArrayLemmas);
+  std::string Rec(Header, Len);
   if (O.R == smt::Solver::Result::Sat) {
-    fprintf(Append, "S %016" PRIx64 " %016" PRIx64 " %u %u %zu\n", K.Lo, K.Hi,
-            O.NumAtoms, O.NumArrayLemmas, O.ModelText.size());
-    fwrite(O.ModelText.data(), 1, O.ModelText.size(), Append);
-    fputc('\n', Append);
-  } else {
-    fprintf(Append, "U %016" PRIx64 " %016" PRIx64 " %u %u\n", K.Lo, K.Hi,
-            O.NumAtoms, O.NumArrayLemmas);
+    Rec += O.ModelText;
+    Rec += '\n';
   }
-  fflush(Append);
+  fwrite(Rec.data(), 1, Rec.size(), Append);
   ++Stats.Appended;
   static trace::Counter &Appended = trace::counter("cache.query_appended");
   Appended.add();
@@ -157,13 +170,16 @@ bool QueryCache::attachDir(const std::string &Dir, std::string &Error) {
     Error = "cannot open cache file '" + Path + "' for writing";
     return false;
   }
+  // Unbuffered: appendLocked marshals each record into one fwrite, and
+  // an unbuffered stream maps that to one write(2) — the record can't be
+  // split across syscalls and interleaved with another process's append.
+  setvbuf(Append, nullptr, _IONBF, 0);
   if (Fresh) {
     fprintf(Append, "%s\n", FileHeader);
     // Entries inserted before attachDir (memory-only phase) are worth
     // persisting too.
     for (const auto &KV : Map)
       appendLocked(KV.first, KV.second.O);
-    fflush(Append);
   }
   return true;
 }

@@ -6,6 +6,8 @@
 
 #include "smt/Term.h"
 
+#include "support/Trace.h"
+
 #include <algorithm>
 
 using namespace ids;
@@ -78,10 +80,32 @@ TermManager::TermManager() {
   NilTerm = mkVar("nil", LocSort);
 }
 
+TermManager::TermManager(const TermManager &Base, Snapshot) {
+  assert(Base.Frozen && "snapshot overlay over an unfrozen base");
+  BaseMgr = &Base;
+  BoolSort = Base.BoolSort;
+  IntSort = Base.IntSort;
+  RatSort = Base.RatSort;
+  LocSort = Base.LocSort;
+  TrueTerm = Base.TrueTerm;
+  FalseTerm = Base.FalseTerm;
+  NilTerm = Base.NilTerm;
+  // Continue the base's id space so overlay ids never collide with base
+  // ids — id-keyed solver structures see one consistent dense-ish space.
+  NextId = Base.NextId;
+  FreshCounter = Base.FreshCounter;
+}
+
 const Sort *TermManager::getUninterpretedSort(const std::string &Name) {
+  if (BaseMgr) {
+    auto BIt = BaseMgr->NamedSorts.find(Name);
+    if (BIt != BaseMgr->NamedSorts.end())
+      return BIt->second;
+  }
   auto It = NamedSorts.find(Name);
   if (It != NamedSorts.end())
     return It->second;
+  assert(!Frozen && "interning a new sort in a frozen TermManager");
   Sorts.emplace_back(new Sort(SortKind::Uninterpreted, Name, nullptr, nullptr));
   Sorts.back()->Fingerprint =
       sortFingerprintOf(SortKind::Uninterpreted, Name, nullptr, nullptr);
@@ -92,9 +116,15 @@ const Sort *TermManager::getUninterpretedSort(const std::string &Name) {
 
 const Sort *TermManager::getArraySort(const Sort *Key, const Sort *Value) {
   std::string Mangled = "[" + Key->toString() + "->" + Value->toString() + "]";
+  if (BaseMgr) {
+    auto BIt = BaseMgr->NamedSorts.find(Mangled);
+    if (BIt != BaseMgr->NamedSorts.end())
+      return BIt->second;
+  }
   auto It = NamedSorts.find(Mangled);
   if (It != NamedSorts.end())
     return It->second;
+  assert(!Frozen && "interning a new sort in a frozen TermManager");
   Sorts.emplace_back(new Sort(SortKind::Array, "", Key, Value));
   Sorts.back()->Fingerprint =
       sortFingerprintOf(SortKind::Array, "", Key, Value);
@@ -106,6 +136,15 @@ const Sort *TermManager::getArraySort(const Sort *Key, const Sort *Value) {
 const FuncDecl *TermManager::getFuncDecl(const std::string &Name,
                                          std::vector<const Sort *> ArgSorts,
                                          const Sort *RetSort) {
+  if (BaseMgr) {
+    auto BIt = BaseMgr->NamedDecls.find(Name);
+    if (BIt != BaseMgr->NamedDecls.end()) {
+      assert(BIt->second->getRetSort() == RetSort &&
+             BIt->second->getArgSorts() == ArgSorts &&
+             "function redeclared with a different signature");
+      return BIt->second;
+    }
+  }
   auto It = NamedDecls.find(Name);
   if (It != NamedDecls.end()) {
     assert(It->second->getRetSort() == RetSort &&
@@ -113,6 +152,7 @@ const FuncDecl *TermManager::getFuncDecl(const std::string &Name,
            "function redeclared with a different signature");
     return It->second;
   }
+  assert(!Frozen && "interning a new declaration in a frozen TermManager");
   Decls.emplace_back(new FuncDecl(Name, std::move(ArgSorts), RetSort));
   {
     FuncDecl *D = Decls.back().get();
@@ -149,10 +189,21 @@ bool TermManager::equalTerm(const Term &A, const Term &B) {
 
 TermRef TermManager::intern(Term &&Node) {
   size_t H = hashTerm(Node);
+  // Probe the frozen base first: its sort/decl/term pointers are shared
+  // with this overlay, so hash and equality agree across the two tables
+  // and a base hit is returned with no copy and no lock.
+  if (BaseMgr) {
+    auto BIt = BaseMgr->Table.find(H);
+    if (BIt != BaseMgr->Table.end())
+      for (TermRef Existing : BIt->second)
+        if (equalTerm(*Existing, Node))
+          return Existing;
+  }
   auto &Bucket = Table[H];
   for (TermRef Existing : Bucket)
     if (equalTerm(*Existing, Node))
       return Existing;
+  assert(!Frozen && "interning a new term in a frozen TermManager");
   Node.Id = NextId++;
   // Structural DAG hash: two independently seeded 64-bit mixes over the
   // node's kind, payload and the (already computed) child hashes. O(1)
@@ -211,6 +262,14 @@ TermRef TermManager::mkRatConst(Rational Value) {
 }
 
 TermRef TermManager::mkVar(const std::string &Name, const Sort *S) {
+  if (BaseMgr) {
+    auto BIt = BaseMgr->NamedVars.find(Name);
+    if (BIt != BaseMgr->NamedVars.end()) {
+      assert(BIt->second->getSort() == S &&
+             "variable redeclared with a different sort");
+      return BIt->second;
+    }
+  }
   auto It = NamedVars.find(Name);
   if (It != NamedVars.end()) {
     assert(It->second->getSort() == S &&
@@ -229,8 +288,11 @@ TermRef TermManager::mkVar(const std::string &Name, const Sort *S) {
 TermRef TermManager::mkFreshVar(const std::string &Prefix, const Sort *S) {
   for (;;) {
     std::string Candidate = Prefix + "!" + std::to_string(FreshCounter++);
-    if (!NamedVars.count(Candidate))
-      return mkVar(Candidate, S);
+    if (NamedVars.count(Candidate))
+      continue;
+    if (BaseMgr && BaseMgr->NamedVars.count(Candidate))
+      continue;
+    return mkVar(Candidate, S);
   }
 }
 
@@ -788,6 +850,7 @@ const Sort *TermManager::importSort(const Sort *Foreign) {
 }
 
 TermRef TermManager::import(TermRef Foreign) {
+  trace::counter("smt.term_imports").add(1);
   // Iterative post-order: VC terms can be deep (long store chains), so
   // recursion is not an option.
   std::vector<TermRef> Stack = {Foreign};

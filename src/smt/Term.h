@@ -156,6 +156,35 @@ public:
   TermManager(const TermManager &) = delete;
   TermManager &operator=(const TermManager &) = delete;
 
+  /// Tag type selecting the snapshot-overlay constructor.
+  struct Snapshot {};
+
+  /// Builds an overlay manager on top of a frozen \p Base. The overlay
+  /// shares the base's interned structure read-only — sorts, function
+  /// declarations, named variables and every term the base interned stay
+  /// valid TermRefs in the overlay, with no translation and no locking —
+  /// and pays only for its own delta: new nodes go into the overlay's
+  /// private table with ids continuing from the base's. This is what
+  /// lets `--jobs N` workers solve obligations built in a shared base
+  /// manager without per-task full-formula `import` copies: terms are
+  /// immutable and the base is frozen for the overlay's lifetime, so
+  /// concurrent overlay reads of the base are race-free by construction.
+  ///
+  /// The base must outlive the overlay and stay frozen while any overlay
+  /// on it is live; ids are unique within one overlay+base view, but two
+  /// sibling overlays assign overlapping ids to different terms — never
+  /// mix terms from sibling overlays in one solver.
+  TermManager(const TermManager &Base, Snapshot);
+
+  /// Freezing forbids interning anything new (enforced by assert) so the
+  /// manager can be shared read-only across worker overlays. Reads —
+  /// including intern() calls that hit an existing node — stay allowed.
+  void freeze() { Frozen = true; }
+  void thaw() { Frozen = false; }
+  bool isFrozen() const { return Frozen; }
+  /// The frozen base this overlay was snapshotted from, or null.
+  const TermManager *base() const { return BaseMgr; }
+
   // -------------------------------------------------------------- Sorts --
   const Sort *boolSort() const { return BoolSort; }
   const Sort *intSort() const { return IntSort; }
@@ -286,6 +315,12 @@ private:
   std::unordered_map<std::string, TermRef> NamedVars;
   std::unordered_map<std::string, const FuncDecl *> NamedDecls;
   std::unordered_map<TermRef, TermRef> ImportCache;
+
+  /// Frozen base of a snapshot overlay (null for a root manager). All
+  /// probe paths (intern, named sorts/vars/decls) consult the base
+  /// read-only before touching the overlay's own tables.
+  const TermManager *BaseMgr = nullptr;
+  bool Frozen = false;
 
   const Sort *BoolSort;
   const Sort *IntSort;

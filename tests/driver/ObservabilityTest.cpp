@@ -128,6 +128,11 @@ TEST_F(ObservabilityTest, VerifyPopulatesEveryLayersCounters) {
   EXPECT_GT(C["smt.check_sats"], 0u);
   EXPECT_GT(C["smt.theory_checks"], 0u);
   EXPECT_GT(C["cache.query_lookups"], 0u);
+  // Every solver query dispatches through the job system (even --jobs 1
+  // runs the inline fast path); snapshot overlays keep term copying out
+  // of the dispatch path entirely.
+  EXPECT_GT(C["jobs.tasks"], 0u);
+  EXPECT_EQ(C["smt.term_imports"], 0u);
   // Spans were never enabled: counters populate regardless.
   const json::Value *Evs = trace::chromeTraceJson().get("traceEvents");
   ASSERT_NE(Evs, nullptr);

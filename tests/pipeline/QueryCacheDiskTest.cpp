@@ -20,6 +20,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 #include <unistd.h>
 
 using namespace ids;
@@ -137,6 +140,90 @@ TEST_F(QueryCacheDiskTest, VersionMismatchDiscardsFile) {
   QueryCache B;
   ASSERT_TRUE(B.attachDir(Dir.string(), Err)) << Err;
   EXPECT_EQ(B.diskStats().LoadedFromDisk, 1u);
+}
+
+QueryCache::Outcome satOutcome(unsigned Seed) {
+  QueryCache::Outcome O;
+  O.R = Solver::Result::Sat;
+  O.NumAtoms = Seed;
+  // Multi-line model text: the payload that a torn or interleaved append
+  // would corrupt first.
+  O.ModelText = "a = " + std::to_string(Seed) + "\nb = " +
+                std::to_string(Seed * 2) + "\nnested newline\n";
+  return O;
+}
+
+TEST_F(QueryCacheDiskTest, ManyWritersProduceNoTornRecords) {
+  // --jobs N hammers insert() from every worker; each append must land as
+  // one un-torn record a fresh attach can load back.
+  constexpr unsigned Threads = 8, PerThread = 50;
+  {
+    QueryCache A;
+    std::string Err;
+    ASSERT_TRUE(A.attachDir(Dir.string(), Err)) << Err;
+    std::vector<std::thread> Ws;
+    for (unsigned T = 0; T < Threads; ++T)
+      Ws.emplace_back([&A, T] {
+        for (unsigned I = 0; I < PerThread; ++I) {
+          unsigned Seed = T * PerThread + I;
+          QueryCache::Key K{Seed, ~uint64_t(Seed)};
+          A.insert(K, Seed % 2 ? satOutcome(Seed) : unsatOutcome(Seed));
+        }
+      });
+    for (std::thread &W : Ws)
+      W.join();
+    EXPECT_EQ(A.diskStats().Appended, Threads * PerThread);
+  }
+  QueryCache B;
+  std::string Err;
+  ASSERT_TRUE(B.attachDir(Dir.string(), Err)) << Err;
+  ASSERT_EQ(B.diskStats().LoadedFromDisk, Threads * PerThread);
+  for (unsigned Seed = 0; Seed < Threads * PerThread; ++Seed) {
+    QueryCache::Outcome Out;
+    ASSERT_TRUE(B.lookup({Seed, ~uint64_t(Seed)}, Out)) << Seed;
+    if (Seed % 2) {
+      EXPECT_EQ(Out.R, Solver::Result::Sat);
+      EXPECT_EQ(Out.ModelText, satOutcome(Seed).ModelText) << Seed;
+    } else {
+      EXPECT_EQ(Out.R, Solver::Result::Unsat);
+    }
+    EXPECT_EQ(Out.NumAtoms, Seed);
+  }
+}
+
+TEST_F(QueryCacheDiskTest, ConcurrentInstancesInterleaveWholeRecords) {
+  // Two caches attached to the same directory (two O_APPEND streams, as
+  // with two concurrent --cache-dir runs) may interleave records in any
+  // order but never mid-record.
+  constexpr unsigned PerWriter = 100;
+  {
+    QueryCache A, C;
+    std::string Err;
+    ASSERT_TRUE(A.attachDir(Dir.string(), Err)) << Err;
+    ASSERT_TRUE(C.attachDir(Dir.string(), Err)) << Err;
+    std::thread W1([&A] {
+      for (unsigned I = 0; I < PerWriter; ++I)
+        A.insert({I, 1}, satOutcome(I));
+    });
+    std::thread W2([&C] {
+      for (unsigned I = 0; I < PerWriter; ++I)
+        C.insert({I, 2}, unsatOutcome(I));
+    });
+    W1.join();
+    W2.join();
+  }
+  QueryCache B;
+  std::string Err;
+  ASSERT_TRUE(B.attachDir(Dir.string(), Err)) << Err;
+  ASSERT_EQ(B.diskStats().LoadedFromDisk, 2 * PerWriter);
+  for (unsigned I = 0; I < PerWriter; ++I) {
+    QueryCache::Outcome Out;
+    ASSERT_TRUE(B.lookup({I, 1}, Out)) << I;
+    EXPECT_EQ(Out.R, Solver::Result::Sat);
+    EXPECT_EQ(Out.ModelText, satOutcome(I).ModelText) << I;
+    ASSERT_TRUE(B.lookup({I, 2}, Out)) << I;
+    EXPECT_EQ(Out.R, Solver::Result::Unsat);
+  }
 }
 
 TEST_F(QueryCacheDiskTest, MemoryOnlyEntriesPersistOnFreshAttach) {

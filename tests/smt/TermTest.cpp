@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 using namespace ids;
 using namespace ids::smt;
 
@@ -122,4 +126,131 @@ TEST_F(TermTest, FreshVarsAreFresh) {
   TermRef B = TM.mkFreshVar("tmp", TM.intSort());
   EXPECT_NE(A, B);
   EXPECT_NE(A->getName(), B->getName());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot overlays: a frozen base shared read-only by worker-side
+// overlay managers (the --jobs term-sharing machinery).
+
+TEST_F(TermTest, SnapshotSharesBaseTerms) {
+  TermRef X = TM.mkVar("x", TM.intSort());
+  TermRef F = TM.mkLe(TM.mkAdd(X, TM.mkIntConst(1)), TM.mkIntConst(5));
+  TM.freeze();
+  {
+    TermManager Overlay(TM, TermManager::Snapshot{});
+    // Shared singletons and sorts are the very same pointers.
+    EXPECT_EQ(Overlay.mkTrue(), TM.mkTrue());
+    EXPECT_EQ(Overlay.mkNil(), TM.mkNil());
+    EXPECT_EQ(Overlay.intSort(), TM.intSort());
+    // Rebuilding a base term through the overlay's smart constructors
+    // hits the base table: identical pointer, no copy.
+    TermRef OX = Overlay.mkVar("x", Overlay.intSort());
+    EXPECT_EQ(OX, X);
+    TermRef OF =
+        Overlay.mkLe(Overlay.mkAdd(OX, Overlay.mkIntConst(1)),
+                     Overlay.mkIntConst(5));
+    EXPECT_EQ(OF, F);
+    EXPECT_EQ(Overlay.numTerms(), TM.numTerms());
+  }
+  TM.thaw();
+}
+
+TEST_F(TermTest, SnapshotDeltaStaysPrivate) {
+  TermRef X = TM.mkVar("x", TM.intSort());
+  unsigned BaseCount = TM.numTerms();
+  TM.freeze();
+  {
+    TermManager Overlay(TM, TermManager::Snapshot{});
+    TermRef Y = Overlay.mkVar("y", Overlay.intSort());
+    TermRef G = Overlay.mkLt(X, Y);
+    // Overlay ids continue past the base's id space.
+    EXPECT_GE(Y->getId(), BaseCount);
+    EXPECT_GE(G->getId(), BaseCount);
+    // Mixing base and overlay terms in one node is fine.
+    EXPECT_EQ(G->getArg(0), X);
+    // The base is untouched.
+    EXPECT_EQ(TM.numTerms(), BaseCount);
+  }
+  TM.thaw();
+  // After thawing, the base can intern again and never saw the delta.
+  EXPECT_EQ(TM.numTerms(), BaseCount);
+  TermRef Z = TM.mkVar("z", TM.intSort());
+  EXPECT_EQ(Z->getName(), "z");
+}
+
+TEST_F(TermTest, SnapshotSharesSortsAndDecls) {
+  const Sort *Elem = TM.getUninterpretedSort("Elem");
+  const Sort *SetSort = TM.getArraySort(Elem, TM.boolSort());
+  const FuncDecl *D = TM.getFuncDecl("key", {TM.locSort()}, TM.intSort());
+  TM.freeze();
+  {
+    TermManager Overlay(TM, TermManager::Snapshot{});
+    EXPECT_EQ(Overlay.getUninterpretedSort("Elem"), Elem);
+    EXPECT_EQ(Overlay.getArraySort(Elem, Overlay.boolSort()), SetSort);
+    EXPECT_EQ(Overlay.getFuncDecl("key", {Overlay.locSort()},
+                                  Overlay.intSort()),
+              D);
+    // An overlay-new sort composes with shared ones.
+    const Sort *Fresh = Overlay.getUninterpretedSort("OverlayOnly");
+    EXPECT_NE(Fresh, nullptr);
+    EXPECT_NE(Overlay.getArraySort(Fresh, Overlay.boolSort()), SetSort);
+  }
+  TM.thaw();
+}
+
+TEST_F(TermTest, SnapshotFreshVarsAvoidBaseNames) {
+  TermRef BaseFresh = TM.mkFreshVar("tmp", TM.intSort());
+  TM.freeze();
+  {
+    TermManager Overlay(TM, TermManager::Snapshot{});
+    TermRef A = Overlay.mkFreshVar("tmp", Overlay.intSort());
+    TermRef B = Overlay.mkFreshVar("tmp", Overlay.intSort());
+    EXPECT_NE(A->getName(), BaseFresh->getName());
+    EXPECT_NE(A->getName(), B->getName());
+  }
+  TM.thaw();
+}
+
+TEST_F(TermTest, SnapshotStructHashesMatchImport) {
+  // The overlay view and a full import into a fresh manager must agree
+  // on the 128-bit structural hash — QueryCache keys are view-invariant.
+  TermRef X = TM.mkVar("x", TM.locSort());
+  TermRef S = TM.mkSetInsert(TM.mkEmptySet(TM.locSort()), X);
+  TermRef F = TM.mkAnd(TM.mkMember(X, S), TM.mkNot(TM.mkEq(X, TM.mkNil())));
+  TM.freeze();
+  TermManager Overlay(TM, TermManager::Snapshot{});
+  TermRef G = Overlay.mkOr(F, Overlay.mkEq(X, Overlay.mkNil()));
+  TermManager Fresh;
+  TermRef Imported = Fresh.import(G);
+  EXPECT_EQ(G->getStructHashLo(), Imported->getStructHashLo());
+  EXPECT_EQ(G->getStructHashHi(), Imported->getStructHashHi());
+  TM.thaw();
+}
+
+TEST_F(TermTest, ConcurrentOverlaysShareFrozenBase) {
+  // Many threads, each with a private overlay, hammer the same frozen
+  // base: every rebuild of a base term must resolve to the base pointer.
+  TermRef X = TM.mkVar("x", TM.intSort());
+  TermRef F = TM.mkLe(X, TM.mkIntConst(10));
+  TM.freeze();
+  std::vector<std::thread> Threads;
+  std::atomic<int> Failures{0};
+  for (int T = 0; T < 8; ++T)
+    Threads.emplace_back([&] {
+      TermManager Overlay(TM, TermManager::Snapshot{});
+      for (int I = 0; I < 200; ++I) {
+        TermRef OX = Overlay.mkVar("x", Overlay.intSort());
+        TermRef OF = Overlay.mkLe(OX, Overlay.mkIntConst(10));
+        if (OX != X || OF != F)
+          Failures.fetch_add(1);
+        // Private delta per iteration, mixing shared structure.
+        TermRef D = Overlay.mkAdd(OX, Overlay.mkIntConst(I));
+        if (D->getSort() != Overlay.intSort())
+          Failures.fetch_add(1);
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  TM.thaw();
+  EXPECT_EQ(Failures.load(), 0);
 }
